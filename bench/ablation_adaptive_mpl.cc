@@ -1,0 +1,78 @@
+// Ablation: adaptive multiprogramming-level control (the paper's conclusion
+// calls the design of such algorithms an open problem).
+//
+// For blocking and optimistic on 1 CPU / 2 disks, compare (a) the best and
+// worst fixed mpl from the paper sweep against (b) a hill-climbing
+// controller that starts from the *worst* high setting (mpl=200) and adjusts
+// every 30 simulated seconds. The controller should recover most of the gap
+// to the best fixed setting without knowing it in advance.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "core/adaptive_mpl.h"
+#include "util/str.h"
+
+namespace {
+
+ccsim::MetricsReport RunWithController(const ccsim::EngineConfig& config,
+                                       const ccsim::RunLengths& lengths) {
+  using namespace ccsim;
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  AdaptiveMplController::Options options;
+  options.interval = 30 * kSecond;
+  options.min_mpl = 5;
+  options.max_mpl = config.workload.mpl;
+  options.step = 10;
+  AdaptiveMplController controller(&sim, &system, options);
+  system.Prime();
+  controller.Start();
+  // Give the controller extra settling time beyond the normal warmup.
+  MetricsReport report = system.RunExperiment(
+      lengths.batches, lengths.batch_length, lengths.warmup + 240 * kSecond);
+  report.algorithm += StringPrintf(" +controller(final mpl=%d)", system.mpl());
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ccsim;
+  RunLengths lengths = bench::BenchLengths();
+  bench::PrintBanner(
+      "Ablation — adaptive mpl control vs fixed mpl (1 CPU / 2 disks)",
+      lengths);
+
+  std::vector<MetricsReport> reports;
+  for (const char* algorithm : {"blocking", "optimistic"}) {
+    EngineConfig base = bench::PaperBaseConfig();
+    base.resources = ResourceConfig::Finite(1, 2);
+    base.algorithm = algorithm;
+
+    for (int mpl : {25, 200}) {  // Near-best and worst fixed settings.
+      EngineConfig config = base;
+      config.workload.mpl = mpl;
+      MetricsReport r = RunOnePoint(config, lengths);
+      r.algorithm = StringPrintf("%s fixed", algorithm);
+      reports.push_back(r);
+      std::cerr << "  " << algorithm << " fixed mpl=" << mpl << ": "
+                << r.throughput.mean << " tps\n";
+    }
+
+    EngineConfig adaptive = base;
+    adaptive.workload.mpl = 200;  // Start from the worst setting.
+    MetricsReport r = RunWithController(adaptive, lengths);
+    std::string label = r.algorithm;
+    r.algorithm = std::string(algorithm) + " adaptive";
+    reports.push_back(r);
+    std::cerr << "  " << label << ": " << r.throughput.mean << " tps\n";
+  }
+
+  ReportColumns columns = ReportColumns::ThroughputOnly();
+  columns.avg_mpl = true;
+  columns.response = true;
+  bench::EmitFigure(
+      "Adaptive mpl control (controller rows started at mpl=200)",
+      "ablation_adaptive_mpl", reports, columns);
+  return 0;
+}

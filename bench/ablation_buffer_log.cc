@@ -1,0 +1,68 @@
+// Ablation: buffer-pool hit rate and commit logging — refining the paper's
+// constant-cost I/O model.
+//
+// The paper charges every object access the full 35 ms obj_io and models no
+// recovery cost. Two refinements with opposite effects on the blocking vs
+// optimistic verdict:
+//  * A buffer pool (reads hit memory with probability p) drains load off
+//    the disks. As p rises, the 1 CPU / 2 disk machine drifts toward the
+//    "plentiful resources" regime where wasted optimistic re-execution
+//    stops mattering — the same implication as Experiment 4, reached
+//    through software instead of hardware.
+//  * A commit log (one forced sequential write per update transaction)
+//    adds a serial resource that every algorithm pays equally at commit.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "util/str.h"
+
+int main() {
+  using namespace ccsim;
+  RunLengths lengths = bench::BenchLengths();
+  bench::PrintBanner(
+      "Ablation — buffer hits and commit logging (1 CPU / 2 disks, mpl=50)",
+      lengths);
+
+  std::vector<MetricsReport> buffer_reports;
+  for (double hit : {0.0, 0.5, 0.8, 0.95}) {
+    for (const std::string& algorithm : {std::string("blocking"),
+                                         std::string("optimistic")}) {
+      EngineConfig config = bench::PaperBaseConfig();
+      config.resources = ResourceConfig::Finite(1, 2);
+      config.workload.mpl = 50;
+      config.workload.buffer_hit_prob = hit;
+      config.algorithm = algorithm;
+      MetricsReport r = RunOnePoint(config, lengths);
+      r.algorithm = StringPrintf("hit=%.0f%% %s", hit * 100, algorithm.c_str());
+      buffer_reports.push_back(r);
+      std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+    }
+  }
+  ReportColumns columns = ReportColumns::ThroughputOnly();
+  columns.ratios = true;
+  columns.disk_util = true;
+  bench::EmitFigure(
+      "Buffer hit sweep (high hit rates shrink blocking's edge)",
+      "ablation_buffer", buffer_reports, columns);
+
+  std::vector<MetricsReport> log_reports;
+  for (double log_ms : {0.0, 5.0, 20.0}) {
+    for (const std::string& algorithm : {std::string("blocking"),
+                                         std::string("optimistic")}) {
+      EngineConfig config = bench::PaperBaseConfig();
+      config.resources = ResourceConfig::Finite(1, 2);
+      config.workload.mpl = 25;
+      config.workload.log_io = FromMillis(log_ms);
+      config.algorithm = algorithm;
+      MetricsReport r = RunOnePoint(config, lengths);
+      r.algorithm =
+          StringPrintf("log=%.0fms %s", log_ms, algorithm.c_str());
+      log_reports.push_back(r);
+      std::cerr << "  " << r.algorithm << ": " << r.throughput.mean
+                << " tps (log util " << r.log_util.mean << ")\n";
+    }
+  }
+  bench::EmitFigure("Commit-log cost sweep", "ablation_log", log_reports,
+                    columns);
+  return 0;
+}

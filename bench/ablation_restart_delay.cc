@@ -1,0 +1,59 @@
+// Ablation: restart-delay sensitivity for the immediate-restart algorithm.
+//
+// The paper (§4.2) reports a sensitivity analysis: "a delay of about one
+// transaction time is best, and throughput begins to drop off rapidly when
+// the delay exceeds more than a few transaction times." This bench sweeps
+// fixed exponential delays from 1/8x to 8x the uncontended transaction time
+// under infinite resources (where the paper found the sensitivity most
+// pronounced) and compares against the adaptive policy the paper adopted.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "util/str.h"
+
+int main() {
+  using namespace ccsim;
+  RunLengths lengths = bench::BenchLengths();
+  bench::PrintBanner(
+      "Ablation — restart-delay sensitivity (immediate-restart, infinite "
+      "resources, mpl=100)",
+      lengths);
+
+  EngineConfig base = bench::PaperBaseConfig();
+  base.resources = ResourceConfig::Infinite();
+  base.algorithm = "immediate_restart";
+  base.workload.mpl = 100;
+
+  // Uncontended transaction time: 8 reads * 50ms + 2 writes * (15+35)ms.
+  const double txn_seconds = 0.5;
+  const double multipliers[] = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
+
+  std::vector<MetricsReport> reports;
+  for (double m : multipliers) {
+    EngineConfig config = base;
+    config.restart_delay_mode = RestartDelayMode::kFixed;
+    config.fixed_restart_delay = FromSeconds(m * txn_seconds);
+    MetricsReport r = RunOnePoint(config, lengths);
+    // Reuse the algorithm column to label the delay setting.
+    r.algorithm = StringPrintf("fixed %.3gx txn", m);
+    reports.push_back(r);
+    std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+  }
+  {
+    EngineConfig config = base;
+    config.restart_delay_mode = RestartDelayMode::kAdaptive;
+    MetricsReport r = RunOnePoint(config, lengths);
+    r.algorithm = "adaptive (paper)";
+    reports.push_back(r);
+    std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+  }
+
+  ReportColumns columns = ReportColumns::ThroughputOnly();
+  columns.response = true;
+  columns.ratios = true;
+  columns.avg_mpl = true;
+  bench::EmitFigure(
+      "Restart-delay sensitivity (expect a knee near ~1 transaction time)",
+      "ablation_restart_delay", reports, columns);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Experiment 5 (Figures 16-21): interactive workloads on 1 CPU / 2 disks.
+//
+// Transactions read, think (form-screen style) while holding whatever the
+// algorithm holds, then write. Internal think times of 1, 5, and 10 seconds
+// are paired with external think times of 3, 11, and 21 seconds to keep the
+// thinking/active ratio roughly constant. Expected: at 1 s blocking still
+// wins; at 5 s and 10 s the resources look infinite and optimistic's best
+// throughput beats blocking's, with immediate-restart ahead of optimistic
+// only at high mpl (its delay limits the actual mpl).
+#include "bench/harness.h"
+#include "util/str.h"
+
+int main() {
+  using namespace ccsim;
+  // Long think times need longer batches for stable counts.
+  RunLengths lengths = bench::BenchLengths(/*batch_seconds=*/40.0,
+                                           /*warmup_seconds=*/80.0);
+  bench::PrintBanner(
+      "Experiment 5 — interactive workloads (1 CPU, 2 disks), Figures 16-21",
+      lengths);
+
+  struct Setting {
+    double int_think_s;
+    double ext_think_s;
+    int throughput_figure;
+    int util_figure;
+  };
+  const Setting settings[] = {
+      {1.0, 3.0, 16, 17}, {5.0, 11.0, 18, 19}, {10.0, 21.0, 20, 21}};
+
+  for (const Setting& s : settings) {
+    EngineConfig base = bench::PaperBaseConfig();
+    base.resources = ResourceConfig::Finite(1, 2);
+    base.workload.int_think_time = FromSeconds(s.int_think_s);
+    base.workload.ext_think_time = FromSeconds(s.ext_think_s);
+    auto reports = bench::RunPaperSweep(base, lengths);
+
+    ReportColumns throughput = ReportColumns::ThroughputOnly();
+    throughput.avg_mpl = true;
+    bench::EmitFigure(
+        StringPrintf("Figure %d: Throughput (%.0f Second Internal Thinking)",
+                     s.throughput_figure, s.int_think_s),
+        StringPrintf("fig%02d", s.throughput_figure), reports, throughput);
+
+    ReportColumns utils = ReportColumns::ThroughputOnly();
+    utils.disk_util = true;
+    bench::EmitFigure(
+        StringPrintf(
+            "Figure %d: Disk Utilization (%.0f Second Internal Thinking)",
+            s.util_figure, s.int_think_s),
+        StringPrintf("fig%02d", s.util_figure), reports, utils);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/env.h"
+
+namespace ccsim {
+namespace bench {
+
+RunLengths BenchLengths(double batch_seconds, double warmup_seconds) {
+  RunLengths defaults;
+  defaults.batches = 20;
+  defaults.batch_length = FromSeconds(batch_seconds);
+  defaults.warmup = FromSeconds(warmup_seconds);
+  return RunLengths::FromEnv(defaults);
+}
+
+EngineConfig PaperBaseConfig() {
+  EngineConfig config;           // WorkloadParams defaults are Table 2.
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.seed = static_cast<uint64_t>(GetEnvInt("CCSIM_SEED", 42));
+  return config;
+}
+
+std::vector<MetricsReport> RunPaperSweep(
+    const EngineConfig& base, const RunLengths& lengths,
+    const std::vector<std::string>& algorithms) {
+  SweepConfig sweep;
+  sweep.base = base;
+  sweep.algorithms = algorithms;
+  sweep.mpls = PaperMplLevels();
+  sweep.lengths = lengths;
+  return RunSweep(sweep, [](const MetricsReport& r) {
+    std::fprintf(stderr, "  %-18s mpl=%-4d thruput=%7.2f (%lld commits)\n",
+                 r.algorithm.c_str(), r.mpl, r.throughput.mean,
+                 static_cast<long long>(r.commits));
+  });
+}
+
+void EmitFigure(const std::string& title, const std::string& csv_name,
+                const std::vector<MetricsReport>& reports,
+                const ReportColumns& columns) {
+  PrintReportTable(std::cout, title, reports, columns);
+  std::string path = CsvPathFor(csv_name);
+  if (!path.empty()) {
+    if (WriteReportCsv(path, reports)) {
+      std::cout << "(csv: " << path << ")\n";
+    } else {
+      std::cerr << "failed to write " << path << "\n";
+    }
+    // A companion gnuplot script: run `gnuplot <name>.gp` inside the output
+    // directory to render <name>.csv.png.
+    WriteThroughputGnuplot(path.substr(0, path.size() - 4) + ".gp",
+                           csv_name + ".csv", title, reports);
+  }
+}
+
+void PrintBanner(const std::string& what, const RunLengths& lengths) {
+  std::cout << "ccsim bench: " << what << "\n"
+            << "  methodology: " << lengths.batches << " batches x "
+            << ToSeconds(lengths.batch_length) << "s after "
+            << ToSeconds(lengths.warmup)
+            << "s warmup, 90% confidence intervals (batch means)\n";
+}
+
+}  // namespace bench
+}  // namespace ccsim

@@ -1,0 +1,47 @@
+// Shared scaffolding for the figure-reproduction benches. Each bench binary
+// reproduces one or more figures from the paper: it sweeps the three
+// algorithms over the paper's multiprogramming levels, prints one table per
+// figure, and optionally dumps CSV (set CCSIM_CSV_DIR).
+//
+// Environment knobs (see core/experiment.h): CCSIM_BATCHES,
+// CCSIM_BATCH_SECONDS, CCSIM_WARMUP_SECONDS, CCSIM_MPLS, CCSIM_SEED.
+#ifndef CCSIM_BENCH_HARNESS_H_
+#define CCSIM_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace ccsim {
+namespace bench {
+
+/// Default statistical effort for bench runs: the paper's 20 batches.
+/// Override with CCSIM_BATCHES / CCSIM_BATCH_SECONDS for quick looks.
+RunLengths BenchLengths(double batch_seconds = 20.0, double warmup_seconds = 40.0);
+
+/// The paper's Table 2 base configuration (db_size 1000, 200 terminals,
+/// 1 s external think, 35 ms obj_io, 15 ms obj_cpu), with the master seed
+/// taken from CCSIM_SEED (default 42).
+EngineConfig PaperBaseConfig();
+
+/// Runs one sweep of `algorithms` (default: the paper's three) over the
+/// paper's mpl levels with progress lines on stderr.
+std::vector<MetricsReport> RunPaperSweep(
+    const EngineConfig& base, const RunLengths& lengths,
+    const std::vector<std::string>& algorithms = PaperAlgorithms());
+
+/// Prints the table and, when CCSIM_CSV_DIR is set, writes `csv_name`.csv.
+void EmitFigure(const std::string& title, const std::string& csv_name,
+                const std::vector<MetricsReport>& reports,
+                const ReportColumns& columns);
+
+/// Prints the standard bench banner: what is being reproduced and with what
+/// statistical effort.
+void PrintBanner(const std::string& what, const RunLengths& lengths);
+
+}  // namespace bench
+}  // namespace ccsim
+
+#endif  // CCSIM_BENCH_HARNESS_H_

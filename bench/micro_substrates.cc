@@ -1,0 +1,214 @@
+// google-benchmark microbenchmarks for the simulator substrates: event
+// scheduling, random variates, workload generation, lock-manager hot paths,
+// deadlock detection, and whole-engine event throughput. These establish
+// that a full figure sweep is event-bound, not allocator- or
+// data-structure-bound.
+#include <benchmark/benchmark.h>
+
+#include "cc/deadlock.h"
+#include "cc/basic_to.h"
+#include "cc/lock_manager.h"
+#include "cc/mvto.h"
+#include "cc/optimistic.h"
+#include "core/closed_system.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+#include "wl/workload.h"
+
+namespace ccsim {
+namespace {
+
+void BM_EventScheduleFire(benchmark::State& state) {
+  Simulator sim;
+  int64_t fired = 0;
+  for (auto _ : state) {
+    sim.Schedule(1, [&fired] { ++fired; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventScheduleFire);
+
+void BM_EventScheduleCancel(benchmark::State& state) {
+  Simulator sim;
+  for (auto _ : state) {
+    EventId id = sim.Schedule(1000, [] {});
+    sim.Cancel(id);
+  }
+}
+BENCHMARK(BM_EventScheduleCancel);
+
+void BM_EventHeapDepth(benchmark::State& state) {
+  // Scheduling against a deep pending heap.
+  Simulator sim;
+  const int depth = static_cast<int>(state.range(0));
+  for (int i = 0; i < depth; ++i) {
+    sim.Schedule(1000000 + i, [] {});
+  }
+  int64_t fired = 0;
+  for (auto _ : state) {
+    sim.Schedule(1, [&fired] { ++fired; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventHeapDepth)->Arg(100)->Arg(10000);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(1);
+  double sum = 0;
+  for (auto _ : state) sum += rng.Exponential(1.0);
+  benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_SampleWithoutReplacement(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    auto sample = rng.SampleWithoutReplacement(state.range(0), 8);
+    benchmark::DoNotOptimize(sample);
+  }
+}
+BENCHMARK(BM_SampleWithoutReplacement)->Arg(1000)->Arg(1000000);
+
+void BM_WorkloadGenerate(benchmark::State& state) {
+  WorkloadParams params;
+  WorkloadGenerator gen(params, Rng(3), Rng(4));
+  for (auto _ : state) {
+    TxnSpec spec = gen.NextTransaction();
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_WorkloadGenerate);
+
+void BM_LockGrantRelease(benchmark::State& state) {
+  LockManager lm;
+  for (auto _ : state) {
+    for (ObjectId obj = 0; obj < 8; ++obj) {
+      lm.Request(1, obj, LockMode::kShared, true);
+    }
+    lm.ReleaseAll(1);
+  }
+}
+BENCHMARK(BM_LockGrantRelease);
+
+void BM_LockConflictQueue(benchmark::State& state) {
+  // A hot object with a holder and a waiter churn.
+  for (auto _ : state) {
+    LockManager lm;
+    lm.Request(1, 0, LockMode::kExclusive, true);
+    for (TxnId t = 2; t < 10; ++t) {
+      lm.Request(t, 0, LockMode::kShared, true);
+    }
+    benchmark::DoNotOptimize(lm.ReleaseAll(1));
+  }
+}
+BENCHMARK(BM_LockConflictQueue);
+
+void BM_DeadlockDetectionChain(benchmark::State& state) {
+  // A wait chain of length N with a cycle at the end; detection cost is the
+  // DFS over the chain.
+  const int n = static_cast<int>(state.range(0));
+  LockManager lm;
+  for (TxnId t = 1; t <= n; ++t) {
+    lm.Request(t, t, LockMode::kExclusive, true);
+  }
+  for (TxnId t = 2; t <= n; ++t) {
+    lm.Request(t, t - 1, LockMode::kExclusive, true);  // t waits on t-1.
+  }
+  lm.Request(1, n, LockMode::kExclusive, true);  // Closes the cycle.
+  DeadlockDetector detector(&lm, VictimPolicy::kYoungest);
+  for (auto _ : state) {
+    auto cycle = detector.FindCycle(1, {});
+    benchmark::DoNotOptimize(cycle);
+  }
+}
+BENCHMARK(BM_DeadlockDetectionChain)->Arg(4)->Arg(32)->Arg(128);
+
+void BM_OptimisticValidate(benchmark::State& state) {
+  // Validation cost against a populated committed-writes table.
+  OptimisticCC cc;
+  SimTime now = 0;
+  cc.SetCallbacks(CCCallbacks{[](TxnId) {}, [](TxnId) {},
+                              [&now]() { return now; }, nullptr});
+  // Populate history: 1000 committed writers.
+  for (TxnId t = 1; t <= 1000; ++t) {
+    cc.OnBegin(t, 0, 0);
+    cc.WriteRequest(t, t % 200);
+    cc.Validate(t);
+    now = t;
+    cc.Commit(t);
+  }
+  TxnId next = 10000;
+  for (auto _ : state) {
+    TxnId t = next++;
+    cc.OnBegin(t, now, now);
+    for (ObjectId obj = 0; obj < 8; ++obj) cc.ReadRequest(t, obj * 17 % 200);
+    bool ok = cc.Validate(t);
+    benchmark::DoNotOptimize(ok);
+    if (ok) {
+      cc.Commit(t);
+    } else {
+      cc.Abort(t);
+    }
+  }
+}
+BENCHMARK(BM_OptimisticValidate);
+
+void BM_BasicToRequests(benchmark::State& state) {
+  BasicTimestampOrderingCC cc;
+  cc.SetCallbacks(CCCallbacks{[](TxnId) {}, [](TxnId) {}, []() { return 0; },
+                              nullptr});
+  TxnId next = 1;
+  for (auto _ : state) {
+    TxnId t = next++;
+    cc.OnBegin(t, 0, 0);
+    for (ObjectId obj = 0; obj < 8; ++obj) cc.ReadRequest(t, obj);
+    cc.WriteRequest(t, 3);
+    cc.Commit(t);
+  }
+}
+BENCHMARK(BM_BasicToRequests);
+
+void BM_MvtoVersionChain(benchmark::State& state) {
+  // Read cost against a deep (GC-bounded) version chain on a hot object.
+  MultiversionTimestampOrderingCC cc;
+  cc.SetCallbacks(CCCallbacks{[](TxnId) {}, [](TxnId) {}, []() { return 0; },
+                              nullptr});
+  for (TxnId t = 1; t <= 64; ++t) {
+    cc.OnBegin(t, 0, 0);
+    cc.WriteRequest(t, 0);
+    cc.Commit(t);
+  }
+  TxnId next = 1000;
+  for (auto _ : state) {
+    TxnId t = next++;
+    cc.OnBegin(t, 0, 0);
+    cc.ReadRequest(t, 0);
+    cc.Commit(t);
+  }
+}
+BENCHMARK(BM_MvtoVersionChain);
+
+void BM_EngineEventsPerSecond(benchmark::State& state) {
+  // Whole-engine throughput: simulated events processed per wall second on
+  // the paper's Table 2 workload at mpl=50.
+  for (auto _ : state) {
+    Simulator sim;
+    EngineConfig config;
+    config.workload.mpl = 50;
+    config.resources = ResourceConfig::Finite(1, 2);
+    config.algorithm = "blocking";
+    ClosedSystem system(&sim, config);
+    system.Prime();
+    sim.RunUntil(20 * kSecond);
+    state.counters["sim_events"] = static_cast<double>(sim.events_fired());
+    benchmark::DoNotOptimize(system.total_commits());
+  }
+}
+BENCHMARK(BM_EngineEventsPerSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ccsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Validation/illustration: the analytical lock-contention model vs the
+// simulator, for the blocking algorithm.
+//
+// The analytical studies the paper reconciles ([Tay84], [Thom83], ...)
+// predict blocking behavior with a few lines of mean-value algebra. This
+// bench runs our Tay-style model (analytic/lock_contention.h) against the
+// simulator across the mpl sweep on both resource models. Expected: close
+// agreement below the knee, with the model's thrashing flag firing right
+// where the simulated curve rolls over — and visible divergence past it,
+// where mean-value assumptions (no deadlocks, uniform progress) break. The
+// point is the paper's own: an analytical model is exactly as good as its
+// assumptions' match to the operating region.
+#include <cstdio>
+
+#include "analytic/lock_contention.h"
+#include "bench/harness.h"
+
+int main() {
+  using namespace ccsim;
+  RunLengths lengths = bench::BenchLengths();
+  bench::PrintBanner(
+      "Validation — Tay-style analytic lock model vs simulator (blocking)",
+      lengths);
+
+  struct Hw {
+    ResourceConfig config;
+    const char* label;
+  };
+  const Hw hardware[] = {
+      {ResourceConfig::Finite(1, 2), "1 CPU, 2 disks"},
+      {ResourceConfig::Infinite(), "infinite resources"},
+  };
+
+  for (const Hw& hw : hardware) {
+    LockContentionModel model(WorkloadParams{}, hw.config);
+    std::printf("\n== %s ==\n%6s %11s %11s %9s %10s %10s %6s\n", hw.label,
+                "mpl", "sim(tps)", "model(tps)", "delta", "sim B", "model B",
+                "knee?");
+    for (int mpl : PaperMplLevels()) {
+      EngineConfig config = bench::PaperBaseConfig();
+      config.resources = hw.config;
+      config.workload.mpl = mpl;
+      config.algorithm = "blocking";
+      MetricsReport measured = RunOnePoint(config, lengths);
+      LockContentionResult predicted = model.Solve(mpl);
+      std::printf("%6d %11.2f %11.2f %8.1f%% %10.3f %10.3f %6s\n", mpl,
+                  measured.throughput.mean, predicted.throughput,
+                  100.0 * (predicted.throughput - measured.throughput.mean) /
+                      measured.throughput.mean,
+                  measured.block_ratio.mean, predicted.blocks_per_txn,
+                  predicted.thrashing ? "YES" : "");
+    }
+  }
+  std::printf(
+      "\n'B' is blocks per commit; 'knee?' flags the analytic thrashing\n"
+      "criterion (expected waiting >= expected execution).\n");
+  return 0;
+}

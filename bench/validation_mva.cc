@@ -1,0 +1,57 @@
+// Validation: simulator vs Mean Value Analysis in the contention-free limit.
+//
+// With the database made huge (no data contention), the closed system is a
+// product-form queueing network, and the simulator must track the exact MVA
+// solution. This is the boundary condition every concurrency control result
+// in this repo rests on: whatever differences the figures show between
+// algorithms are caused by data contention, not by resource-model artifacts.
+// (MVA assumes exponential service; the simulator uses the paper's constant
+// service times, which queue slightly less, so simulated throughput may sit
+// a few percent above prediction mid-range — exact at both asymptotes.)
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "analytic/mva.h"
+
+int main() {
+  using namespace ccsim;
+  RunLengths lengths = bench::BenchLengths();
+  bench::PrintBanner(
+      "Validation — simulator vs MVA, contention-free Table 2 workload",
+      lengths);
+
+  struct Hw {
+    ResourceConfig config;
+    const char* label;
+  };
+  const Hw hardware[] = {
+      {ResourceConfig::Finite(1, 2), "1 CPU, 2 disks"},
+      {ResourceConfig::Finite(5, 10), "5 CPUs, 10 disks"},
+      {ResourceConfig::Infinite(), "infinite"},
+  };
+
+  for (const Hw& hw : hardware) {
+    std::printf("\n== %s ==\n%6s %12s %12s %8s\n", hw.label, "terms",
+                "sim (tps)", "mva (tps)", "delta");
+    for (int population : {1, 5, 25, 50, 100, 200}) {
+      EngineConfig config = bench::PaperBaseConfig();
+      config.resources = hw.config;
+      config.workload.db_size = 1000000;  // Contention-free.
+      config.workload.num_terms = population;
+      config.workload.mpl = population;
+      config.algorithm = "blocking";
+      MetricsReport r = RunOnePoint(config, lengths);
+
+      MvaSolver solver = BuildPaperNetwork(config.workload, hw.config);
+      double predicted = solver.Solve(population).throughput;
+      std::printf("%6d %12.2f %12.2f %7.1f%%\n", population, r.throughput.mean,
+                  predicted,
+                  100.0 * (r.throughput.mean - predicted) / predicted);
+    }
+  }
+  std::printf(
+      "\nBottleneck law check (1 CPU, 2 disks): disks saturate at %.2f tps\n",
+      BuildPaperNetwork(WorkloadParams{}, ResourceConfig::Finite(1, 2))
+          .BottleneckThroughput());
+  return 0;
+}

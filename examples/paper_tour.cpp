@@ -1,0 +1,119 @@
+// A guided tour of the paper's argument, in five quick experiments.
+//
+//   ./paper_tour            (~a minute; CCSIM_* env vars scale effort)
+//
+// Each stop runs a scaled-down version of one of the paper's experiments
+// and narrates what the numbers mean. For publication-quality runs use the
+// bench binaries, which apply the full 20-batch methodology.
+#include <iostream>
+#include <string>
+
+#include "analytic/lock_contention.h"
+#include "core/experiment.h"
+#include "util/str.h"
+
+namespace {
+
+ccsim::RunLengths TourLengths() {
+  ccsim::RunLengths lengths;
+  lengths.batches = 6;
+  lengths.batch_length = ccsim::FromSeconds(10);
+  lengths.warmup = ccsim::FromSeconds(20);
+  return ccsim::RunLengths::FromEnv(lengths);
+}
+
+double Throughput(const std::string& algorithm, int mpl,
+                  ccsim::ResourceConfig resources,
+                  ccsim::SimTime int_think = 0,
+                  ccsim::SimTime ext_think = ccsim::kSecond,
+                  int64_t db_size = 1000) {
+  ccsim::EngineConfig config;
+  config.algorithm = algorithm;
+  config.workload.mpl = mpl;
+  config.workload.int_think_time = int_think;
+  config.workload.ext_think_time = ext_think;
+  config.workload.db_size = db_size;
+  config.resources = resources;
+  return ccsim::RunOnePoint(config, TourLengths()).throughput.mean;
+}
+
+void Say(const std::string& text) { std::cout << text << "\n"; }
+
+}  // namespace
+
+int main() {
+  using namespace ccsim;
+  Say("ccsim paper tour — Agrawal, Carey & Livny, SIGMOD 1985");
+  Say("=======================================================");
+
+  Say("\n[1/5] When conflicts are rare, concurrency control barely matters.");
+  {
+    double b = Throughput("blocking", 25, ResourceConfig::Finite(1, 2), 0,
+                          kSecond, 10000);
+    double o = Throughput("optimistic", 25, ResourceConfig::Finite(1, 2), 0,
+                          kSecond, 10000);
+    Say(StringPrintf("      db of 10,000 pages: blocking %.2f tps, "
+                     "optimistic %.2f tps — a wash.",
+                     b, o));
+  }
+
+  Say("\n[2/5] With INFINITE resources, restarts are free and blocking");
+  Say("      thrashes: this is the world where optimistic cc wins.");
+  {
+    double b = Throughput("blocking", 200, ResourceConfig::Infinite());
+    double o = Throughput("optimistic", 200, ResourceConfig::Infinite());
+    Say(StringPrintf("      mpl=200: blocking %.2f tps vs optimistic %.2f tps "
+                     "(%.1fx).",
+                     b, o, o / b));
+  }
+
+  Say("\n[3/5] On REAL hardware (1 CPU, 2 disks) every wasted restart is");
+  Say("      paid for in disk time someone else needed: blocking wins.");
+  {
+    double b = Throughput("blocking", 25, ResourceConfig::Finite(1, 2));
+    double o = Throughput("optimistic", 25, ResourceConfig::Finite(1, 2));
+    Say(StringPrintf("      mpl=25: blocking %.2f tps vs optimistic %.2f tps.",
+                     b, o));
+    Say("      Same algorithms as stop 2 — only the resource model changed.");
+    Say("      This is the paper's resolution of the contradictory studies.");
+  }
+
+  Say("\n[4/5] Buy 25 CPUs and 50 disks and utilizations drop to ~30%:");
+  Say("      the system starts behaving as if resources were infinite.");
+  {
+    double b = Throughput("blocking", 100, ResourceConfig::Finite(25, 50));
+    double o = Throughput("optimistic", 100, ResourceConfig::Finite(25, 50));
+    Say(StringPrintf("      mpl=100: blocking %.2f tps vs optimistic %.2f tps.",
+                     b, o));
+  }
+
+  Say("\n[5/5] Interactive users who think 10s while holding locks starve a");
+  Say("      lock-based system; optimistic cc shrugs (old data stays");
+  Say("      readable, wasted work is cheap at low utilization).");
+  {
+    double b = Throughput("blocking", 50, ResourceConfig::Finite(1, 2),
+                          10 * kSecond, 21 * kSecond);
+    double o = Throughput("optimistic", 50, ResourceConfig::Finite(1, 2),
+                          10 * kSecond, 21 * kSecond);
+    Say(StringPrintf("      10 s think: blocking %.2f tps vs optimistic "
+                     "%.2f tps.",
+                     b, o));
+  }
+
+  Say("\nCoda: the analytical view. A three-line mean-value model of");
+  Say("blocking predicts the knee the simulator measures:");
+  {
+    LockContentionModel model(WorkloadParams{}, ResourceConfig::Infinite());
+    for (int mpl : {25, 75, 200}) {
+      LockContentionResult r = model.Solve(mpl);
+      Say(StringPrintf("      mpl=%-3d predicted %6.1f tps, %.2f blocks/txn%s",
+                       mpl, r.throughput, r.blocks_per_txn,
+                       r.thrashing ? "  <- analytic thrashing criterion" : ""));
+    }
+  }
+  Say("\nConclusion (the paper's): the right concurrency control algorithm");
+  Say("is a property of the RESOURCE MODEL, not of the algorithms alone.");
+  Say("Low utilization -> restarts are cheap -> optimistic; realistic");
+  Say("utilization -> wasted work hurts -> blocking, with a controlled mpl.");
+  return 0;
+}

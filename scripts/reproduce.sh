@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# figure with the paper's 20-batch methodology, and (if gnuplot is
+# installed) render the plots.
+#
+#   scripts/reproduce.sh [results_dir]
+#
+# Scale statistical effort with CCSIM_BATCHES / CCSIM_BATCH_SECONDS /
+# CCSIM_WARMUP_SECONDS; change the sample path with CCSIM_SEED.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+RESULTS="${1:-results}"
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --output-on-failure 2>&1 | tee test_output.txt
+
+mkdir -p "$RESULTS"
+export CCSIM_CSV_DIR="$(cd "$RESULTS" && pwd)"
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+    fi
+  done
+} 2>"$RESULTS/progress.log" | tee bench_output.txt
+
+if command -v gnuplot >/dev/null 2>&1; then
+  (cd "$RESULTS" && for gp in *.gp; do [ -f "$gp" ] && gnuplot "$gp"; done)
+  echo "plots rendered into $RESULTS/"
+else
+  echo "gnuplot not found; CSVs and .gp scripts are in $RESULTS/"
+fi

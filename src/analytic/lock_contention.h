@@ -1,0 +1,82 @@
+// An analytical model of dynamic two-phase locking, in the style of the
+// studies the paper reconciles ([Tay84a/b], [Thom83], [Iran79], [Poti80]).
+//
+// The simulator answers "what happens"; this model answers "why" with three
+// lines of algebra, and — like every analytical model the paper discusses —
+// it is accurate only within its assumptions. It couples a mean-value data
+// contention model to the MVA resource model:
+//
+//   p  = (N_act - 1) * (k/2) / D      probability a lock request collides
+//                                     (other transactions hold k/2 locks on
+//                                     average, uniformly over D granules)
+//   B  = k * p                        expected blocks per transaction
+//   R  = R_exec + B * w * R           response: execution plus waits, each
+//                                     wait a fraction w of a response
+//                                     (w = 1/3: the blocker is ~2/3 done,
+//                                     Tay's uniform-progress argument)
+//   =>   R = R_exec / (1 - k*p*w)     valid while k*p*w < 1
+//
+// N_act is the number of *unblocked* transactions (blocked ones hold their
+// locks but issue no requests); it satisfies its own fixed point
+// N_act = N * R_exec / R. R_exec comes from the MVA solver at population
+// N_act. The model THRASHES (no solution) when k*p*w -> 1 — the analytical
+// rendering of Figure 5's knee.
+//
+// Deliberate omissions, shared with the cited analytical studies: deadlocks
+// (rare where the model is valid), lock upgrades (treated as fresh
+// requests), non-uniform access, and the distinction between shared and
+// exclusive locks (an effective exclusive fraction is used instead).
+#ifndef CCSIM_ANALYTIC_LOCK_CONTENTION_H_
+#define CCSIM_ANALYTIC_LOCK_CONTENTION_H_
+
+#include "analytic/mva.h"
+#include "res/resources.h"
+#include "wl/params.h"
+
+namespace ccsim {
+
+/// Prediction for one multiprogramming level.
+struct LockContentionResult {
+  int mpl = 0;
+  bool thrashing = false;      ///< No stable solution: past the knee.
+  double throughput = 0.0;     ///< Transactions/second (0 when thrashing).
+  double response_time = 0.0;  ///< Seconds, excluding terminal think.
+  double conflict_prob = 0.0;  ///< p above.
+  double blocks_per_txn = 0.0; ///< B above (compare: simulator block ratio).
+  double active_fraction = 0.0;  ///< N_act / N.
+};
+
+/// Mean-value model of dynamic 2PL over the paper's workload + hardware.
+class LockContentionModel {
+ public:
+  /// `wait_fraction` is w above. The effective number of exclusive-conflict
+  /// lock requests per transaction is reads*write_prob*2 + ... — computed
+  /// internally from the workload: shared locks conflict only with the
+  /// exclusive fraction, which the model folds into an effective k.
+  LockContentionModel(const WorkloadParams& workload,
+                      const ResourceConfig& resources,
+                      double wait_fraction = 1.0 / 3.0);
+
+  /// Two regimes, matching the closed system's admission control: when
+  /// mpl >= num_terms the whole population circulates with its think time;
+  /// when mpl < num_terms the ready queue keeps the active subsystem
+  /// saturated, so the active mpl transactions circulate with zero think
+  /// and throughput is the subsystem's.
+  LockContentionResult Solve(int mpl) const;
+
+  /// Effective conflicting-lock count per transaction (exposed for tests).
+  double effective_k() const { return effective_k_; }
+
+ private:
+  WorkloadParams workload_;
+  MvaSolver mva_with_think_;
+  MvaSolver mva_saturated_;  ///< Same network, zero think time.
+  double wait_fraction_;
+  /// Effective number of lock requests that can collide, weighted by the
+  /// probability the collision actually conflicts (S-S pairs do not).
+  double effective_k_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_ANALYTIC_LOCK_CONTENTION_H_

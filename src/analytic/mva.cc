@@ -1,0 +1,149 @@
+#include "analytic/mva.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace ccsim {
+
+MvaSolver::MvaSolver(std::vector<MvaStation> stations,
+                     double think_time_seconds)
+    : stations_(std::move(stations)), think_time_(think_time_seconds) {
+  CCSIM_CHECK_GE(think_time_, 0.0);
+  for (size_t i = 0; i < stations_.size(); ++i) {
+    const MvaStation& station = stations_[i];
+    CCSIM_CHECK_GT(station.service_time, 0.0) << station.name;
+    CCSIM_CHECK_GE(station.visit_ratio, 0.0) << station.name;
+    if (station.kind == MvaStation::Kind::kDelay || station.servers == 1) {
+      internal_.push_back(station);
+      origin_.push_back(i);
+      continue;
+    }
+    // Seidmann transformation for a c-server queueing station.
+    CCSIM_CHECK_GE(station.servers, 1) << station.name;
+    double c = static_cast<double>(station.servers);
+    MvaStation queue = station;
+    queue.servers = 1;
+    queue.service_time = station.service_time / c;
+    internal_.push_back(queue);
+    origin_.push_back(i);
+    MvaStation delay = station;
+    delay.kind = MvaStation::Kind::kDelay;
+    delay.name += "_seidmann_delay";
+    delay.service_time = station.service_time * (c - 1.0) / c;
+    internal_.push_back(delay);
+    origin_.push_back(i);
+  }
+}
+
+MvaResult MvaSolver::Solve(int population) const {
+  CCSIM_CHECK_GE(population, 0);
+  size_t k = internal_.size();
+  std::vector<double> queue(k, 0.0);      // Q_k(n-1) -> Q_k(n).
+  std::vector<double> residence(k, 0.0);  // R_k(n) per visit.
+  double throughput = 0.0;
+
+  for (int n = 1; n <= population; ++n) {
+    double total_response = 0.0;
+    for (size_t i = 0; i < k; ++i) {
+      residence[i] = internal_[i].kind == MvaStation::Kind::kQueueing
+                         ? internal_[i].service_time * (1.0 + queue[i])
+                         : internal_[i].service_time;
+      total_response += internal_[i].visit_ratio * residence[i];
+    }
+    throughput = static_cast<double>(n) / (think_time_ + total_response);
+    for (size_t i = 0; i < k; ++i) {
+      queue[i] = throughput * internal_[i].visit_ratio * residence[i];
+    }
+  }
+
+  MvaResult result;
+  result.population = population;
+  result.throughput = throughput;
+  if (population > 0) {
+    result.response_time =
+        static_cast<double>(population) / throughput - think_time_;
+  }
+  result.queue_lengths.assign(stations_.size(), 0.0);
+  result.utilizations.assign(stations_.size(), 0.0);
+  for (size_t i = 0; i < k; ++i) {
+    result.queue_lengths[origin_[i]] += queue[i];
+  }
+  for (size_t i = 0; i < stations_.size(); ++i) {
+    const MvaStation& station = stations_[i];
+    if (station.kind == MvaStation::Kind::kQueueing && population > 0) {
+      // Utilization law, per server.
+      result.utilizations[i] = result.throughput * station.Demand() /
+                               static_cast<double>(station.servers);
+    }
+  }
+  return result;
+}
+
+double MvaSolver::BottleneckThroughput() const {
+  double max_demand = 0.0;
+  for (const MvaStation& station : stations_) {
+    if (station.kind != MvaStation::Kind::kQueueing) continue;
+    max_demand = std::max(
+        max_demand, station.Demand() / static_cast<double>(station.servers));
+  }
+  return max_demand > 0.0 ? 1.0 / max_demand
+                          : std::numeric_limits<double>::infinity();
+}
+
+double MvaSolver::MinimalResponseSeconds() const {
+  double total = 0.0;
+  for (const MvaStation& station : stations_) total += station.Demand();
+  return total;
+}
+
+MvaSolver BuildPaperNetwork(const WorkloadParams& workload,
+                            const ResourceConfig& resources) {
+  double reads = static_cast<double>(workload.tran_size);
+  double writes = reads * workload.write_prob;
+  double accesses = reads + writes;
+
+  std::vector<MvaStation> stations;
+  if (workload.obj_cpu > 0) {
+    MvaStation cpu;
+    cpu.name = "cpu";
+    cpu.kind = resources.infinite ? MvaStation::Kind::kDelay
+                                  : MvaStation::Kind::kQueueing;
+    cpu.servers = resources.infinite ? 1 : resources.num_cpus;
+    cpu.visit_ratio = accesses;
+    cpu.service_time = ToSeconds(workload.obj_cpu);
+    stations.push_back(cpu);
+  }
+  if (workload.obj_io > 0) {
+    if (resources.infinite) {
+      MvaStation disk;
+      disk.name = "disk";
+      disk.kind = MvaStation::Kind::kDelay;
+      disk.visit_ratio = accesses;
+      disk.service_time = ToSeconds(workload.obj_io);
+      stations.push_back(disk);
+    } else {
+      for (int d = 0; d < resources.num_disks; ++d) {
+        MvaStation disk;
+        disk.name = StringPrintf("disk%d", d);
+        disk.kind = MvaStation::Kind::kQueueing;
+        disk.visit_ratio = accesses / static_cast<double>(resources.num_disks);
+        disk.service_time = ToSeconds(workload.obj_io);
+        stations.push_back(disk);
+      }
+    }
+  }
+  if (workload.int_think_time > 0) {
+    MvaStation think;
+    think.name = "int_think";
+    think.kind = MvaStation::Kind::kDelay;
+    think.visit_ratio = 1.0;
+    think.service_time = ToSeconds(workload.int_think_time);
+    stations.push_back(think);
+  }
+  return MvaSolver(std::move(stations), ToSeconds(workload.ext_think_time));
+}
+
+}  // namespace ccsim

@@ -1,0 +1,94 @@
+// Mean Value Analysis (MVA) for closed queueing networks.
+//
+// The studies the paper reconciles split into simulation studies and
+// analytical ones ([Iran79], [Poti80], [Tay84], ...). This module provides
+// the analytical side for the *data-contention-free* regime: an exact MVA
+// solver for closed product-form networks of single-server queueing
+// stations and delay (infinite-server) stations with a terminal think time.
+// Multi-server stations are handled with the Seidmann transformation (a
+// c-server station of service s becomes a single-server station of s/c in
+// series with a delay of s(c-1)/c) — exact at both asymptotes, within a few
+// percent between.
+//
+// It serves two purposes: an independent correctness check of the simulator
+// (with conflicts removed, simulated throughput must track the MVA
+// prediction), and a fast first-cut capacity estimate for examples.
+#ifndef CCSIM_ANALYTIC_MVA_H_
+#define CCSIM_ANALYTIC_MVA_H_
+
+#include <string>
+#include <vector>
+
+#include "res/resources.h"
+#include "wl/params.h"
+
+namespace ccsim {
+
+/// One station of the closed network.
+struct MvaStation {
+  enum class Kind {
+    kQueueing,  ///< FCFS single server (or c servers via Seidmann).
+    kDelay,     ///< Infinite servers: pure service delay.
+  };
+
+  std::string name;
+  Kind kind = Kind::kQueueing;
+  int servers = 1;            ///< Only meaningful for kQueueing.
+  double visit_ratio = 1.0;   ///< Visits per transaction.
+  double service_time = 0.0;  ///< Seconds per visit.
+
+  /// Service demand per transaction (visits × service).
+  double Demand() const { return visit_ratio * service_time; }
+};
+
+/// Solution at one population size.
+struct MvaResult {
+  int population = 0;
+  double throughput = 0.0;     ///< Transactions per second.
+  double response_time = 0.0;  ///< Seconds in the system (excludes think).
+  /// Mean customers at each station (original station order).
+  std::vector<double> queue_lengths;
+  /// Utilization per server at each station (0 for delay stations).
+  std::vector<double> utilizations;
+};
+
+/// Exact MVA with think time Z (terminals are the classic delay "station"
+/// outside the network).
+class MvaSolver {
+ public:
+  /// Requires every station to have positive service time and visit ratio
+  /// >= 0; think_time >= 0.
+  MvaSolver(std::vector<MvaStation> stations, double think_time_seconds);
+
+  /// Solves for the given population (number of terminals/customers).
+  MvaResult Solve(int population) const;
+
+  /// Asymptotic throughput bound: 1 / max station demand (the bottleneck
+  /// law); infinity when there is no queueing station.
+  double BottleneckThroughput() const;
+
+  /// Response time with no queueing anywhere: the sum of service demands.
+  double MinimalResponseSeconds() const;
+
+  const std::vector<MvaStation>& stations() const { return stations_; }
+
+ private:
+  std::vector<MvaStation> stations_;  ///< As given (for reporting).
+  /// Internal network after the Seidmann transformation.
+  std::vector<MvaStation> internal_;
+  /// internal_ index -> original station index (for aggregation).
+  std::vector<size_t> origin_;
+  double think_time_;
+};
+
+/// Builds the network corresponding to the simulator's physical model and a
+/// data-contention-free view of the workload: one CPU station (num_cpus
+/// servers) visited once per object processed, num_disks disk stations with
+/// uniformly split visits, and an optional internal-think delay station.
+/// Infinite resources produce delay stations throughout.
+MvaSolver BuildPaperNetwork(const WorkloadParams& workload,
+                            const ResourceConfig& resources);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_ANALYTIC_MVA_H_

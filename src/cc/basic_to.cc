@@ -1,0 +1,122 @@
+#include "cc/basic_to.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+void BasicTimestampOrderingCC::OnBegin(TxnId txn, SimTime first_start,
+                                       SimTime incarnation_start) {
+  (void)first_start;
+  (void)incarnation_start;
+  TxnState state;
+  state.ts = next_ts_++;  // Fresh timestamp per incarnation (standard BTO).
+  active_[txn] = std::move(state);
+}
+
+CCDecision BasicTimestampOrderingCC::ReadRequest(TxnId txn, ObjectId obj) {
+  TxnState& state = active_.at(txn);
+  state.waiting_on.reset();
+  ObjectState& object = objects_[obj];
+
+  if (state.ts < object.wts) {
+    // A newer write already committed; this read is too late.
+    ++stats_.timestamp_rejections;
+    return CCDecision::kRestart;
+  }
+  if (object.pending_writer != kInvalidTxn && object.pending_ts < state.ts &&
+      object.pending_writer != txn) {
+    // An older write is in flight; its value is the one this read must see.
+    ++stats_.lock_conflicts;
+    object.waiters.push_back(txn);
+    state.waiting_on = obj;
+    return CCDecision::kBlocked;
+  }
+  object.rts = std::max(object.rts, state.ts);
+  return CCDecision::kGranted;
+}
+
+CCDecision BasicTimestampOrderingCC::WriteRequest(TxnId txn, ObjectId obj) {
+  TxnState& state = active_.at(txn);
+  state.waiting_on.reset();
+  ObjectState& object = objects_[obj];
+
+  if (state.ts < object.rts || state.ts < object.wts) {
+    // Someone with a larger timestamp already read/wrote the value this
+    // write would supersede.
+    ++stats_.timestamp_rejections;
+    return CCDecision::kRestart;
+  }
+  if (object.pending_writer == txn) {
+    return CCDecision::kGranted;  // Idempotent re-request.
+  }
+  if (object.pending_writer != kInvalidTxn) {
+    if (object.pending_ts < state.ts) {
+      // Writes publish in timestamp order: wait for the older write.
+      ++stats_.lock_conflicts;
+      object.waiters.push_back(txn);
+      state.waiting_on = obj;
+      return CCDecision::kBlocked;
+    }
+    // A newer write is already pending; ordering this one before it would
+    // require buffering multiple versions — restart instead (conservative).
+    ++stats_.timestamp_rejections;
+    return CCDecision::kRestart;
+  }
+  object.pending_writer = txn;
+  object.pending_ts = state.ts;
+  state.prewrites.push_back(obj);
+  return CCDecision::kGranted;
+}
+
+void BasicTimestampOrderingCC::ResolvePrewrites(TxnState& state, bool publish) {
+  for (ObjectId obj : state.prewrites) {
+    ObjectState& object = objects_.at(obj);
+    CCSIM_CHECK_NE(object.pending_writer, kInvalidTxn);
+    if (publish) {
+      object.wts = std::max(object.wts, object.pending_ts);
+    }
+    object.pending_writer = kInvalidTxn;
+    object.pending_ts = 0;
+    // Wake everyone; each re-issues its request and re-runs the checks.
+    // Smallest timestamps first so the next pending writer is the oldest.
+    std::vector<TxnId> waiters = std::move(object.waiters);
+    object.waiters.clear();
+    std::sort(waiters.begin(), waiters.end(), [this](TxnId a, TxnId b) {
+      return active_.at(a).ts < active_.at(b).ts;
+    });
+    for (TxnId waiter : waiters) {
+      active_.at(waiter).waiting_on.reset();
+      callbacks_.on_granted(waiter);
+    }
+  }
+  state.prewrites.clear();
+}
+
+void BasicTimestampOrderingCC::RemoveFromWaiters(TxnId txn, TxnState& state) {
+  if (!state.waiting_on.has_value()) return;
+  ObjectState& object = objects_.at(*state.waiting_on);
+  object.waiters.erase(
+      std::remove(object.waiters.begin(), object.waiters.end(), txn),
+      object.waiters.end());
+  state.waiting_on.reset();
+}
+
+void BasicTimestampOrderingCC::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  CCSIM_CHECK(!it->second.waiting_on.has_value()) << "committing while waiting";
+  ResolvePrewrites(it->second, /*publish=*/true);
+  active_.erase(it);
+}
+
+void BasicTimestampOrderingCC::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  RemoveFromWaiters(txn, it->second);
+  ResolvePrewrites(it->second, /*publish=*/false);
+  active_.erase(it);
+}
+
+}  // namespace ccsim

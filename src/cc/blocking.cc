@@ -1,0 +1,72 @@
+#include "cc/blocking.h"
+
+#include "util/check.h"
+
+namespace ccsim {
+
+BlockingCC::BlockingCC(VictimPolicy victim_policy)
+    : detector_(&locks_, victim_policy) {}
+
+void BlockingCC::OnBegin(TxnId txn, SimTime first_start,
+                         SimTime incarnation_start) {
+  (void)first_start;
+  start_times_[txn] = incarnation_start;
+  doomed_.erase(txn);
+}
+
+CCDecision BlockingCC::ReadRequest(TxnId txn, ObjectId obj) {
+  return HandleRequest(txn, obj, LockMode::kShared);
+}
+
+CCDecision BlockingCC::WriteRequest(TxnId txn, ObjectId obj) {
+  return HandleRequest(txn, obj, LockMode::kExclusive);
+}
+
+CCDecision BlockingCC::HandleRequest(TxnId txn, ObjectId obj, LockMode mode) {
+  LockRequestOutcome outcome =
+      locks_.Request(txn, obj, mode, /*enqueue_on_conflict=*/true);
+  if (outcome == LockRequestOutcome::kGranted) return CCDecision::kGranted;
+  CCSIM_CHECK(outcome == LockRequestOutcome::kWaiting);
+  ++stats_.lock_conflicts;
+
+  // Deadlock detection runs each time a transaction blocks.
+  VictimContext context{
+      [this](TxnId t) { return start_times_.at(t); },
+      [this](TxnId t) { return locks_.NumHeld(t); },
+  };
+  DeadlockResolution resolution = detector_.Resolve(txn, doomed_, context);
+  stats_.deadlocks_detected += resolution.cycles_found;
+
+  for (TxnId victim : resolution.victims) {
+    ++stats_.deadlock_victims;
+    doomed_.insert(victim);
+    callbacks_.on_wound(victim);
+  }
+  if (resolution.requester_is_victim) {
+    ++stats_.deadlock_victims;
+    // The engine will call Abort(txn), which cancels the queued request and
+    // releases the locks this incarnation holds.
+    return CCDecision::kRestart;
+  }
+  return CCDecision::kBlocked;
+}
+
+void BlockingCC::Commit(TxnId txn) {
+  CCSIM_CHECK_EQ(doomed_.count(txn), 0u) << "doomed txn reached commit";
+  start_times_.erase(txn);
+  ReleaseAndNotify(txn);
+}
+
+void BlockingCC::Abort(TxnId txn) {
+  doomed_.erase(txn);
+  start_times_.erase(txn);
+  ReleaseAndNotify(txn);
+}
+
+void BlockingCC::ReleaseAndNotify(TxnId txn) {
+  for (TxnId granted : locks_.ReleaseAll(txn)) {
+    callbacks_.on_granted(granted);
+  }
+}
+
+}  // namespace ccsim

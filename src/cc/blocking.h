@@ -1,0 +1,52 @@
+// Blocking (dynamic two-phase locking), the paper's first algorithm.
+//
+// Reads take shared locks; writes upgrade them to exclusive. A denied request
+// blocks the requester; deadlock detection runs at every block and restarts
+// the youngest cycle member. Locks are released together at end of
+// transaction, after the deferred updates.
+#ifndef CCSIM_CC_BLOCKING_H_
+#define CCSIM_CC_BLOCKING_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cc/concurrency_control.h"
+#include "cc/deadlock.h"
+#include "cc/lock_manager.h"
+
+namespace ccsim {
+
+class BlockingCC : public ConcurrencyControl {
+ public:
+  explicit BlockingCC(VictimPolicy victim_policy = VictimPolicy::kYoungest);
+
+  std::string name() const override { return "blocking"; }
+
+  void OnBegin(TxnId txn, SimTime first_start,
+               SimTime incarnation_start) override;
+  CCDecision ReadRequest(TxnId txn, ObjectId obj) override;
+  CCDecision WriteRequest(TxnId txn, ObjectId obj) override;
+  bool Validate(TxnId txn) override { (void)txn; return true; }
+  void Commit(TxnId txn) override;
+  void Abort(TxnId txn) override;
+
+  const LockManager& locks() const { return locks_; }
+
+ private:
+  CCDecision HandleRequest(TxnId txn, ObjectId obj, LockMode mode);
+
+  /// Releases txn's locks/waits and forwards resulting grants.
+  void ReleaseAndNotify(TxnId txn);
+
+  LockManager locks_;
+  DeadlockDetector detector_;
+  /// Incarnation start per active transaction (victim selection).
+  std::unordered_map<TxnId, SimTime> start_times_;
+  /// Victims announced via on_wound whose Abort() has not arrived yet; the
+  /// detector treats them as already gone.
+  std::unordered_set<TxnId> doomed_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CC_BLOCKING_H_

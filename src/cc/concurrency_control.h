@@ -1,0 +1,97 @@
+// The strategy interface every concurrency control algorithm implements.
+//
+// The engine drives each transaction through the paper's logical model
+// (Figure 1): a cc request precedes every object access, a validation request
+// precedes the deferred-update phase, and commit/abort notifications bracket
+// the transaction. Algorithms differ only in how they answer.
+#ifndef CCSIM_CC_CONCURRENCY_CONTROL_H_
+#define CCSIM_CC_CONCURRENCY_CONTROL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cc/types.h"
+
+namespace ccsim {
+
+/// Algorithm-level counters (the engine keeps workload-level ones).
+struct CCStats {
+  int64_t deadlocks_detected = 0;    ///< Cycles found by the detector.
+  int64_t deadlock_victims = 0;      ///< Victim restarts (incl. requester).
+  int64_t lock_conflicts = 0;        ///< Denials/blocks at request time.
+  int64_t validation_failures = 0;   ///< Optimistic validation rejections.
+  int64_t wounds = 0;                ///< Wound-wait wounds issued.
+  int64_t timestamp_rejections = 0;  ///< T/O too-late read/write rejections.
+};
+
+/// Abstract concurrency control algorithm.
+///
+/// Threading/reentrancy contract: the engine calls these methods from event
+/// context, never concurrently. Callbacks (`on_granted`, `on_wound`) may be
+/// invoked synchronously from inside Commit()/Abort()/Read/WriteRequest();
+/// the engine defers actual state transitions to zero-delay events, so
+/// algorithms never see reentrant calls for the same transaction.
+class ConcurrencyControl {
+ public:
+  virtual ~ConcurrencyControl() = default;
+
+  /// Engine hookup; must be called before any transaction activity.
+  void SetCallbacks(CCCallbacks callbacks) { callbacks_ = std::move(callbacks); }
+
+  /// Human-readable algorithm name (used in reports).
+  virtual std::string name() const = 0;
+
+  /// A new incarnation of `txn` begins. `first_start` is the transaction's
+  /// original submission time (stable across restarts; used by
+  /// wound-wait/wait-die); `incarnation_start` is now (used for youngest-
+  /// victim selection and optimistic lifetime checks).
+  virtual void OnBegin(TxnId txn, SimTime first_start,
+                       SimTime incarnation_start) = 0;
+
+  /// True if the algorithm wants the transaction's full read/write sets
+  /// announced up front (static/conservative locking). The engine then calls
+  /// Predeclare() right after OnBegin().
+  virtual bool needs_predeclaration() const { return false; }
+
+  /// Predeclaration of the incarnation's complete read set and write set
+  /// (write set ⊆ read set). kGranted lets execution start immediately;
+  /// kBlocked defers it until an on_granted callback. Default: no-op.
+  virtual CCDecision Predeclare(TxnId txn, const std::vector<ObjectId>& reads,
+                                const std::vector<ObjectId>& writes) {
+    (void)txn;
+    (void)reads;
+    (void)writes;
+    return CCDecision::kGranted;
+  }
+
+  /// Concurrency control request to read `obj`.
+  virtual CCDecision ReadRequest(TxnId txn, ObjectId obj) = 0;
+
+  /// Concurrency control request to write `obj` (upgrade for lock-based
+  /// algorithms; `obj` is always in the transaction's readset).
+  virtual CCDecision WriteRequest(TxnId txn, ObjectId obj) = 0;
+
+  /// Commit-point validation. Returns false if the transaction must restart
+  /// (optimistic algorithms); locking algorithms always return true. On
+  /// success the transaction proceeds to its deferred updates.
+  virtual bool Validate(TxnId txn) = 0;
+
+  /// The transaction committed (called after its deferred updates finished).
+  virtual void Commit(TxnId txn) = 0;
+
+  /// The incarnation aborted: release everything. Called for kRestart
+  /// decisions, failed validations, and engine-executed wounds.
+  virtual void Abort(TxnId txn) = 0;
+
+  const CCStats& stats() const { return stats_; }
+
+ protected:
+  CCCallbacks callbacks_;
+  CCStats stats_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CC_CONCURRENCY_CONTROL_H_

@@ -1,0 +1,105 @@
+#include "cc/deadlock.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+std::vector<TxnId> DeadlockDetector::FindCycle(
+    TxnId start, const std::unordered_set<TxnId>& excluded) const {
+  // Iterative DFS over the waits-for relation looking for a path back to
+  // `start`. Path state lets us return the cycle members themselves.
+  struct Frame {
+    TxnId txn;
+    std::vector<TxnId> blockers;
+    size_t next = 0;
+  };
+  std::vector<Frame> stack;
+  std::unordered_set<TxnId> visited;
+
+  auto blockers_of = [&](TxnId txn) {
+    std::vector<TxnId> blockers = locks_->BlockersOf(txn);
+    blockers.erase(std::remove_if(blockers.begin(), blockers.end(),
+                                  [&](TxnId b) { return excluded.count(b) > 0; }),
+                   blockers.end());
+    return blockers;
+  };
+
+  stack.push_back(Frame{start, blockers_of(start)});
+  visited.insert(start);
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next >= frame.blockers.size()) {
+      stack.pop_back();
+      continue;
+    }
+    TxnId next = frame.blockers[frame.next++];
+    if (next == start) {
+      // Found a cycle: the current DFS path is the cycle body.
+      std::vector<TxnId> cycle;
+      cycle.reserve(stack.size());
+      for (const Frame& f : stack) cycle.push_back(f.txn);
+      return cycle;
+    }
+    if (visited.insert(next).second) {
+      stack.push_back(Frame{next, blockers_of(next)});
+    }
+  }
+  return {};
+}
+
+TxnId DeadlockDetector::PickVictim(const std::vector<TxnId>& cycle,
+                                   const VictimContext& context) const {
+  CCSIM_CHECK(!cycle.empty());
+  TxnId victim = cycle.front();
+  for (TxnId candidate : cycle) {
+    switch (policy_) {
+      case VictimPolicy::kYoungest: {
+        SimTime vs = context.start_time(victim);
+        SimTime cs = context.start_time(candidate);
+        // Younger = later start; break ties toward the larger id (assigned
+        // later, hence younger).
+        if (cs > vs || (cs == vs && candidate > victim)) victim = candidate;
+        break;
+      }
+      case VictimPolicy::kOldest: {
+        SimTime vs = context.start_time(victim);
+        SimTime cs = context.start_time(candidate);
+        if (cs < vs || (cs == vs && candidate < victim)) victim = candidate;
+        break;
+      }
+      case VictimPolicy::kFewestLocks: {
+        size_t vl = context.locks_held(victim);
+        size_t cl = context.locks_held(candidate);
+        if (cl < vl || (cl == vl && candidate > victim)) victim = candidate;
+        break;
+      }
+    }
+  }
+  return victim;
+}
+
+DeadlockResolution DeadlockDetector::Resolve(
+    TxnId requester, const std::unordered_set<TxnId>& doomed,
+    const VictimContext& context) const {
+  DeadlockResolution resolution;
+  std::unordered_set<TxnId> excluded = doomed;
+
+  while (true) {
+    std::vector<TxnId> cycle = FindCycle(requester, excluded);
+    if (cycle.empty()) break;
+    ++resolution.cycles_found;
+    TxnId victim = PickVictim(cycle, context);
+    if (victim == requester) {
+      resolution.requester_is_victim = true;
+      break;  // Restarting the requester clears every cycle through it.
+    }
+    resolution.victims.push_back(victim);
+    excluded.insert(victim);
+  }
+  return resolution;
+}
+
+}  // namespace ccsim

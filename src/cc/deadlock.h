@@ -1,0 +1,78 @@
+// Waits-for graph construction and deadlock resolution.
+//
+// The paper's blocking algorithm runs deadlock detection each time a
+// transaction blocks and restarts the *youngest* transaction in the cycle.
+// Because new waits-for edges are only created when a transaction blocks (or
+// enqueues an upgrade, whose new edges all touch the upgrader), any new cycle
+// must pass through the newly blocked transaction — so detection searches
+// only cycles through the requester, and the graph is acyclic between
+// detections.
+#ifndef CCSIM_CC_DEADLOCK_H_
+#define CCSIM_CC_DEADLOCK_H_
+
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/lock_manager.h"
+#include "cc/types.h"
+
+namespace ccsim {
+
+/// How to choose the transaction to restart from a deadlock cycle.
+enum class VictimPolicy {
+  kYoungest,    ///< Most recent incarnation start (the paper's choice).
+  kOldest,      ///< Earliest incarnation start.
+  kFewestLocks, ///< Holder of the fewest locks (cheapest to redo, roughly).
+};
+
+/// Per-transaction facts the detector needs, supplied by the algorithm.
+struct VictimContext {
+  /// Incarnation start time of a transaction.
+  std::function<SimTime(TxnId)> start_time;
+  /// Number of locks currently held (for kFewestLocks).
+  std::function<size_t(TxnId)> locks_held;
+};
+
+/// Result of resolving deadlocks after `requester` blocked.
+struct DeadlockResolution {
+  /// True if the requester itself was chosen as a victim (the caller should
+  /// cancel its request and restart it).
+  bool requester_is_victim = false;
+  /// Other transactions chosen as victims; the caller must abort them.
+  std::vector<TxnId> victims;
+  /// Number of cycles encountered.
+  int cycles_found = 0;
+};
+
+/// Stateless detector over a LockManager's waits-for relation.
+class DeadlockDetector {
+ public:
+  DeadlockDetector(const LockManager* locks, VictimPolicy policy)
+      : locks_(locks), policy_(policy) {}
+
+  /// Repeatedly finds a cycle through `requester` and selects a victim until
+  /// no such cycle remains. Transactions in `doomed` (victims already chosen
+  /// but not yet aborted by the engine) are treated as absent, since their
+  /// locks are about to be released. If the requester is ever selected, the
+  /// search stops: restarting the requester removes all cycles through it.
+  DeadlockResolution Resolve(TxnId requester,
+                             const std::unordered_set<TxnId>& doomed,
+                             const VictimContext& context) const;
+
+  /// Finds one cycle through `start` (ignoring `excluded` transactions);
+  /// returns the cycle's members, or empty if none. Exposed for tests.
+  std::vector<TxnId> FindCycle(TxnId start,
+                               const std::unordered_set<TxnId>& excluded) const;
+
+ private:
+  TxnId PickVictim(const std::vector<TxnId>& cycle,
+                   const VictimContext& context) const;
+
+  const LockManager* locks_;
+  VictimPolicy policy_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CC_DEADLOCK_H_

@@ -1,0 +1,35 @@
+// Construction of concurrency control algorithms by name, plus each
+// algorithm's conventional restart-delay default.
+#ifndef CCSIM_CC_FACTORY_H_
+#define CCSIM_CC_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/concurrency_control.h"
+#include "cc/deadlock.h"
+#include "cc/restart_policy.h"
+
+namespace ccsim {
+
+/// Names accepted by MakeConcurrencyControl: "blocking", "immediate_restart",
+/// "optimistic", "wound_wait", "wait_die".
+std::unique_ptr<ConcurrencyControl> MakeConcurrencyControl(
+    const std::string& name, VictimPolicy victim_policy = VictimPolicy::kYoungest);
+
+/// The paper's three algorithms, in presentation order.
+const std::vector<std::string>& PaperAlgorithms();
+
+/// All implemented algorithms (paper three + extensions).
+const std::vector<std::string>& AllAlgorithms();
+
+/// Conventional delay default: adaptive for immediate_restart (its restarts
+/// must outlast the conflicting transaction), none for the others (blocking
+/// restarts only on deadlock, optimistic conflicts are with already-committed
+/// transactions).
+RestartDelayMode DefaultRestartDelayMode(const std::string& name);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CC_FACTORY_H_

@@ -1,0 +1,223 @@
+#include "cc/lock_manager.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+namespace {
+
+/// Waiter-with-mode; kept local to the .cc via the header's Waiter mirror.
+bool ModeConflicts(LockMode held, LockMode wanted) {
+  return held == LockMode::kExclusive || wanted == LockMode::kExclusive;
+}
+
+}  // namespace
+
+bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
+                                        LockMode mode, bool upgrade) {
+  if (upgrade) {
+    // An upgrade is grantable iff the requester is the only holder.
+    for (const Holder& h : entry.holders) {
+      if (h.txn != txn) return false;
+    }
+    return true;
+  }
+  for (const Holder& h : entry.holders) {
+    CCSIM_CHECK_NE(h.txn, txn) << "non-upgrade request by a holder";
+    if (ModeConflicts(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
+                                        bool enqueue_on_conflict) {
+  CCSIM_CHECK(!IsWaiting(txn)) << "txn " << txn << " issued a request while waiting";
+  ++stats_.requests;
+  Entry& entry = table_[obj];
+
+  // Locate an existing holder record for idempotent re-requests and upgrades.
+  Holder* mine = nullptr;
+  for (Holder& h : entry.holders) {
+    if (h.txn == txn) {
+      mine = &h;
+      break;
+    }
+  }
+
+  if (mine != nullptr) {
+    if (mode == LockMode::kShared || mine->mode == LockMode::kExclusive) {
+      ++stats_.immediate_grants;  // Already sufficient.
+      return LockRequestOutcome::kGranted;
+    }
+    // Upgrade S -> X.
+    ++stats_.upgrades_requested;
+    if (CompatibleWithHolders(entry, txn, mode, /*upgrade=*/true)) {
+      mine->mode = LockMode::kExclusive;
+      ++stats_.immediate_grants;
+      return LockRequestOutcome::kGranted;
+    }
+    if (!enqueue_on_conflict) {
+      ++stats_.denials;
+      return LockRequestOutcome::kDenied;
+    }
+    // Upgraders wait ahead of ordinary waiters, FIFO among themselves.
+    auto pos = entry.queue.begin();
+    while (pos != entry.queue.end() && pos->upgrade) ++pos;
+    entry.queue.insert(pos, Waiter{txn, /*upgrade=*/true});
+    waiting_[txn] = obj;
+    ++stats_.waits;
+    return LockRequestOutcome::kWaiting;
+  }
+
+  // Fresh request: no queue jumping.
+  if (entry.queue.empty() &&
+      CompatibleWithHolders(entry, txn, mode, /*upgrade=*/false)) {
+    entry.holders.push_back(Holder{txn, mode});
+    held_[txn].insert(obj);
+    ++stats_.immediate_grants;
+    return LockRequestOutcome::kGranted;
+  }
+  if (!enqueue_on_conflict) {
+    ++stats_.denials;
+    MaybeErase(obj);
+    return LockRequestOutcome::kDenied;
+  }
+  entry.queue.push_back(Waiter{txn, /*upgrade=*/false});
+  // Non-upgrade waiter modes are tracked in waiter_modes_ keyed by txn.
+  waiter_modes_[txn] = mode;
+  waiting_[txn] = obj;
+  ++stats_.waits;
+  return LockRequestOutcome::kWaiting;
+}
+
+void LockManager::ProcessQueue(ObjectId obj, Entry& entry,
+                               std::vector<TxnId>* granted) {
+  while (!entry.queue.empty()) {
+    const Waiter& w = entry.queue.front();
+    if (w.upgrade) {
+      if (!CompatibleWithHolders(entry, w.txn, LockMode::kExclusive,
+                                 /*upgrade=*/true)) {
+        return;
+      }
+      for (Holder& h : entry.holders) {
+        if (h.txn == w.txn) h.mode = LockMode::kExclusive;
+      }
+    } else {
+      LockMode mode = waiter_modes_.at(w.txn);
+      if (!CompatibleWithHolders(entry, w.txn, mode, /*upgrade=*/false)) {
+        return;
+      }
+      entry.holders.push_back(Holder{w.txn, mode});
+      held_[w.txn].insert(obj);
+      waiter_modes_.erase(w.txn);
+    }
+    waiting_.erase(w.txn);
+    granted->push_back(w.txn);
+    ++stats_.deferred_grants;
+    entry.queue.pop_front();
+  }
+}
+
+std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
+  std::vector<TxnId> granted;
+  std::vector<ObjectId> affected;
+
+  // Cancel a pending request, if any.
+  auto wait_it = waiting_.find(txn);
+  if (wait_it != waiting_.end()) {
+    ObjectId obj = wait_it->second;
+    Entry& entry = table_.at(obj);
+    auto pos = std::find_if(entry.queue.begin(), entry.queue.end(),
+                            [txn](const Waiter& w) { return w.txn == txn; });
+    CCSIM_CHECK(pos != entry.queue.end());
+    entry.queue.erase(pos);
+    waiter_modes_.erase(txn);
+    waiting_.erase(wait_it);
+    affected.push_back(obj);
+  }
+
+  // Release held locks.
+  auto held_it = held_.find(txn);
+  if (held_it != held_.end()) {
+    for (ObjectId obj : held_it->second) {
+      Entry& entry = table_.at(obj);
+      auto pos = std::find_if(entry.holders.begin(), entry.holders.end(),
+                              [txn](const Holder& h) { return h.txn == txn; });
+      CCSIM_CHECK(pos != entry.holders.end());
+      entry.holders.erase(pos);
+      affected.push_back(obj);
+    }
+    held_.erase(held_it);
+  }
+
+  for (ObjectId obj : affected) {
+    auto it = table_.find(obj);
+    if (it == table_.end()) continue;  // Already erased via earlier pass.
+    ProcessQueue(obj, it->second, &granted);
+    MaybeErase(obj);
+  }
+  return granted;
+}
+
+bool LockManager::IsWaiting(TxnId txn) const { return waiting_.count(txn) > 0; }
+
+std::optional<ObjectId> LockManager::WaitingOn(TxnId txn) const {
+  auto it = waiting_.find(txn);
+  if (it == waiting_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
+  std::vector<TxnId> blockers;
+  auto wait_it = waiting_.find(txn);
+  if (wait_it == waiting_.end()) return blockers;
+  const Entry& entry = table_.at(wait_it->second);
+
+  auto pos = std::find_if(entry.queue.begin(), entry.queue.end(),
+                          [txn](const Waiter& w) { return w.txn == txn; });
+  CCSIM_CHECK(pos != entry.queue.end());
+
+  // Every earlier waiter blocks us (prefix-grant policy).
+  for (auto it = entry.queue.begin(); it != pos; ++it) {
+    blockers.push_back(it->txn);
+  }
+  // Conflicting holders block us.
+  bool upgrade = pos->upgrade;
+  LockMode mode = upgrade ? LockMode::kExclusive : waiter_modes_.at(txn);
+  for (const Holder& h : entry.holders) {
+    if (h.txn == txn) continue;
+    if (upgrade || ModeConflicts(h.mode, mode)) blockers.push_back(h.txn);
+  }
+  // De-duplicate (a txn could be both holder and earlier waiter on upgrades).
+  std::sort(blockers.begin(), blockers.end());
+  blockers.erase(std::unique(blockers.begin(), blockers.end()), blockers.end());
+  return blockers;
+}
+
+bool LockManager::HoldsAtLeast(TxnId txn, ObjectId obj, LockMode mode) const {
+  auto it = table_.find(obj);
+  if (it == table_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn) {
+      return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
+    }
+  }
+  return false;
+}
+
+size_t LockManager::NumHeld(TxnId txn) const {
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+void LockManager::MaybeErase(ObjectId obj) {
+  auto it = table_.find(obj);
+  if (it != table_.end() && it->second.holders.empty() &&
+      it->second.queue.empty()) {
+    table_.erase(it);
+  }
+}
+
+}  // namespace ccsim

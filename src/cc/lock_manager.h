@@ -1,0 +1,135 @@
+// Two-mode (shared/exclusive) lock manager with upgrades.
+//
+// Grant policy:
+//  * Shared locks are mutually compatible; exclusive conflicts with all.
+//  * A new request is granted immediately iff it is compatible with every
+//    holder AND the object's wait queue is empty (no queue jumping, which
+//    prevents writer starvation).
+//  * An *upgrade* (holder of S requesting X) is granted immediately iff the
+//    requester is the sole holder. Otherwise it waits *ahead* of ordinary
+//    waiters (after any earlier upgraders).
+//  * On any release or cancellation, the longest compatible prefix of the
+//    wait queue is granted ("prefix grant").
+//
+// Because grants are strictly prefix-ordered, a waiter is blocked by exactly
+// (a) the holders its mode conflicts with, and (b) every waiter ahead of it.
+// BlockersOf() reports precisely that set, which makes the waits-for graph
+// used for deadlock detection exact rather than conservative.
+#ifndef CCSIM_CC_LOCK_MANAGER_H_
+#define CCSIM_CC_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/types.h"
+
+namespace ccsim {
+
+enum class LockMode { kShared, kExclusive };
+
+/// Result of a lock request.
+enum class LockRequestOutcome {
+  kGranted,  ///< Lock held (or already held in a sufficient mode).
+  kWaiting,  ///< Enqueued; granted later via release processing.
+  kDenied,   ///< Conflict and enqueue_on_conflict was false.
+};
+
+/// Counters for reporting and tests.
+struct LockManagerStats {
+  int64_t requests = 0;
+  int64_t immediate_grants = 0;
+  int64_t waits = 0;
+  int64_t denials = 0;
+  int64_t upgrades_requested = 0;
+  int64_t deferred_grants = 0;  ///< Grants that happened via queue processing.
+};
+
+/// The lock table. Transactions hold any number of locks but wait for at most
+/// one at a time (the model's transactions are single-threaded).
+class LockManager {
+ public:
+  LockManager() = default;
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Requests `mode` on `obj` for `txn`. Re-requesting an already-sufficient
+  /// lock is granted idempotently; requesting X while holding S is an
+  /// upgrade. If the lock cannot be granted now and `enqueue_on_conflict` is
+  /// false, the request leaves no trace (immediate-restart semantics).
+  /// A transaction may not issue a request while it is already waiting.
+  LockRequestOutcome Request(TxnId txn, ObjectId obj, LockMode mode,
+                             bool enqueue_on_conflict);
+
+  /// Releases all locks held by `txn` and cancels its pending request, if
+  /// any. Returns the transactions whose pending requests became granted.
+  std::vector<TxnId> ReleaseAll(TxnId txn);
+
+  /// True if `txn` has a pending (queued) request.
+  bool IsWaiting(TxnId txn) const;
+
+  /// The object `txn` waits on; nullopt if not waiting.
+  std::optional<ObjectId> WaitingOn(TxnId txn) const;
+
+  /// The exact set of transactions that must release/cancel before `txn`'s
+  /// pending request can be granted (conflicting holders + all earlier
+  /// waiters). Empty if `txn` is not waiting.
+  std::vector<TxnId> BlockersOf(TxnId txn) const;
+
+  /// True if `txn` holds `obj` in a mode at least as strong as `mode`.
+  bool HoldsAtLeast(TxnId txn, ObjectId obj, LockMode mode) const;
+
+  /// Number of locks held by `txn`.
+  size_t NumHeld(TxnId txn) const;
+
+  /// Total transactions currently waiting.
+  size_t waiting_txns() const { return waiting_.size(); }
+
+  /// Total objects with at least one holder or waiter.
+  size_t locked_objects() const { return table_.size(); }
+
+  const LockManagerStats& stats() const { return stats_; }
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct Waiter {
+    TxnId txn;
+    bool upgrade;  ///< Requester already holds S on this object.
+  };
+  struct Entry {
+    std::vector<Holder> holders;
+    std::deque<Waiter> queue;
+  };
+
+  /// True if a (possibly upgrade) exclusive/shared request by `txn` is
+  /// compatible with the current holders of `entry`.
+  static bool CompatibleWithHolders(const Entry& entry, TxnId txn,
+                                    LockMode mode, bool upgrade);
+
+  /// Grants the longest grantable prefix of `entry`'s queue, appending the
+  /// beneficiaries to `granted`.
+  void ProcessQueue(ObjectId obj, Entry& entry, std::vector<TxnId>* granted);
+
+  /// Removes `obj` from the table if it has no holders and no waiters.
+  void MaybeErase(ObjectId obj);
+
+  std::unordered_map<ObjectId, Entry> table_;
+  /// Objects held per transaction (for ReleaseAll).
+  std::unordered_map<TxnId, std::unordered_set<ObjectId>> held_;
+  /// Pending request per waiting transaction.
+  std::unordered_map<TxnId, ObjectId> waiting_;
+  /// Requested mode of each non-upgrade waiter (upgrades are implicitly X).
+  std::unordered_map<TxnId, LockMode> waiter_modes_;
+  LockManagerStats stats_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CC_LOCK_MANAGER_H_

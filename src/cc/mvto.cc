@@ -1,0 +1,157 @@
+#include "cc/mvto.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+void MultiversionTimestampOrderingCC::OnBegin(TxnId txn, SimTime first_start,
+                                              SimTime incarnation_start) {
+  (void)first_start;
+  (void)incarnation_start;
+  TxnState state;
+  state.ts = next_ts_++;
+  active_[txn] = std::move(state);
+}
+
+MultiversionTimestampOrderingCC::Version&
+MultiversionTimestampOrderingCC::VersionFor(ObjectId obj, uint64_t ts) {
+  ObjectState& object = objects_[obj];
+  if (object.versions.empty()) {
+    object.versions.push_back(Version{0, kInvalidTxn, 0});
+  }
+  // Versions are sorted by wts; find the last with wts <= ts. The initial
+  // version (wts 0) guarantees one exists.
+  auto it = std::upper_bound(
+      object.versions.begin(), object.versions.end(), ts,
+      [](uint64_t t, const Version& v) { return t < v.wts; });
+  CCSIM_CHECK(it != object.versions.begin());
+  return *(it - 1);
+}
+
+CCDecision MultiversionTimestampOrderingCC::ReadRequest(TxnId txn,
+                                                        ObjectId obj) {
+  TxnState& state = active_.at(txn);
+  state.waiting_on.reset();
+  Version& version = VersionFor(obj, state.ts);
+  ObjectState& object = objects_.at(obj);
+
+  // If an older pending write would create the version this read must
+  // actually observe, wait for it to resolve.
+  for (const PendingWrite& pending : object.pending) {
+    if (pending.writer != txn && pending.ts > version.wts &&
+        pending.ts < state.ts) {
+      ++stats_.lock_conflicts;
+      object.waiters.push_back(txn);
+      state.waiting_on = obj;
+      return CCDecision::kBlocked;
+    }
+  }
+  version.max_rts = std::max(version.max_rts, state.ts);
+  if (callbacks_.on_version_read) {
+    callbacks_.on_version_read(txn, obj, version.writer);
+  }
+  return CCDecision::kGranted;
+}
+
+CCDecision MultiversionTimestampOrderingCC::WriteRequest(TxnId txn,
+                                                         ObjectId obj) {
+  TxnState& state = active_.at(txn);
+  state.waiting_on.reset();
+  Version& version = VersionFor(obj, state.ts);
+  ObjectState& object = objects_.at(obj);
+
+  if (version.max_rts > state.ts) {
+    // A later reader already observed the version this write would follow;
+    // inserting the write now would invalidate that read.
+    ++stats_.timestamp_rejections;
+    return CCDecision::kRestart;
+  }
+  for (const PendingWrite& pending : object.pending) {
+    if (pending.writer == txn) return CCDecision::kGranted;  // Idempotent.
+  }
+  object.pending.push_back(PendingWrite{state.ts, txn});
+  state.prewrites.push_back(obj);
+  return CCDecision::kGranted;
+}
+
+void MultiversionTimestampOrderingCC::ResolvePrewrites(TxnState& state,
+                                                       bool publish) {
+  for (ObjectId obj : state.prewrites) {
+    ObjectState& object = objects_.at(obj);
+    auto pending = std::find_if(
+        object.pending.begin(), object.pending.end(),
+        [&](const PendingWrite& p) { return p.ts == state.ts; });
+    CCSIM_CHECK(pending != object.pending.end());
+    if (publish) {
+      Version version{pending->ts, pending->writer, 0};
+      auto pos = std::upper_bound(
+          object.versions.begin(), object.versions.end(), version.wts,
+          [](uint64_t t, const Version& v) { return t < v.wts; });
+      object.versions.insert(pos, version);
+      if (object.versions.size() > kGcThreshold) CollectGarbage(object);
+    }
+    object.pending.erase(pending);
+
+    std::vector<TxnId> waiters = std::move(object.waiters);
+    object.waiters.clear();
+    std::sort(waiters.begin(), waiters.end(), [this](TxnId a, TxnId b) {
+      return active_.at(a).ts < active_.at(b).ts;
+    });
+    for (TxnId waiter : waiters) {
+      active_.at(waiter).waiting_on.reset();
+      callbacks_.on_granted(waiter);
+    }
+  }
+  state.prewrites.clear();
+}
+
+void MultiversionTimestampOrderingCC::RemoveFromWaiters(TxnId txn,
+                                                        TxnState& state) {
+  if (!state.waiting_on.has_value()) return;
+  ObjectState& object = objects_.at(*state.waiting_on);
+  object.waiters.erase(
+      std::remove(object.waiters.begin(), object.waiters.end(), txn),
+      object.waiters.end());
+  state.waiting_on.reset();
+}
+
+void MultiversionTimestampOrderingCC::CollectGarbage(ObjectState& object) {
+  uint64_t min_active = std::numeric_limits<uint64_t>::max();
+  for (const auto& [txn, state] : active_) {
+    (void)txn;
+    min_active = std::min(min_active, state.ts);
+  }
+  // The latest version with wts <= min_active must stay (someone may still
+  // read it); everything older is unreachable.
+  auto it = std::upper_bound(
+      object.versions.begin(), object.versions.end(), min_active,
+      [](uint64_t t, const Version& v) { return t < v.wts; });
+  if (it == object.versions.begin()) return;
+  object.versions.erase(object.versions.begin(), it - 1);
+}
+
+void MultiversionTimestampOrderingCC::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  CCSIM_CHECK(!it->second.waiting_on.has_value()) << "committing while waiting";
+  ResolvePrewrites(it->second, /*publish=*/true);
+  active_.erase(it);
+}
+
+void MultiversionTimestampOrderingCC::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  RemoveFromWaiters(txn, it->second);
+  ResolvePrewrites(it->second, /*publish=*/false);
+  active_.erase(it);
+}
+
+size_t MultiversionTimestampOrderingCC::VersionCount(ObjectId obj) const {
+  auto it = objects_.find(obj);
+  return it == objects_.end() ? 0 : it->second.versions.size();
+}
+
+}  // namespace ccsim

@@ -1,0 +1,100 @@
+#include "cc/optimistic.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+void OptimisticCC::OnBegin(TxnId txn, SimTime first_start,
+                           SimTime incarnation_start) {
+  (void)first_start;
+  TxnState state;
+  state.start = incarnation_start;
+  active_[txn] = std::move(state);
+}
+
+namespace {
+
+void InsertUnique(std::vector<ObjectId>& set, ObjectId obj) {
+  if (std::find(set.begin(), set.end(), obj) == set.end()) set.push_back(obj);
+}
+
+}  // namespace
+
+CCDecision OptimisticCC::ReadRequest(TxnId txn, ObjectId obj) {
+  InsertUnique(active_.at(txn).reads, obj);
+  return CCDecision::kGranted;
+}
+
+CCDecision OptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
+  TxnState& state = active_.at(txn);
+  // In this model every written object is also read (and under static write
+  // locking the engine declares the write *instead of* the read), so a write
+  // declaration implies readset membership for validation purposes.
+  InsertUnique(state.reads, obj);
+  InsertUnique(state.writes, obj);
+  return CCDecision::kGranted;
+}
+
+bool OptimisticCC::Validate(TxnId txn) {
+  TxnState& state = active_.at(txn);
+  for (ObjectId obj : state.reads) {
+    auto committed = committed_writes_.find(obj);
+    if (committed != committed_writes_.end() && committed->second > state.start) {
+      ++stats_.validation_failures;
+      return false;
+    }
+    auto flushing = flushing_.find(obj);
+    if (flushing != flushing_.end() && flushing->second > 0) {
+      // A validated transaction is writing this object; it will commit before
+      // us, inside our lifetime.
+      ++stats_.validation_failures;
+      return false;
+    }
+  }
+  // Validation succeeded: claim the write set for the flush phase so later
+  // validators see the in-flight writes.
+  state.validated = true;
+  for (ObjectId obj : state.writes) {
+    ++flushing_[obj];
+  }
+  return true;
+}
+
+void OptimisticCC::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  TxnState& state = it->second;
+  CCSIM_CHECK(state.validated) << "commit without successful validation";
+  SimTime now = callbacks_.now();
+  for (ObjectId obj : state.writes) {
+    committed_writes_[obj] = now;
+    auto flushing = flushing_.find(obj);
+    CCSIM_CHECK(flushing != flushing_.end() && flushing->second > 0);
+    if (--flushing->second == 0) flushing_.erase(flushing);
+  }
+  active_.erase(it);
+}
+
+void OptimisticCC::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  // Aborts only happen at validation time, before the write set is claimed —
+  // but release any claim defensively if an engine extension aborts later.
+  if (it->second.validated) {
+    for (ObjectId obj : it->second.writes) {
+      auto flushing = flushing_.find(obj);
+      CCSIM_CHECK(flushing != flushing_.end() && flushing->second > 0);
+      if (--flushing->second == 0) flushing_.erase(flushing);
+    }
+  }
+  active_.erase(it);
+}
+
+SimTime OptimisticCC::LastCommittedWrite(ObjectId obj) const {
+  auto it = committed_writes_.find(obj);
+  return it == committed_writes_.end() ? -1 : it->second;
+}
+
+}  // namespace ccsim

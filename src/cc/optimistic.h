@@ -1,0 +1,58 @@
+// Optimistic concurrency control (Kung–Robinson style), the paper's third
+// algorithm.
+//
+// Transactions run unhindered; every cc request is a no-op that records the
+// read/write sets. At the commit point the transaction validates: it must
+// restart if any object it read was written by a transaction that committed
+// during its lifetime, or is being flushed right now by a transaction that
+// already validated (the simulation analogue of Kung–Robinson's serialized
+// validate+write critical section). Restarted transactions need no delay —
+// the conflicting writer has already committed.
+#ifndef CCSIM_CC_OPTIMISTIC_H_
+#define CCSIM_CC_OPTIMISTIC_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cc/concurrency_control.h"
+
+namespace ccsim {
+
+class OptimisticCC : public ConcurrencyControl {
+ public:
+  OptimisticCC() = default;
+
+  std::string name() const override { return "optimistic"; }
+
+  void OnBegin(TxnId txn, SimTime first_start,
+               SimTime incarnation_start) override;
+  CCDecision ReadRequest(TxnId txn, ObjectId obj) override;
+  CCDecision WriteRequest(TxnId txn, ObjectId obj) override;
+  bool Validate(TxnId txn) override;
+  void Commit(TxnId txn) override;
+  void Abort(TxnId txn) override;
+
+  /// Last committed write timestamp of `obj`, or -1 when never written.
+  /// Exposed for tests.
+  SimTime LastCommittedWrite(ObjectId obj) const;
+
+ private:
+  struct TxnState {
+    SimTime start;
+    std::vector<ObjectId> reads;
+    std::vector<ObjectId> writes;
+    bool validated = false;
+  };
+
+  std::unordered_map<TxnId, TxnState> active_;
+  /// Commit time of the last committed write, per object.
+  std::unordered_map<ObjectId, SimTime> committed_writes_;
+  /// Objects being flushed by validated-but-uncommitted transactions
+  /// (value = number of such writers; at most 1 by construction, since a
+  /// second validator conflicts and restarts).
+  std::unordered_map<ObjectId, int> flushing_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CC_OPTIMISTIC_H_

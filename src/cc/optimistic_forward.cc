@@ -1,0 +1,134 @@
+#include "cc/optimistic_forward.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+void ForwardOptimisticCC::OnBegin(TxnId txn, SimTime first_start,
+                                  SimTime incarnation_start) {
+  (void)first_start;
+  (void)incarnation_start;
+  active_[txn] = TxnState{};
+}
+
+CCDecision ForwardOptimisticCC::ReadRequest(TxnId txn, ObjectId obj) {
+  TxnState& state = active_.at(txn);
+  state.waiting_on.reset();
+  auto flushing = flushing_.find(obj);
+  if (flushing != flushing_.end() && flushing->second > 0) {
+    // The object is mid-flush by a validated transaction; reading now would
+    // observe the pre-image with no later check to catch it. Wait out the
+    // flush (it completes at the flusher's commit).
+    ++stats_.lock_conflicts;
+    waiters_[obj].push_back(txn);
+    state.waiting_on = obj;
+    return CCDecision::kBlocked;
+  }
+  state.reads.insert(obj);
+  return CCDecision::kGranted;
+}
+
+CCDecision ForwardOptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
+  TxnState& state = active_.at(txn);
+  state.waiting_on.reset();
+  // Written objects are also read in this model (and under static write
+  // locking the engine declares the write *instead of* the read), so a
+  // write declaration is subject to the same mid-flush rule as a read:
+  // proceeding now would observe the pre-image with no later check to
+  // catch it — the flusher's forward validation already ran and cannot
+  // have wounded us.
+  auto flushing = flushing_.find(obj);
+  if (flushing != flushing_.end() && flushing->second > 0) {
+    ++stats_.lock_conflicts;
+    waiters_[obj].push_back(txn);
+    state.waiting_on = obj;
+    return CCDecision::kBlocked;
+  }
+  state.reads.insert(obj);
+  for (ObjectId existing : state.writes) {
+    if (existing == obj) return CCDecision::kGranted;
+  }
+  state.writes.push_back(obj);
+  return CCDecision::kGranted;
+}
+
+bool ForwardOptimisticCC::Validate(TxnId txn) {
+  TxnState& state = active_.at(txn);
+  CCSIM_CHECK(!state.waiting_on.has_value()) << "validating while waiting";
+  // Defensive: a read admitted before an overlapping flush began means an
+  // earlier validator serialized ahead of us on an object we already read.
+  for (ObjectId obj : state.reads) {
+    auto flushing = flushing_.find(obj);
+    if (flushing != flushing_.end() && flushing->second > 0) {
+      ++stats_.validation_failures;
+      return false;
+    }
+  }
+  // Forward check: kill every still-running transaction that has read
+  // anything we are about to overwrite. Validated (flushing) transactions
+  // are never wounded — they serialized before us; their reads of our write
+  // set saw the pre-image, which is consistent with that order.
+  for (ObjectId obj : state.writes) {
+    for (auto& [other_id, other] : active_) {
+      if (other_id == txn || other.validated || other.doomed) continue;
+      if (other.reads.count(obj) > 0) {
+        other.doomed = true;
+        ++stats_.wounds;
+        callbacks_.on_wound(other_id);
+      }
+    }
+  }
+  state.validated = true;
+  for (ObjectId obj : state.writes) ++flushing_[obj];
+  return true;
+}
+
+void ForwardOptimisticCC::ReleaseFlushClaims(TxnState& state) {
+  if (!state.validated) return;
+  for (ObjectId obj : state.writes) {
+    auto flushing = flushing_.find(obj);
+    CCSIM_CHECK(flushing != flushing_.end() && flushing->second > 0);
+    if (--flushing->second > 0) continue;
+    flushing_.erase(flushing);
+    auto waiting = waiters_.find(obj);
+    if (waiting == waiters_.end()) continue;
+    std::vector<TxnId> woken = std::move(waiting->second);
+    waiters_.erase(waiting);
+    for (TxnId reader : woken) {
+      active_.at(reader).waiting_on.reset();
+      callbacks_.on_granted(reader);
+    }
+  }
+}
+
+void ForwardOptimisticCC::RemoveFromWaiters(TxnId txn, TxnState& state) {
+  if (!state.waiting_on.has_value()) return;
+  auto waiting = waiters_.find(*state.waiting_on);
+  if (waiting != waiters_.end()) {
+    auto& list = waiting->second;
+    list.erase(std::remove(list.begin(), list.end(), txn), list.end());
+    if (list.empty()) waiters_.erase(waiting);
+  }
+  state.waiting_on.reset();
+}
+
+void ForwardOptimisticCC::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  CCSIM_CHECK(it->second.validated) << "commit without validation";
+  CCSIM_CHECK(!it->second.doomed) << "doomed txn reached commit";
+  ReleaseFlushClaims(it->second);
+  active_.erase(it);
+}
+
+void ForwardOptimisticCC::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  RemoveFromWaiters(txn, it->second);
+  ReleaseFlushClaims(it->second);
+  active_.erase(it);
+}
+
+}  // namespace ccsim

@@ -1,0 +1,133 @@
+#include "cc/static_locking.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+void StaticLockingCC::OnBegin(TxnId txn, SimTime first_start,
+                              SimTime incarnation_start) {
+  (void)first_start;
+  (void)incarnation_start;
+  active_[txn] = TxnState{};
+}
+
+CCDecision StaticLockingCC::Predeclare(TxnId txn,
+                                       const std::vector<ObjectId>& reads,
+                                       const std::vector<ObjectId>& writes) {
+  TxnState& state = active_.at(txn);
+  state.written = writes;
+  state.read_only.clear();
+  for (ObjectId obj : reads) {
+    if (std::find(writes.begin(), writes.end(), obj) == writes.end()) {
+      state.read_only.push_back(obj);
+    }
+  }
+  if (CanAcquire(state, txn)) {
+    Acquire(state, txn);
+    return CCDecision::kGranted;
+  }
+  ++stats_.lock_conflicts;
+  waiters_.push_back(txn);
+  return CCDecision::kBlocked;
+}
+
+bool StaticLockingCC::CanAcquire(const TxnState& state, TxnId txn) const {
+  for (ObjectId obj : state.written) {
+    auto it = objects_.find(obj);
+    if (it == objects_.end()) continue;
+    // An exclusive lock needs the object completely free of others.
+    if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
+      return false;
+    }
+    for (TxnId reader : it->second.readers) {
+      if (reader != txn) return false;
+    }
+  }
+  for (ObjectId obj : state.read_only) {
+    auto it = objects_.find(obj);
+    if (it == objects_.end()) continue;
+    if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void StaticLockingCC::Acquire(TxnState& state, TxnId txn) {
+  for (ObjectId obj : state.written) {
+    ObjectLocks& locks = objects_[obj];
+    CCSIM_CHECK_EQ(locks.writer, kInvalidTxn);
+    locks.writer = txn;
+  }
+  for (ObjectId obj : state.read_only) {
+    objects_[obj].readers.insert(txn);
+  }
+  state.holding = true;
+}
+
+void StaticLockingCC::Release(TxnState& state, TxnId txn) {
+  if (!state.holding) return;
+  for (ObjectId obj : state.written) {
+    auto it = objects_.find(obj);
+    CCSIM_CHECK(it != objects_.end() && it->second.writer == txn);
+    it->second.writer = kInvalidTxn;
+    if (it->second.readers.empty()) objects_.erase(it);
+  }
+  for (ObjectId obj : state.read_only) {
+    auto it = objects_.find(obj);
+    CCSIM_CHECK(it != objects_.end());
+    it->second.readers.erase(txn);
+    if (it->second.readers.empty() && it->second.writer == kInvalidTxn) {
+      objects_.erase(it);
+    }
+  }
+  state.holding = false;
+}
+
+CCDecision StaticLockingCC::ReadRequest(TxnId txn, ObjectId obj) {
+  (void)obj;
+  CCSIM_CHECK(active_.at(txn).holding) << "access before predeclared grant";
+  return CCDecision::kGranted;
+}
+
+CCDecision StaticLockingCC::WriteRequest(TxnId txn, ObjectId obj) {
+  (void)obj;
+  CCSIM_CHECK(active_.at(txn).holding) << "access before predeclared grant";
+  return CCDecision::kGranted;
+}
+
+void StaticLockingCC::ScanWaiters() {
+  for (auto it = waiters_.begin(); it != waiters_.end();) {
+    TxnState& state = active_.at(*it);
+    if (CanAcquire(state, *it)) {
+      Acquire(state, *it);
+      TxnId granted = *it;
+      it = waiters_.erase(it);
+      callbacks_.on_granted(granted);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void StaticLockingCC::Commit(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  CCSIM_CHECK(it->second.holding) << "commit without locks";
+  Release(it->second, txn);
+  active_.erase(it);
+  ScanWaiters();
+}
+
+void StaticLockingCC::Abort(TxnId txn) {
+  auto it = active_.find(txn);
+  CCSIM_CHECK(it != active_.end());
+  waiters_.remove(txn);
+  Release(it->second, txn);
+  active_.erase(it);
+  ScanWaiters();
+}
+
+}  // namespace ccsim

@@ -1,0 +1,102 @@
+#include "cc/timestamp_locking.h"
+
+#include "util/check.h"
+
+namespace ccsim {
+
+TimestampLockingCC::TimestampLockingCC(Flavor flavor)
+    : flavor_(flavor), detector_(&locks_, VictimPolicy::kYoungest) {}
+
+void TimestampLockingCC::OnBegin(TxnId txn, SimTime first_start,
+                                 SimTime incarnation_start) {
+  first_starts_[txn] = first_start;
+  incarnation_starts_[txn] = incarnation_start;
+  doomed_.erase(txn);
+}
+
+bool TimestampLockingCC::Older(TxnId a, TxnId b) const {
+  SimTime ta = first_starts_.at(a);
+  SimTime tb = first_starts_.at(b);
+  if (ta != tb) return ta < tb;
+  return a < b;  // Smaller id was created first.
+}
+
+CCDecision TimestampLockingCC::ReadRequest(TxnId txn, ObjectId obj) {
+  return HandleRequest(txn, obj, LockMode::kShared);
+}
+
+CCDecision TimestampLockingCC::WriteRequest(TxnId txn, ObjectId obj) {
+  return HandleRequest(txn, obj, LockMode::kExclusive);
+}
+
+CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
+                                             LockMode mode) {
+  LockRequestOutcome outcome =
+      locks_.Request(txn, obj, mode, /*enqueue_on_conflict=*/true);
+  if (outcome == LockRequestOutcome::kGranted) return CCDecision::kGranted;
+  CCSIM_CHECK(outcome == LockRequestOutcome::kWaiting);
+  ++stats_.lock_conflicts;
+
+  std::vector<TxnId> blockers = locks_.BlockersOf(txn);
+
+  if (flavor_ == Flavor::kWaitDie) {
+    // Die if any live blocker is older; otherwise wait (all blockers younger,
+    // so every wait edge points old -> young and no cycle can form).
+    for (TxnId blocker : blockers) {
+      if (doomed_.count(blocker) > 0) continue;  // About to release anyway.
+      if (Older(blocker, txn)) return CCDecision::kRestart;
+    }
+    return CCDecision::kBlocked;
+  }
+
+  // Wound-wait: wound every younger blocker, wait for the older ones.
+  for (TxnId blocker : blockers) {
+    if (doomed_.count(blocker) > 0) continue;
+    if (Older(txn, blocker)) {
+      ++stats_.wounds;
+      doomed_.insert(blocker);
+      callbacks_.on_wound(blocker);
+    }
+  }
+  // Safety net against queue-fairness cycles (see header).
+  VictimContext context{
+      [this](TxnId t) { return incarnation_starts_.at(t); },
+      [this](TxnId t) { return locks_.NumHeld(t); },
+  };
+  DeadlockResolution resolution = detector_.Resolve(txn, doomed_, context);
+  stats_.deadlocks_detected += resolution.cycles_found;
+  for (TxnId victim : resolution.victims) {
+    ++stats_.deadlock_victims;
+    doomed_.insert(victim);
+    callbacks_.on_wound(victim);
+  }
+  if (resolution.requester_is_victim) {
+    ++stats_.deadlock_victims;
+    return CCDecision::kRestart;
+  }
+  return CCDecision::kBlocked;
+}
+
+void TimestampLockingCC::Commit(TxnId txn) {
+  CCSIM_CHECK_EQ(doomed_.count(txn), 0u) << "doomed txn reached commit";
+  first_starts_.erase(txn);
+  incarnation_starts_.erase(txn);
+  ReleaseAndNotify(txn);
+}
+
+void TimestampLockingCC::Abort(TxnId txn) {
+  doomed_.erase(txn);
+  // first_starts_ survives restarts via OnBegin re-registration; erase here
+  // and let the next incarnation's OnBegin restore it from the engine.
+  first_starts_.erase(txn);
+  incarnation_starts_.erase(txn);
+  ReleaseAndNotify(txn);
+}
+
+void TimestampLockingCC::ReleaseAndNotify(TxnId txn) {
+  for (TxnId granted : locks_.ReleaseAll(txn)) {
+    callbacks_.on_granted(granted);
+  }
+}
+
+}  // namespace ccsim

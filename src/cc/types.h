@@ -1,0 +1,48 @@
+// Shared vocabulary of the concurrency control layer.
+#ifndef CCSIM_CC_TYPES_H_
+#define CCSIM_CC_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.h"
+#include "wl/params.h"
+
+namespace ccsim {
+
+/// Identifies a transaction. Ids are assigned once per transaction and are
+/// stable across restarts (a restart begins a new *incarnation*, not a new
+/// transaction).
+using TxnId = int64_t;
+
+inline constexpr TxnId kInvalidTxn = -1;
+
+/// Outcome of a concurrency control request.
+enum class CCDecision {
+  kGranted,  ///< Proceed to the object access.
+  kBlocked,  ///< Wait; a later on_granted callback resumes the transaction.
+  kRestart,  ///< Abort this incarnation and re-run the transaction.
+};
+
+/// Engine services available to concurrency control algorithms.
+///
+/// Algorithms never mutate engine state directly; they signal through these
+/// callbacks. `on_granted` announces that a previously blocked request is now
+/// granted. `on_wound` asks the engine to abort a *different* transaction
+/// (deadlock victim, or a wounded transaction in wound-wait); the engine
+/// performs the abort asynchronously and then calls Abort() on the algorithm.
+struct CCCallbacks {
+  std::function<void(TxnId)> on_granted;
+  std::function<void(TxnId)> on_wound;
+  std::function<SimTime()> now;
+  /// Optional (may be null): multiversion algorithms report which writer's
+  /// version each granted read observed, so the engine's history recorder
+  /// can build a multiversion serialization graph. `version_writer` is
+  /// kInvalidTxn for the initial version.
+  std::function<void(TxnId txn, ObjectId obj, TxnId version_writer)>
+      on_version_read;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CC_TYPES_H_

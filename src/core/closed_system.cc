@@ -1,0 +1,749 @@
+#include "core/closed_system.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace ccsim {
+
+namespace {
+
+/// The engine's random streams are derived from the master seed in a fixed
+/// order (0 = workload specs, 1 = think times, 2 = disk choice, 3 = restart
+/// delays), so runs are a pure function of the seed.
+Rng NthStream(uint64_t seed, int n) {
+  RngFactory factory(seed);
+  Rng stream = factory.MakeStream();
+  for (int i = 0; i < n; ++i) stream = factory.MakeStream();
+  return stream;
+}
+
+}  // namespace
+
+ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
+    : sim_(sim),
+      config_(config),
+      mpl_(config.workload.mpl),
+      workload_(config.workload, NthStream(config.seed, 0),
+                NthStream(config.seed, 1)),
+      resources_(sim, config.resources,
+                 NthStream(config.seed, 2)),
+      cc_(MakeConcurrencyControl(config.algorithm, config.victim_policy)),
+      restart_policy_(
+          config.restart_delay_mode.value_or(
+              DefaultRestartDelayMode(config.algorithm)),
+          config.fixed_restart_delay, BootstrapResponseSeconds()),
+      delay_rng_(NthStream(config.seed, 3)),
+      arrival_rng_(NthStream(config.seed, 4)),
+      buffer_rng_(NthStream(config.seed, 5)),
+      active_mpl_(sim->Now()) {
+  if (config_.source_mode == SourceMode::kOpen) {
+    CCSIM_CHECK_GT(config_.arrival_rate, 0.0)
+        << "open-system mode requires a positive arrival_rate";
+  }
+  // Static write locking replaces the read request with a write request; the
+  // timestamp-ordering algorithms derive read protection from the read
+  // request itself, so the combination would silently weaken them.
+  if (config_.x_lock_on_read_intent) {
+    CCSIM_CHECK(config_.algorithm != "basic_to" && config_.algorithm != "mvto")
+        << "x_lock_on_read_intent is not supported for timestamp ordering";
+  }
+  // Algorithms that restart against a still-running conflictor livelock
+  // without a delay: the restarted transaction re-requests the same lock at
+  // the same simulated instant, forever.
+  if (config_.algorithm == "immediate_restart" ||
+      config_.algorithm == "wait_die") {
+    CCSIM_CHECK(restart_policy_.mode() != RestartDelayMode::kNone)
+        << config_.algorithm
+        << " requires a restart delay (fixed or adaptive)";
+  }
+  CCSIM_CHECK_GE(config_.lock_granule_size, 1);
+  class_response_.resize(static_cast<size_t>(config_.workload.ClassCount()));
+  class_commits_.assign(class_response_.size(), 0);
+  class_restarts_.assign(class_response_.size(), 0);
+  CCCallbacks callbacks{
+      [this](TxnId id) { OnGranted(id); },
+      [this](TxnId id) { OnWound(id); },
+      [this]() { return sim_->Now(); },
+      nullptr,
+  };
+  if (config_.record_history) {
+    callbacks.on_version_read = [this](TxnId id, ObjectId obj, TxnId writer) {
+      history_.RecordVersionRead(id, GetTxn(id).incarnation, obj, writer);
+    };
+  }
+  cc_->SetCallbacks(std::move(callbacks));
+}
+
+double ClosedSystem::BootstrapResponseSeconds() const {
+  const WorkloadParams& w = config_.workload;
+  double reads = static_cast<double>(w.tran_size);
+  double writes = reads * w.write_prob;
+  double seconds = reads * ToSeconds(w.obj_io + w.obj_cpu) +
+                   writes * ToSeconds(w.obj_cpu + w.obj_io) +
+                   ToSeconds(w.int_think_time);
+  return seconds > 0 ? seconds : 1.0;
+}
+
+void ClosedSystem::Prime() {
+  CCSIM_CHECK(!primed_) << "Prime() called twice";
+  primed_ = true;
+  if (config_.source_mode == SourceMode::kOpen) {
+    ScheduleNextArrival();
+    return;
+  }
+  for (int terminal = 0; terminal < config_.workload.num_terms; ++terminal) {
+    SimTime think = workload_.NextExternalThink();
+    sim_->Schedule(think, [this, terminal] { SubmitFromTerminal(terminal); });
+  }
+}
+
+void ClosedSystem::ScheduleNextArrival() {
+  SimTime gap = FromSeconds(arrival_rng_.Exponential(1.0 / config_.arrival_rate));
+  sim_->Schedule(gap, [this] {
+    ScheduleNextArrival();
+    SubmitFromTerminal(/*terminal=*/-1);
+  });
+}
+
+void ClosedSystem::SubmitFromTerminal(int terminal) {
+  TxnId id = next_txn_id_++;
+  Txn txn;
+  txn.id = id;
+  txn.terminal = terminal;
+  txn.spec = workload_.NextTransaction();
+  txn.write_set = txn.spec.WriteSet();
+  txn.first_submit = sim_->Now();
+  txn.state = TxnState::kReady;
+  Trace(txn, TxnEvent::kSubmitted);
+  txns_.emplace(id, std::move(txn));
+  ready_queue_.push_back(id);
+  TryActivate();
+}
+
+void ClosedSystem::TryActivate() {
+  while (active_count_ < mpl_ && !ready_queue_.empty()) {
+    TxnId id = ready_queue_.front();
+    ready_queue_.pop_front();
+    Activate(id);
+  }
+}
+
+void ClosedSystem::Activate(TxnId id) {
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kReady);
+  txn.state = TxnState::kRunning;
+  txn.incarnation += 1;
+  txn.incarnation_start = sim_->Now();
+  txn.read_index = 0;
+  txn.write_index = 0;
+  txn.update_index = 0;
+  txn.think_done = false;
+  txn.doomed = false;
+  txn.cpu_used = 0;
+  txn.disk_used = 0;
+  txn.read_granules.clear();
+  txn.write_granules.clear();
+  ++active_count_;
+  active_mpl_.Add(sim_->Now(), +1.0);
+  if (config_.record_history) history_.RecordActivation(id, txn.incarnation);
+  Trace(txn, TxnEvent::kActivated);
+  cc_->OnBegin(id, txn.first_submit, txn.incarnation_start);
+  if (cc_->needs_predeclaration()) {
+    std::vector<ObjectId> read_granules, write_granules;
+    for (ObjectId obj : txn.spec.reads) {
+      ObjectId granule = GranuleOf(obj);
+      if (std::find(read_granules.begin(), read_granules.end(), granule) ==
+          read_granules.end()) {
+        read_granules.push_back(granule);
+      }
+    }
+    for (ObjectId obj : txn.write_set) {
+      ObjectId granule = GranuleOf(obj);
+      if (std::find(write_granules.begin(), write_granules.end(), granule) ==
+          write_granules.end()) {
+        write_granules.push_back(granule);
+      }
+    }
+    switch (cc_->Predeclare(id, read_granules, write_granules)) {
+      case CCDecision::kGranted:
+        break;
+      case CCDecision::kBlocked:
+        txn.state = TxnState::kBlocked;
+        ++batch_blocks_;
+        ++measured_blocks_;
+        Trace(txn, TxnEvent::kBlocked);
+        return;
+      case CCDecision::kRestart:
+        Restart(id);
+        return;
+    }
+  }
+  NextStep(id);
+}
+
+void ClosedSystem::NextStep(TxnId id) {
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kRunning);
+  if (txn.doomed) {
+    Restart(id);
+    return;
+  }
+  if (txn.read_index < txn.spec.num_reads()) {
+    if (GranuleAlreadyCovered(txn)) {
+      StartAccess(id);
+    } else {
+      IssueCcRequest(id);
+    }
+    return;
+  }
+  if (NeedsInternalThink(txn)) {
+    StartInternalThink(id);
+    return;
+  }
+  if (txn.write_index < static_cast<int>(txn.write_set.size())) {
+    if (GranuleAlreadyCovered(txn)) {
+      StartAccess(id);
+    } else {
+      IssueCcRequest(id);
+    }
+    return;
+  }
+  // Commit point: validation request.
+  IssueCcRequest(id);
+}
+
+bool ClosedSystem::NeedsInternalThink(const Txn& txn) const {
+  return config_.workload.int_think_time > 0 && !txn.think_done &&
+         txn.read_index >= txn.spec.num_reads();
+}
+
+bool ClosedSystem::GranuleAlreadyCovered(const Txn& txn) const {
+  if (config_.lock_granule_size <= 1) return false;
+  if (txn.read_index < txn.spec.num_reads()) {
+    ObjectId granule =
+        GranuleOf(txn.spec.reads[static_cast<size_t>(txn.read_index)]);
+    bool write_intent =
+        config_.x_lock_on_read_intent &&
+        txn.spec.writes[static_cast<size_t>(txn.read_index)];
+    if (write_intent) return txn.write_granules.count(granule) > 0;
+    return txn.read_granules.count(granule) > 0 ||
+           txn.write_granules.count(granule) > 0;
+  }
+  if (txn.write_index < static_cast<int>(txn.write_set.size())) {
+    ObjectId granule =
+        GranuleOf(txn.write_set[static_cast<size_t>(txn.write_index)]);
+    return txn.write_granules.count(granule) > 0;
+  }
+  return false;  // The validation request is always issued.
+}
+
+void ClosedSystem::IssueCcRequest(TxnId id) {
+  Txn& txn = GetTxn(id);
+  SimTime cc_cpu = config_.workload.cc_cpu;
+  if (cc_cpu > 0) {
+    int incarnation = txn.incarnation;
+    resources_.RequestCpu(cc_cpu, ServicePriority::kConcurrencyControl,
+                          [this, id, incarnation, cc_cpu] {
+                            CCSIM_CHECK(IsCurrent(id, incarnation));
+                            GetTxn(id).cpu_used += cc_cpu;
+                            HandleCcRequest(id);
+                          });
+    return;
+  }
+  HandleCcRequest(id);
+}
+
+void ClosedSystem::HandleCcRequest(TxnId id) {
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kRunning);
+  if (txn.doomed) {
+    Restart(id);
+    return;
+  }
+
+  if (txn.read_index < txn.spec.num_reads()) {
+    ObjectId granule =
+        GranuleOf(txn.spec.reads[static_cast<size_t>(txn.read_index)]);
+    // Under static write locking, a to-be-written object is requested in
+    // write mode up front instead of read-locked and upgraded later.
+    bool write_intent =
+        config_.x_lock_on_read_intent &&
+        txn.spec.writes[static_cast<size_t>(txn.read_index)];
+    switch (write_intent ? cc_->WriteRequest(id, granule)
+                         : cc_->ReadRequest(id, granule)) {
+      case CCDecision::kGranted:
+        if (config_.lock_granule_size > 1) {
+          (write_intent ? txn.write_granules : txn.read_granules)
+              .insert(granule);
+        }
+        StartAccess(id);
+        return;
+      case CCDecision::kBlocked:
+        txn.state = TxnState::kBlocked;
+        ++batch_blocks_;
+        ++measured_blocks_;
+        Trace(txn, TxnEvent::kBlocked);
+        return;
+      case CCDecision::kRestart:
+        Restart(id);
+        return;
+    }
+  }
+
+  if (txn.write_index < static_cast<int>(txn.write_set.size())) {
+    ObjectId granule =
+        GranuleOf(txn.write_set[static_cast<size_t>(txn.write_index)]);
+    switch (cc_->WriteRequest(id, granule)) {
+      case CCDecision::kGranted:
+        if (config_.lock_granule_size > 1) txn.write_granules.insert(granule);
+        StartAccess(id);
+        return;
+      case CCDecision::kBlocked:
+        txn.state = TxnState::kBlocked;
+        ++batch_blocks_;
+        ++measured_blocks_;
+        Trace(txn, TxnEvent::kBlocked);
+        return;
+      case CCDecision::kRestart:
+        Restart(id);
+        return;
+    }
+  }
+
+  // Validation at the commit point.
+  if (cc_->Validate(id)) {
+    BeginUpdates(id);
+  } else {
+    Restart(id);
+  }
+}
+
+void ClosedSystem::StartAccess(TxnId id) {
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kRunning);
+  const WorkloadParams& w = config_.workload;
+  int incarnation = txn.incarnation;
+
+  if (txn.read_index < txn.spec.num_reads()) {
+    // Read: obj_io on a random disk, then obj_cpu.
+    auto after_cpu = [this, id, incarnation] { AfterReadAccess(id, incarnation); };
+    auto do_cpu = [this, id, incarnation, w, after_cpu] {
+      if (w.obj_cpu > 0) {
+        resources_.RequestCpu(w.obj_cpu, ServicePriority::kNormal,
+                              [this, id, incarnation, w, after_cpu] {
+                                CCSIM_CHECK(IsCurrent(id, incarnation));
+                                GetTxn(id).cpu_used += w.obj_cpu;
+                                after_cpu();
+                              });
+      } else {
+        after_cpu();
+      }
+    };
+    // Buffer-pool model: a read may hit the buffer and skip the disk.
+    bool buffer_hit = w.buffer_hit_prob > 0.0 &&
+                      buffer_rng_.Bernoulli(w.buffer_hit_prob);
+    if (w.obj_io > 0 && !buffer_hit) {
+      resources_.RequestDisk(w.obj_io, [this, id, incarnation, w, do_cpu] {
+        CCSIM_CHECK(IsCurrent(id, incarnation));
+        GetTxn(id).disk_used += w.obj_io;
+        do_cpu();
+      });
+    } else {
+      do_cpu();
+    }
+    return;
+  }
+
+  // Write request: obj_cpu only; the physical write is deferred to commit.
+  if (w.obj_cpu > 0) {
+    resources_.RequestCpu(w.obj_cpu, ServicePriority::kNormal,
+                          [this, id, incarnation, w] {
+                            CCSIM_CHECK(IsCurrent(id, incarnation));
+                            GetTxn(id).cpu_used += w.obj_cpu;
+                            AfterWriteAccess(id, incarnation);
+                          });
+  } else {
+    AfterWriteAccess(id, incarnation);
+  }
+}
+
+void ClosedSystem::AfterReadAccess(TxnId id, int incarnation) {
+  CCSIM_CHECK(IsCurrent(id, incarnation));
+  Txn& txn = GetTxn(id);
+  if (config_.record_history) {
+    ObjectId obj = txn.spec.reads[static_cast<size_t>(txn.read_index)];
+    history_.RecordRead(id, txn.incarnation, GranuleOf(obj), sim_->Now());
+  }
+  ++txn.read_index;
+  NextStep(id);
+}
+
+void ClosedSystem::AfterWriteAccess(TxnId id, int incarnation) {
+  CCSIM_CHECK(IsCurrent(id, incarnation));
+  Txn& txn = GetTxn(id);
+  ++txn.write_index;
+  NextStep(id);
+}
+
+void ClosedSystem::StartInternalThink(TxnId id) {
+  Txn& txn = GetTxn(id);
+  txn.state = TxnState::kIntThink;
+  Trace(txn, TxnEvent::kInternalThink);
+  int incarnation = txn.incarnation;
+  SimTime think = workload_.NextInternalThink();
+  txn.pending_event = sim_->Schedule(think, [this, id, incarnation] {
+    CCSIM_CHECK(IsCurrent(id, incarnation));
+    Txn& t = GetTxn(id);
+    CCSIM_CHECK(t.state == TxnState::kIntThink);
+    t.pending_event = kInvalidEventId;
+    t.think_done = true;
+    t.state = TxnState::kRunning;
+    NextStep(id);
+  });
+}
+
+void ClosedSystem::BeginUpdates(TxnId id) {
+  Txn& txn = GetTxn(id);
+  txn.update_index = 0;
+  // Recovery extension: update transactions force a commit log record to the
+  // dedicated log disk before applying their deferred updates.
+  const WorkloadParams& w = config_.workload;
+  if (w.log_io > 0 && !txn.write_set.empty()) {
+    int incarnation = txn.incarnation;
+    if (config_.group_commit_window > 0) {
+      // Group commit: join the current batch; the first joiner arms the
+      // window timer that flushes everyone with one log write.
+      group_commit_queue_.emplace_back(id, incarnation);
+      if (group_commit_queue_.size() == 1) {
+        pending_group_flush_ = sim_->Schedule(
+            config_.group_commit_window, [this] { FlushGroupCommit(); });
+      }
+      return;
+    }
+    resources_.RequestLog(w.log_io, [this, id, incarnation] {
+      CCSIM_CHECK(IsCurrent(id, incarnation));
+      NextUpdate(id);
+    });
+    return;
+  }
+  NextUpdate(id);
+}
+
+void ClosedSystem::FlushGroupCommit() {
+  pending_group_flush_ = kInvalidEventId;
+  std::vector<std::pair<TxnId, int>> batch = std::move(group_commit_queue_);
+  group_commit_queue_.clear();
+  if (batch.empty()) return;
+  resources_.RequestLog(config_.workload.log_io, [this, batch] {
+    for (const auto& [id, incarnation] : batch) {
+      // A batch member may have been wounded and restarted while waiting;
+      // its incarnation guard skips it (the doomed path aborts elsewhere).
+      if (!IsCurrent(id, incarnation)) continue;
+      NextUpdate(id);
+    }
+  });
+}
+
+void ClosedSystem::NextUpdate(TxnId id) {
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kRunning);
+  if (txn.doomed) {
+    Restart(id);
+    return;
+  }
+  if (txn.update_index >= static_cast<int>(txn.write_set.size())) {
+    Complete(id);
+    return;
+  }
+  const WorkloadParams& w = config_.workload;
+  int incarnation = txn.incarnation;
+  ObjectId obj = txn.write_set[static_cast<size_t>(txn.update_index)];
+  auto applied = [this, id, incarnation, obj] {
+    CCSIM_CHECK(IsCurrent(id, incarnation));
+    Txn& t = GetTxn(id);
+    if (config_.record_history) {
+      history_.RecordWrite(id, t.incarnation, GranuleOf(obj), sim_->Now());
+    }
+    ++t.update_index;
+    NextUpdate(id);
+  };
+  if (w.obj_io > 0) {
+    resources_.RequestDisk(w.obj_io, [this, id, incarnation, w, applied] {
+      CCSIM_CHECK(IsCurrent(id, incarnation));
+      GetTxn(id).disk_used += w.obj_io;
+      applied();
+    });
+  } else {
+    applied();
+  }
+}
+
+void ClosedSystem::Complete(TxnId id) {
+  Txn& txn = GetTxn(id);
+  if (txn.doomed) {
+    Restart(id);
+    return;
+  }
+  double response = ToSeconds(sim_->Now() - txn.first_submit);
+  restart_policy_.RecordResponse(response);
+  batch_response_.Add(response);
+  measured_response_.Add(response);
+  measured_response_hist_.Add(response);
+  auto class_index = static_cast<size_t>(txn.spec.class_index);
+  class_response_[class_index].Add(response);
+  ++class_commits_[class_index];
+  ++batch_commits_;
+  ++measured_commits_;
+  ++lifetime_commits_;
+  batch_useful_cpu_ += txn.cpu_used;
+  batch_useful_disk_ += txn.disk_used;
+
+  cc_->Commit(id);
+  if (config_.record_history) history_.RecordCommit(id, txn.incarnation);
+  Trace(txn, TxnEvent::kCommitted);
+
+  int terminal = txn.terminal;
+  Deactivate();
+  txns_.erase(id);
+
+  if (config_.source_mode == SourceMode::kClosed) {
+    SimTime think = workload_.NextExternalThink();
+    sim_->Schedule(think, [this, terminal] { SubmitFromTerminal(terminal); });
+  }
+  TryActivate();
+}
+
+void ClosedSystem::Restart(TxnId id) {
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kRunning ||
+              txn.state == TxnState::kBlocked ||
+              txn.state == TxnState::kIntThink);
+  if (txn.pending_event != kInvalidEventId) {
+    sim_->Cancel(txn.pending_event);
+    txn.pending_event = kInvalidEventId;
+  }
+  ++batch_restarts_;
+  ++measured_restarts_;
+  ++lifetime_restarts_;
+  ++class_restarts_[static_cast<size_t>(txn.spec.class_index)];
+  Trace(txn, TxnEvent::kRestarted);
+
+  cc_->Abort(id);
+  if (config_.record_history) history_.RecordAbort(id, txn.incarnation);
+  Deactivate();
+
+  SimTime delay = restart_policy_.NextDelay(&delay_rng_);
+  if (delay > 0) {
+    txn.state = TxnState::kRestartDelay;
+    int incarnation = txn.incarnation;
+    txn.pending_event = sim_->Schedule(delay, [this, id, incarnation] {
+      CCSIM_CHECK(IsCurrent(id, incarnation));
+      Txn& t = GetTxn(id);
+      CCSIM_CHECK(t.state == TxnState::kRestartDelay);
+      t.pending_event = kInvalidEventId;
+      t.state = TxnState::kReady;
+      ready_queue_.push_back(id);
+      TryActivate();
+    });
+  } else {
+    txn.state = TxnState::kReady;
+    ready_queue_.push_back(id);
+    TryActivate();
+  }
+}
+
+void ClosedSystem::Deactivate() {
+  --active_count_;
+  CCSIM_CHECK_GE(active_count_, 0);
+  active_mpl_.Add(sim_->Now(), -1.0);
+}
+
+void ClosedSystem::OnGranted(TxnId id) {
+  // Defer to a zero-delay event: grants arrive from inside cc calls and the
+  // engine must not re-enter its own state machine mid-call.
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kBlocked);
+  int incarnation = txn.incarnation;
+  sim_->Schedule(0, [this, id, incarnation] {
+    if (!IsCurrent(id, incarnation)) return;  // Restarted meanwhile.
+    Txn& t = GetTxn(id);
+    if (t.state != TxnState::kBlocked) return;  // Stale grant.
+    t.state = TxnState::kRunning;
+    Trace(t, TxnEvent::kResumed);
+    if (t.doomed) {
+      Restart(id);
+      return;
+    }
+    // Re-issue the pending request rather than assume a grant: for lock
+    // algorithms the re-request is idempotently granted (the waiter now
+    // holds the lock), while timestamp algorithms re-run their checks and
+    // may block again or restart.
+    HandleCcRequest(id);
+  });
+}
+
+void ClosedSystem::OnWound(TxnId id) {
+  Txn& txn = GetTxn(id);
+  CCSIM_CHECK(txn.state == TxnState::kRunning ||
+              txn.state == TxnState::kBlocked ||
+              txn.state == TxnState::kIntThink)
+      << "wound target must be active";
+  if (txn.doomed) return;  // Already doomed; nothing more to do.
+  txn.doomed = true;
+  // A blocked or thinking victim has no service completion that would notice
+  // the doom flag; abort it via a zero-delay event. A running victim aborts
+  // at its next engine step.
+  if (txn.state == TxnState::kBlocked || txn.state == TxnState::kIntThink) {
+    int incarnation = txn.incarnation;
+    sim_->Schedule(0, [this, id, incarnation] {
+      if (!IsCurrent(id, incarnation)) return;
+      Txn& t = GetTxn(id);
+      if (!t.doomed) return;
+      if (t.state != TxnState::kBlocked && t.state != TxnState::kIntThink) {
+        return;  // Resumed meanwhile; doom executes at the next step.
+      }
+      Restart(id);
+    });
+  }
+}
+
+ClosedSystem::Txn& ClosedSystem::GetTxn(TxnId id) {
+  auto it = txns_.find(id);
+  CCSIM_CHECK(it != txns_.end()) << "unknown txn " << id;
+  return it->second;
+}
+
+
+void ClosedSystem::Trace(const Txn& txn, TxnEvent event) {
+  if (trace_ == nullptr) return;
+  trace_->Record(TraceRecord{sim_->Now(), txn.id, txn.incarnation, event});
+}
+
+bool ClosedSystem::IsCurrent(TxnId id, int incarnation) const {
+  auto it = txns_.find(id);
+  return it != txns_.end() && it->second.incarnation == incarnation;
+}
+
+void ClosedSystem::SetMpl(int new_mpl) {
+  CCSIM_CHECK_GE(new_mpl, 1);
+  mpl_ = new_mpl;
+  TryActivate();
+}
+
+void ClosedSystem::ResetMeasurement() {
+  batch_commits_ = 0;
+  batch_blocks_ = 0;
+  batch_restarts_ = 0;
+  batch_useful_cpu_ = 0;
+  batch_useful_disk_ = 0;
+  batch_response_.Reset();
+  measured_commits_ = 0;
+  measured_blocks_ = 0;
+  measured_restarts_ = 0;
+  measured_response_.Reset();
+  measured_response_hist_ = Histogram(0.0, 600.0, 6000);
+  for (Welford& response : class_response_) response.Reset();
+  std::fill(class_commits_.begin(), class_commits_.end(), 0);
+  std::fill(class_restarts_.begin(), class_restarts_.end(), 0);
+  // Fresh interval estimators: a second RunExperiment must not inherit the
+  // previous measurement's batches.
+  throughput_bm_ = BatchMeans();
+  response_bm_ = BatchMeans();
+  block_ratio_bm_ = BatchMeans();
+  restart_ratio_bm_ = BatchMeans();
+  disk_total_bm_ = BatchMeans();
+  disk_useful_bm_ = BatchMeans();
+  cpu_total_bm_ = BatchMeans();
+  cpu_useful_bm_ = BatchMeans();
+  log_bm_ = BatchMeans();
+  active_mpl_.ResetWindow(sim_->Now());
+  resources_.ResetWindow(sim_->Now());
+}
+
+void ClosedSystem::CloseBatch(SimTime batch_length) {
+  SimTime now = sim_->Now();
+  double seconds = ToSeconds(batch_length);
+  throughput_bm_.AddBatch(static_cast<double>(batch_commits_) / seconds);
+  if (batch_response_.count() > 0) {
+    response_bm_.AddBatch(batch_response_.Mean());
+  }
+  if (batch_commits_ > 0) {
+    block_ratio_bm_.AddBatch(static_cast<double>(batch_blocks_) /
+                             static_cast<double>(batch_commits_));
+    restart_ratio_bm_.AddBatch(static_cast<double>(batch_restarts_) /
+                               static_cast<double>(batch_commits_));
+  }
+  disk_total_bm_.AddBatch(resources_.DiskUtilization(now));
+  cpu_total_bm_.AddBatch(resources_.CpuUtilization(now));
+  log_bm_.AddBatch(resources_.LogUtilization(now));
+  if (!config_.resources.infinite) {
+    double disk_capacity =
+        seconds * static_cast<double>(config_.resources.num_disks);
+    double cpu_capacity =
+        seconds * static_cast<double>(config_.resources.num_cpus);
+    disk_useful_bm_.AddBatch(ToSeconds(batch_useful_disk_) / disk_capacity);
+    cpu_useful_bm_.AddBatch(ToSeconds(batch_useful_cpu_) / cpu_capacity);
+  }
+  batch_commits_ = 0;
+  batch_blocks_ = 0;
+  batch_restarts_ = 0;
+  batch_useful_cpu_ = 0;
+  batch_useful_disk_ = 0;
+  batch_response_.Reset();
+  resources_.ResetWindow(now);
+}
+
+MetricsReport ClosedSystem::RunExperiment(int batches, SimTime batch_length,
+                                          SimTime warmup) {
+  CCSIM_CHECK_GE(batches, 1);
+  CCSIM_CHECK_GT(batch_length, 0);
+  if (!primed_) Prime();
+
+  sim_->RunUntil(sim_->Now() + warmup);
+  ResetMeasurement();
+  for (int b = 0; b < batches; ++b) {
+    sim_->RunUntil(sim_->Now() + batch_length);
+    CloseBatch(batch_length);
+  }
+
+  MetricsReport report;
+  report.algorithm = cc_->name();
+  report.mpl = mpl_;
+  report.throughput = throughput_bm_.Estimate();
+  report.response_mean = response_bm_.Estimate();
+  report.response_stddev = measured_response_.StdDev();
+  report.response_p50 = measured_response_hist_.Quantile(0.50);
+  report.response_p90 = measured_response_hist_.Quantile(0.90);
+  report.response_p99 = measured_response_hist_.Quantile(0.99);
+  report.response_max = measured_response_.Max();
+  report.block_ratio = block_ratio_bm_.Estimate();
+  report.restart_ratio = restart_ratio_bm_.Estimate();
+  report.disk_util_total = disk_total_bm_.Estimate();
+  report.disk_util_useful = disk_useful_bm_.Estimate();
+  report.cpu_util_total = cpu_total_bm_.Estimate();
+  report.cpu_util_useful = cpu_useful_bm_.Estimate();
+  report.log_util = log_bm_.Estimate();
+  report.avg_active_mpl = active_mpl_.Average(sim_->Now());
+  report.commits = measured_commits_;
+  report.restarts = measured_restarts_;
+  report.blocks = measured_blocks_;
+  report.measured_seconds = ToSeconds(batch_length) * batches;
+  report.batches = batches;
+  report.cc_stats = cc_->stats();
+  for (size_t i = 0; i < class_response_.size(); ++i) {
+    ClassMetrics metrics;
+    metrics.name = config_.workload.ClassName(static_cast<int>(i));
+    metrics.commits = class_commits_[i];
+    metrics.restarts = class_restarts_[i];
+    metrics.response_mean = class_response_[i].Mean();
+    metrics.response_stddev = class_response_[i].StdDev();
+    metrics.response_max = class_response_[i].Max();
+    report.per_class.push_back(std::move(metrics));
+  }
+  return report;
+}
+
+}  // namespace ccsim

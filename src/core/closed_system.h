@@ -1,0 +1,281 @@
+// The closed queuing model of a single-site database system (Figure 1 of the
+// paper), driven over the physical resource model (Figure 2).
+//
+// Terminals submit transactions; at most `mpl` transactions are active at
+// once (the rest wait in the ready queue). An active transaction alternates
+// concurrency control requests with object accesses: every read costs obj_io
+// on a random disk followed by obj_cpu; every write costs obj_cpu at request
+// time (the update is buffered) and obj_io per object at deferred-update
+// time, after which the commit completes and locks are released. An optional
+// internal think time separates the read phase from the write phase
+// (interactive workloads). Blocked transactions occupy an mpl slot; restarted
+// transactions give up their slot, optionally sit out a restart delay, and
+// re-enter the *back* of the ready queue to replay the same read/write sets.
+#ifndef CCSIM_CORE_CLOSED_SYSTEM_H_
+#define CCSIM_CORE_CLOSED_SYSTEM_H_
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cc/deadlock.h"
+#include "cc/factory.h"
+#include "cc/restart_policy.h"
+#include "core/history.h"
+#include "core/metrics.h"
+#include "core/trace.h"
+#include "res/resources.h"
+#include "sim/simulator.h"
+#include "stats/batch_means.h"
+#include "stats/histogram.h"
+#include "stats/time_weighted.h"
+#include "stats/welford.h"
+#include "util/random.h"
+#include "wl/workload.h"
+
+namespace ccsim {
+
+/// How transactions enter the system.
+enum class SourceMode {
+  /// The paper's model: num_terms terminals, each thinking exponentially
+  /// between its transaction completions (self-throttling).
+  kClosed,
+  /// An open system: Poisson arrivals at `arrival_rate` transactions/sec,
+  /// independent of completions. The ready queue is unbounded, so an
+  /// arrival rate beyond the system's capacity diverges — itself one of the
+  /// modeling "alternatives and implications" the paper's title refers to.
+  kOpen,
+};
+
+/// Full configuration of one simulation run.
+struct EngineConfig {
+  WorkloadParams workload;
+  ResourceConfig resources;
+  /// One of: blocking, immediate_restart, optimistic, wound_wait, wait_die,
+  /// basic_to, mvto.
+  std::string algorithm = "blocking";
+  SourceMode source_mode = SourceMode::kClosed;
+  /// Mean Poisson arrival rate (transactions/second) for SourceMode::kOpen.
+  double arrival_rate = 0.0;
+  /// When true, an object that the transaction will later write is locked
+  /// exclusively at *read* time instead of being read-locked and upgraded in
+  /// the write phase ("static" write locking of predeclared writes). This
+  /// eliminates the upgrade deadlocks that dominate the blocking algorithm's
+  /// restarts. No effect on the optimistic algorithm's outcome (its write
+  /// declarations are no-ops either way).
+  bool x_lock_on_read_intent = false;
+  /// Group commit (extension; only meaningful with workload.log_io > 0):
+  /// commit log records arriving within this window are flushed with a
+  /// single log write instead of one each, trading a little commit latency
+  /// for log-disk bandwidth. 0 forces one log write per update transaction.
+  SimTime group_commit_window = 0;
+  /// Concurrency control granularity (the Ries–Stonebraker question this
+  /// model's ancestors were built for): objects are grouped into granules of
+  /// this many consecutive ids, and the cc algorithm sees granule ids. One
+  /// cc request covers the whole granule, so coarser granules mean fewer
+  /// requests (cheaper when cc_cpu > 0) but more false conflicts. 1 (the
+  /// paper's setting) makes granules = objects. With record_history, the
+  /// history is recorded at granule granularity so the serializability
+  /// checkers stay consistent with what the cc algorithm saw.
+  int lock_granule_size = 1;
+  /// Restart delay mode; nullopt selects the algorithm's conventional
+  /// default (adaptive for immediate_restart, none otherwise).
+  std::optional<RestartDelayMode> restart_delay_mode;
+  /// Mean for RestartDelayMode::kFixed.
+  SimTime fixed_restart_delay = 0;
+  VictimPolicy victim_policy = VictimPolicy::kYoungest;
+  uint64_t seed = 42;
+  /// Record the full execution history (serializability tests); costs memory
+  /// proportional to run length.
+  bool record_history = false;
+};
+
+/// The simulation engine. Owns the workload, resources, and the concurrency
+/// control algorithm; drives every transaction through its lifecycle.
+class ClosedSystem {
+ public:
+  ClosedSystem(Simulator* sim, const EngineConfig& config);
+
+  ClosedSystem(const ClosedSystem&) = delete;
+  ClosedSystem& operator=(const ClosedSystem&) = delete;
+
+  /// Starts all terminals (each begins with one external think). Call once.
+  void Prime();
+
+  /// Runs warmup, then `batches` batches of `batch_length` each, and returns
+  /// the measured report. Calls Prime() if not yet primed.
+  MetricsReport RunExperiment(int batches, SimTime batch_length, SimTime warmup);
+
+  // --- Introspection (tests, examples, adaptive-mpl extension) ---
+
+  int active_count() const { return active_count_; }
+  size_t ready_queue_length() const { return ready_queue_.size(); }
+  int64_t total_commits() const { return lifetime_commits_; }
+  int64_t total_restarts() const { return lifetime_restarts_; }
+  const ConcurrencyControl& cc() const { return *cc_; }
+  ResourceManager& resources() { return resources_; }
+  const HistoryRecorder& history() const { return history_; }
+  const EngineConfig& config() const { return config_; }
+
+  /// Committed-response-time running mean in seconds (drives the adaptive
+  /// restart delay; exposed for tests and the adaptive-mpl controller).
+  double MeanResponseSeconds() const { return restart_policy_.AdaptiveMeanSeconds(); }
+
+  /// Dynamically changes the multiprogramming limit (adaptive-mpl
+  /// extension). Raising it admits ready transactions immediately; lowering
+  /// it takes effect as active transactions finish.
+  void SetMpl(int mpl);
+  int mpl() const { return mpl_; }
+
+  /// Attaches a lifecycle trace sink (nullptr detaches). Not owned; must
+  /// outlive the simulation.
+  void SetTraceSink(TraceSink* sink) { trace_ = sink; }
+
+ private:
+  enum class TxnState {
+    kReady,         ///< In the ready queue (not active).
+    kRunning,       ///< Active: issuing requests / in service.
+    kBlocked,       ///< Active: waiting for a lock grant.
+    kIntThink,      ///< Active: intra-transaction (internal) think.
+    kRestartDelay,  ///< Not active: sitting out a restart delay.
+  };
+
+  struct Txn {
+    TxnId id = kInvalidTxn;
+    int terminal = -1;
+    TxnSpec spec;
+    std::vector<ObjectId> write_set;
+    SimTime first_submit = 0;
+    SimTime incarnation_start = 0;
+    int incarnation = 0;
+    TxnState state = TxnState::kReady;
+    int read_index = 0;
+    int write_index = 0;
+    int update_index = 0;
+    bool think_done = false;
+    bool doomed = false;
+    /// Granules already covered by a granted cc request this incarnation
+    /// (only maintained when lock_granule_size > 1).
+    std::unordered_set<ObjectId> read_granules;
+    std::unordered_set<ObjectId> write_granules;
+    /// Resources consumed by the current incarnation (for useful-work
+    /// accounting: credited only if this incarnation commits).
+    SimTime cpu_used = 0;
+    SimTime disk_used = 0;
+    /// Pending think / restart-delay event, cancellable on wound.
+    EventId pending_event = kInvalidEventId;
+  };
+
+  // Lifecycle.
+  void SubmitFromTerminal(int terminal);
+  void ScheduleNextArrival();
+  void TryActivate();
+  void Activate(TxnId id);
+  void NextStep(TxnId id);
+  void IssueCcRequest(TxnId id);
+  void HandleCcRequest(TxnId id);
+  void StartAccess(TxnId id);
+  void AfterReadAccess(TxnId id, int incarnation);
+  void AfterWriteAccess(TxnId id, int incarnation);
+  void StartInternalThink(TxnId id);
+  void BeginUpdates(TxnId id);
+  void FlushGroupCommit();
+  void NextUpdate(TxnId id);
+  void Complete(TxnId id);
+  void Restart(TxnId id);
+  void Deactivate();
+
+  // Concurrency control callbacks.
+  void OnGranted(TxnId id);
+  void OnWound(TxnId id);
+
+  // Helpers.
+  Txn& GetTxn(TxnId id);
+  /// True if the (id, incarnation) pair still denotes a live incarnation.
+  bool IsCurrent(TxnId id, int incarnation) const;
+  bool NeedsInternalThink(const Txn& txn) const;
+  double BootstrapResponseSeconds() const;
+  void Trace(const Txn& txn, TxnEvent event);
+
+  /// The cc granule covering `obj`.
+  ObjectId GranuleOf(ObjectId obj) const {
+    return obj / config_.lock_granule_size;
+  }
+  /// True if the upcoming request's granule is already covered, so the cc
+  /// request can be skipped entirely.
+  bool GranuleAlreadyCovered(const Txn& txn) const;
+
+  // Measurement.
+  void ResetMeasurement();
+  void CloseBatch(SimTime batch_length);
+
+  Simulator* sim_;
+  EngineConfig config_;
+  int mpl_;
+  WorkloadGenerator workload_;
+  ResourceManager resources_;
+  std::unique_ptr<ConcurrencyControl> cc_;
+  RestartDelayPolicy restart_policy_;
+  Rng delay_rng_;
+  Rng arrival_rng_;
+  Rng buffer_rng_;
+
+  bool primed_ = false;
+  TxnId next_txn_id_ = 1;
+  std::unordered_map<TxnId, Txn> txns_;
+  std::deque<TxnId> ready_queue_;
+  int active_count_ = 0;
+  TimeWeightedValue active_mpl_;
+
+  // Batch-window counters.
+  int64_t batch_commits_ = 0;
+  int64_t batch_blocks_ = 0;
+  int64_t batch_restarts_ = 0;
+  SimTime batch_useful_cpu_ = 0;
+  SimTime batch_useful_disk_ = 0;
+  Welford batch_response_;
+
+  // Measurement-period accumulators.
+  int64_t measured_commits_ = 0;
+  int64_t measured_blocks_ = 0;
+  int64_t measured_restarts_ = 0;
+  Welford measured_response_;
+  /// Response-time distribution for percentile reporting (0.1 s resolution
+  /// up to 10 minutes; the overflow share is reported alongside).
+  Histogram measured_response_hist_{0.0, 600.0, 6000};
+  /// Per-class accumulators (single entry for single-class workloads).
+  std::vector<Welford> class_response_;
+  std::vector<int64_t> class_commits_;
+  std::vector<int64_t> class_restarts_;
+
+  // Lifetime counters (include warmup).
+  int64_t lifetime_commits_ = 0;
+  int64_t lifetime_restarts_ = 0;
+
+  // Batch-means estimators.
+  BatchMeans throughput_bm_;
+  BatchMeans response_bm_;
+  BatchMeans block_ratio_bm_;
+  BatchMeans restart_ratio_bm_;
+  BatchMeans disk_total_bm_;
+  BatchMeans disk_useful_bm_;
+  BatchMeans cpu_total_bm_;
+  BatchMeans cpu_useful_bm_;
+  BatchMeans log_bm_;
+
+  HistoryRecorder history_;
+  TraceSink* trace_ = nullptr;
+
+  /// Transactions whose commit records await the next group-commit flush
+  /// (id, incarnation); the window timer is pending_group_flush_.
+  std::vector<std::pair<TxnId, int>> group_commit_queue_;
+  EventId pending_group_flush_ = kInvalidEventId;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CORE_CLOSED_SYSTEM_H_

@@ -1,0 +1,81 @@
+#include "core/experiment.h"
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/random.h"
+#include "util/str.h"
+
+namespace ccsim {
+
+RunLengths RunLengths::FromEnv(RunLengths defaults) {
+  RunLengths lengths = defaults;
+  lengths.batches =
+      static_cast<int>(GetEnvInt("CCSIM_BATCHES", lengths.batches));
+  lengths.batch_length = FromSeconds(
+      GetEnvDouble("CCSIM_BATCH_SECONDS", ToSeconds(lengths.batch_length)));
+  lengths.warmup = FromSeconds(
+      GetEnvDouble("CCSIM_WARMUP_SECONDS", ToSeconds(lengths.warmup)));
+  CCSIM_CHECK_GE(lengths.batches, 2) << "need >= 2 batches for intervals";
+  CCSIM_CHECK_GT(lengths.batch_length, 0);
+  CCSIM_CHECK_GE(lengths.warmup, 0);
+  return lengths;
+}
+
+std::vector<int> PaperMplLevels() {
+  auto raw = GetEnv("CCSIM_MPLS");
+  if (!raw.has_value()) return {5, 10, 25, 50, 75, 100, 200};
+  std::vector<int> mpls;
+  for (const std::string& field : Split(*raw, ',')) {
+    auto parsed = ParseInt(field);
+    CCSIM_CHECK(parsed.has_value())
+        << "CCSIM_MPLS entry \"" << field << "\" is not an integer";
+    mpls.push_back(static_cast<int>(*parsed));
+  }
+  CCSIM_CHECK(!mpls.empty());
+  return mpls;
+}
+
+MetricsReport RunOnePoint(const EngineConfig& config, const RunLengths& lengths) {
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  return system.RunExperiment(lengths.batches, lengths.batch_length,
+                              lengths.warmup);
+}
+
+ReplicatedEstimate RunReplications(const EngineConfig& config,
+                                   const RunLengths& lengths,
+                                   int replications) {
+  CCSIM_CHECK_GE(replications, 2) << "need >= 2 replications for an interval";
+  ReplicatedEstimate estimate;
+  BatchMeans throughput, response;
+  uint64_t seed_state = config.seed;
+  for (int r = 0; r < replications; ++r) {
+    EngineConfig replication = config;
+    replication.seed = SplitMix64(seed_state);
+    MetricsReport report = RunOnePoint(replication, lengths);
+    throughput.AddBatch(report.throughput.mean);
+    response.AddBatch(report.response_mean.mean);
+    estimate.replications.push_back(std::move(report));
+  }
+  estimate.throughput = throughput.Estimate();
+  estimate.response_mean = response.Estimate();
+  return estimate;
+}
+
+std::vector<MetricsReport> RunSweep(
+    const SweepConfig& sweep,
+    const std::function<void(const MetricsReport&)>& progress) {
+  std::vector<MetricsReport> reports;
+  for (const std::string& algorithm : sweep.algorithms) {
+    for (int mpl : sweep.mpls) {
+      EngineConfig config = sweep.base;
+      config.algorithm = algorithm;
+      config.workload.mpl = mpl;
+      reports.push_back(RunOnePoint(config, sweep.lengths));
+      if (progress) progress(reports.back());
+    }
+  }
+  return reports;
+}
+
+}  // namespace ccsim

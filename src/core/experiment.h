@@ -1,0 +1,69 @@
+// Experiment orchestration: run one configuration, or sweep algorithms ×
+// multiprogramming levels the way every figure in the paper does.
+#ifndef CCSIM_CORE_EXPERIMENT_H_
+#define CCSIM_CORE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/closed_system.h"
+#include "core/metrics.h"
+
+namespace ccsim {
+
+/// Statistical effort of a run. Defaults mirror the paper (20 batches); the
+/// environment variables CCSIM_BATCHES, CCSIM_BATCH_SECONDS, and
+/// CCSIM_WARMUP_SECONDS override them for quicker or tighter runs.
+struct RunLengths {
+  int batches = 20;
+  SimTime batch_length = 15 * kSecond;
+  SimTime warmup = 30 * kSecond;
+
+  /// Applies the environment overrides to these values.
+  static RunLengths FromEnv(RunLengths defaults);
+};
+
+/// One full sweep: every algorithm at every mpl, a fresh simulator per point.
+struct SweepConfig {
+  EngineConfig base;  ///< mpl and algorithm fields are overridden per point.
+  std::vector<std::string> algorithms;
+  std::vector<int> mpls;
+  RunLengths lengths;
+};
+
+/// The paper's mpl sweep: 5, 10, 25, 50, 75, 100, 200. CCSIM_MPLS (a
+/// comma-separated list) overrides it.
+std::vector<int> PaperMplLevels();
+
+/// Runs a single configuration to completion and returns its report.
+MetricsReport RunOnePoint(const EngineConfig& config, const RunLengths& lengths);
+
+/// Runs the full sweep; reports are ordered algorithm-major, mpl-minor.
+/// `progress` (optional) receives each report as it completes.
+std::vector<MetricsReport> RunSweep(
+    const SweepConfig& sweep,
+    const std::function<void(const MetricsReport&)>& progress = nullptr);
+
+/// Result of the independent-replications method: `replications` full runs
+/// with derived seeds, combined into cross-replication Student-t intervals.
+/// Replications are the textbook alternative to batch means — immune to
+/// residual correlation between batches, at the price of paying the warmup
+/// once per replication. The engine's batch-means intervals can be checked
+/// against these (see the methodology tests).
+struct ReplicatedEstimate {
+  IntervalEstimate throughput;     ///< Across replication means.
+  IntervalEstimate response_mean;  ///< Across replication means.
+  std::vector<MetricsReport> replications;
+};
+
+/// Runs `replications` independent copies of `config` (seeds derived from
+/// config.seed via SplitMix64) and combines them. Each replication uses the
+/// given lengths; its internal batching only affects its own point
+/// estimates.
+ReplicatedEstimate RunReplications(const EngineConfig& config,
+                                   const RunLengths& lengths,
+                                   int replications);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_CORE_EXPERIMENT_H_

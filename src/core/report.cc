@@ -1,0 +1,160 @@
+#include "core/report.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/str.h"
+
+namespace ccsim {
+
+void PrintReportTable(std::ostream& out, const std::string& title,
+                      const std::vector<MetricsReport>& reports,
+                      const ReportColumns& columns) {
+  out << "\n== " << title << " ==\n";
+  std::string header =
+      StringPrintf("%-18s %5s %9s %7s", "algorithm", "mpl", "thruput", "+-90%");
+  if (columns.response) header += StringPrintf(" %8s %8s", "resp(s)", "resp_sd");
+  if (columns.percentiles) {
+    header += StringPrintf(" %7s %7s %7s", "p50", "p90", "p99");
+  }
+  if (columns.ratios) header += StringPrintf(" %9s %9s", "blk_ratio", "rst_ratio");
+  if (columns.disk_util) header += StringPrintf(" %7s %7s", "d_util", "d_usefl");
+  if (columns.cpu_util) header += StringPrintf(" %7s %7s", "c_util", "c_usefl");
+  if (columns.avg_mpl) header += StringPrintf(" %8s", "avg_mpl");
+  out << header << "\n" << std::string(header.size(), '-') << "\n";
+
+  const std::string* last_algorithm = nullptr;
+  for (const MetricsReport& r : reports) {
+    if (last_algorithm != nullptr && *last_algorithm != r.algorithm) out << "\n";
+    last_algorithm = &r.algorithm;
+    std::string row = StringPrintf("%-18s %5d %9.2f %7.2f", r.algorithm.c_str(),
+                                   r.mpl, r.throughput.mean,
+                                   r.throughput.half_width);
+    if (columns.response) {
+      row += StringPrintf(" %8.2f %8.2f", r.response_mean.mean, r.response_stddev);
+    }
+    if (columns.percentiles) {
+      row += StringPrintf(" %7.2f %7.2f %7.2f", r.response_p50, r.response_p90,
+                          r.response_p99);
+    }
+    if (columns.ratios) {
+      row += StringPrintf(" %9.3f %9.3f", r.block_ratio.mean, r.restart_ratio.mean);
+    }
+    if (columns.disk_util) {
+      row += StringPrintf(" %7.3f %7.3f", r.disk_util_total.mean,
+                          r.disk_util_useful.mean);
+    }
+    if (columns.cpu_util) {
+      row += StringPrintf(" %7.3f %7.3f", r.cpu_util_total.mean,
+                          r.cpu_util_useful.mean);
+    }
+    if (columns.avg_mpl) row += StringPrintf(" %8.1f", r.avg_active_mpl);
+    out << row << "\n";
+  }
+  out.flush();
+}
+
+void PrintPerClassTable(std::ostream& out, const std::string& title,
+                        const std::vector<MetricsReport>& reports) {
+  bool any = false;
+  for (const MetricsReport& r : reports) {
+    if (r.per_class.size() > 1) any = true;
+  }
+  if (!any) return;
+  out << "\n== " << title << " (per class) ==\n"
+      << StringPrintf("%-18s %5s %-12s %9s %9s %8s %8s %8s\n", "algorithm",
+                      "mpl", "class", "commits", "restarts", "resp(s)",
+                      "resp_sd", "resp_max");
+  for (const MetricsReport& r : reports) {
+    if (r.per_class.size() <= 1) continue;
+    for (const ClassMetrics& cls : r.per_class) {
+      out << StringPrintf(
+          "%-18s %5d %-12s %9lld %9lld %8.2f %8.2f %8.2f\n",
+          r.algorithm.c_str(), r.mpl, cls.name.c_str(),
+          static_cast<long long>(cls.commits),
+          static_cast<long long>(cls.restarts), cls.response_mean,
+          cls.response_stddev, cls.response_max);
+    }
+  }
+  out.flush();
+}
+
+bool WriteReportCsv(const std::string& path,
+                    const std::vector<MetricsReport>& reports) {
+  CsvWriter csv(path);
+  if (!csv.ok()) return false;
+  csv.WriteRow({"algorithm", "mpl", "throughput", "throughput_hw",
+                "response_mean", "response_sd", "response_p50", "response_p90",
+                "response_p99", "response_max", "block_ratio", "restart_ratio",
+                "disk_util_total", "disk_util_useful", "cpu_util_total",
+                "cpu_util_useful", "avg_active_mpl", "commits", "restarts",
+                "blocks", "measured_seconds"});
+  for (const MetricsReport& r : reports) {
+    csv.WriteRow({r.algorithm, CsvWriter::Field(static_cast<int64_t>(r.mpl)),
+                  CsvWriter::Field(r.throughput.mean),
+                  CsvWriter::Field(r.throughput.half_width),
+                  CsvWriter::Field(r.response_mean.mean),
+                  CsvWriter::Field(r.response_stddev),
+                  CsvWriter::Field(r.response_p50),
+                  CsvWriter::Field(r.response_p90),
+                  CsvWriter::Field(r.response_p99),
+                  CsvWriter::Field(r.response_max),
+                  CsvWriter::Field(r.block_ratio.mean),
+                  CsvWriter::Field(r.restart_ratio.mean),
+                  CsvWriter::Field(r.disk_util_total.mean),
+                  CsvWriter::Field(r.disk_util_useful.mean),
+                  CsvWriter::Field(r.cpu_util_total.mean),
+                  CsvWriter::Field(r.cpu_util_useful.mean),
+                  CsvWriter::Field(r.avg_active_mpl),
+                  CsvWriter::Field(r.commits), CsvWriter::Field(r.restarts),
+                  CsvWriter::Field(r.blocks),
+                  CsvWriter::Field(r.measured_seconds)});
+  }
+  return true;
+}
+
+bool WriteThroughputGnuplot(const std::string& gp_path,
+                            const std::string& csv_filename,
+                            const std::string& title,
+                            const std::vector<MetricsReport>& reports) {
+  std::ofstream out(gp_path, std::ios::trunc);
+  if (!out.good()) return false;
+
+  // Unique algorithm labels, in first-appearance order; each becomes one
+  // plotted series filtered out of the shared CSV by string match.
+  std::vector<std::string> algorithms;
+  for (const MetricsReport& r : reports) {
+    if (std::find(algorithms.begin(), algorithms.end(), r.algorithm) ==
+        algorithms.end()) {
+      algorithms.push_back(r.algorithm);
+    }
+  }
+
+  out << "# Generated by ccsim; renders throughput-vs-mpl from "
+      << csv_filename << "\n"
+      << "set datafile separator ','\n"
+      << "set title \"" << title << "\"\n"
+      << "set xlabel 'multiprogramming level'\n"
+      << "set ylabel 'throughput (transactions/sec)'\n"
+      << "set key outside right\n"
+      << "set grid\n"
+      << "set term pngcairo size 900,600\n"
+      << "set output '" << csv_filename << ".png'\n"
+      << "plot \\\n";
+  for (size_t i = 0; i < algorithms.size(); ++i) {
+    out << "  '" << csv_filename << "' using 2:(strcol(1) eq \""
+        << algorithms[i] << "\" ? column(3) : 1/0) with linespoints title \""
+        << algorithms[i] << "\"";
+    out << (i + 1 < algorithms.size() ? ", \\\n" : "\n");
+  }
+  return out.good();
+}
+
+std::string CsvPathFor(const std::string& name) {
+  auto dir = GetEnv("CCSIM_CSV_DIR");
+  if (!dir.has_value()) return std::string();
+  return *dir + "/" + name + ".csv";
+}
+
+}  // namespace ccsim

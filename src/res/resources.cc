@@ -1,0 +1,84 @@
+#include "res/resources.h"
+
+#include <utility>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace ccsim {
+
+ResourceManager::ResourceManager(Simulator* sim, const ResourceConfig& config,
+                                 Rng disk_rng)
+    : sim_(sim), config_(config), disk_rng_(std::move(disk_rng)) {
+  if (config_.infinite) {
+    cpu_ = std::make_unique<ServerPool>(sim_, 0, /*infinite=*/true, "cpu");
+    // One infinite pool stands in for the whole disk farm: with no queuing
+    // the partitioning is unobservable.
+    disks_.push_back(
+        std::make_unique<ServerPool>(sim_, 0, /*infinite=*/true, "disk"));
+    return;
+  }
+  CCSIM_CHECK_GE(config_.num_cpus, 1);
+  CCSIM_CHECK_GE(config_.num_disks, 1);
+  cpu_ = std::make_unique<ServerPool>(sim_, config_.num_cpus,
+                                      /*infinite=*/false, "cpu");
+  for (int i = 0; i < config_.num_disks; ++i) {
+    disks_.push_back(std::make_unique<ServerPool>(
+        sim_, 1, /*infinite=*/false, StringPrintf("disk%d", i)));
+  }
+}
+
+void ResourceManager::RequestCpu(SimTime service_time, ServicePriority priority,
+                                 ServiceCompletion done) {
+  cpu_->Request(service_time, priority, std::move(done));
+}
+
+void ResourceManager::RequestDisk(SimTime service_time, ServiceCompletion done) {
+  int disk = disks_.size() == 1
+                 ? 0
+                 : static_cast<int>(disk_rng_.UniformInt(
+                       0, static_cast<int64_t>(disks_.size()) - 1));
+  RequestDiskAt(disk, service_time, std::move(done));
+}
+
+void ResourceManager::RequestDiskAt(int disk, SimTime service_time,
+                                    ServiceCompletion done) {
+  CCSIM_CHECK_GE(disk, 0);
+  CCSIM_CHECK_LT(disk, num_disks());
+  disks_[static_cast<size_t>(disk)]->Request(
+      service_time, ServicePriority::kNormal, std::move(done));
+}
+
+void ResourceManager::RequestLog(SimTime service_time, ServiceCompletion done) {
+  if (log_ == nullptr) {
+    log_ = std::make_unique<ServerPool>(sim_, 1, config_.infinite, "log");
+  }
+  log_->Request(service_time, ServicePriority::kNormal, std::move(done));
+}
+
+double ResourceManager::LogUtilization(SimTime now) {
+  return log_ == nullptr ? 0.0 : log_->Utilization(now);
+}
+
+double ResourceManager::CpuUtilization(SimTime now) {
+  return cpu_->Utilization(now);
+}
+
+double ResourceManager::DiskUtilization(SimTime now) {
+  if (config_.infinite) return 0.0;
+  double sum = 0.0;
+  for (auto& disk : disks_) {
+    sum += disk->Utilization(now);
+  }
+  return sum / static_cast<double>(disks_.size());
+}
+
+void ResourceManager::ResetWindow(SimTime now) {
+  cpu_->ResetWindow(now);
+  for (auto& disk : disks_) {
+    disk->ResetWindow(now);
+  }
+  if (log_ != nullptr) log_->ResetWindow(now);
+}
+
+}  // namespace ccsim

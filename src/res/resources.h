@@ -1,0 +1,88 @@
+// The complete physical model: one CPU pool plus a partitioned disk array
+// (one FCFS queue per disk, disk chosen uniformly at random per access), with
+// an infinite-resources mode that turns every request into a pure delay.
+#ifndef CCSIM_RES_RESOURCES_H_
+#define CCSIM_RES_RESOURCES_H_
+
+#include <memory>
+#include <vector>
+
+#include "res/server_pool.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ccsim {
+
+/// Physical configuration. `infinite` overrides the counts.
+struct ResourceConfig {
+  bool infinite = false;
+  int num_cpus = 1;
+  int num_disks = 2;
+
+  static ResourceConfig Infinite() { return ResourceConfig{true, 0, 0}; }
+  static ResourceConfig Finite(int cpus, int disks) {
+    return ResourceConfig{false, cpus, disks};
+  }
+};
+
+/// Owns the CPU pool and disk array and routes service requests.
+class ResourceManager {
+ public:
+  /// `disk_rng` drives the uniform random disk choice.
+  ResourceManager(Simulator* sim, const ResourceConfig& config, Rng disk_rng);
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  const ResourceConfig& config() const { return config_; }
+
+  /// CPU service; cc requests are prioritized over normal work.
+  void RequestCpu(SimTime service_time, ServicePriority priority,
+                  ServiceCompletion done);
+
+  /// Disk service at a uniformly random disk (the partitioned-database
+  /// assumption: each access is equally likely to hit any partition).
+  void RequestDisk(SimTime service_time, ServiceCompletion done);
+
+  /// Disk service at a specific disk (tests and specialized workloads).
+  void RequestDiskAt(int disk, SimTime service_time, ServiceCompletion done);
+
+  /// Service on the dedicated sequential log disk (commit records). The log
+  /// disk is created on first use — one FCFS server, or a pure delay under
+  /// infinite resources — and is not counted in DiskUtilization().
+  void RequestLog(SimTime service_time, ServiceCompletion done);
+
+  /// Log-disk utilization over the current window (0 if the log disk was
+  /// never used or resources are infinite).
+  double LogUtilization(SimTime now);
+
+  /// The log pool, or nullptr if never used (tests).
+  ServerPool* log_disk() { return log_.get(); }
+
+  int num_disks() const { return static_cast<int>(disks_.size()); }
+
+  ServerPool& cpu() { return *cpu_; }
+  ServerPool& disk(int i) { return *disks_[static_cast<size_t>(i)]; }
+
+  /// CPU utilization fraction over the current window (0 if infinite).
+  double CpuUtilization(SimTime now);
+
+  /// Mean utilization fraction across all disks over the current window
+  /// (0 if infinite).
+  double DiskUtilization(SimTime now);
+
+  /// Starts a new measurement window on every pool.
+  void ResetWindow(SimTime now);
+
+ private:
+  Simulator* sim_;
+  ResourceConfig config_;
+  Rng disk_rng_;
+  std::unique_ptr<ServerPool> cpu_;
+  std::vector<std::unique_ptr<ServerPool>> disks_;
+  std::unique_ptr<ServerPool> log_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_RES_RESOURCES_H_

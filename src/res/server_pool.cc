@@ -1,0 +1,78 @@
+#include "res/server_pool.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+ServerPool::ServerPool(Simulator* sim, int num_servers, bool infinite,
+                       std::string name)
+    : sim_(sim),
+      num_servers_(infinite ? 0 : num_servers),
+      infinite_(infinite),
+      name_(std::move(name)),
+      busy_time_(sim->Now()),
+      queue_len_(sim->Now()) {
+  CCSIM_CHECK(infinite || num_servers >= 1)
+      << "finite pool " << name_ << " needs at least one server";
+}
+
+void ServerPool::Request(SimTime service_time, ServicePriority priority,
+                         ServiceCompletion done) {
+  CCSIM_CHECK_GT(service_time, 0) << "zero-cost service in pool " << name_;
+  Pending pending{service_time, sim_->Now(), std::move(done)};
+  if (infinite_ || busy_servers_ < num_servers_) {
+    wait_times_.Add(0.0);
+    BeginService(std::move(pending));
+    return;
+  }
+  auto& queue = priority == ServicePriority::kConcurrencyControl ? cc_queue_
+                                                                 : normal_queue_;
+  queue.push_back(std::move(pending));
+  queue_len_.Set(sim_->Now(), static_cast<double>(queue_length()));
+}
+
+void ServerPool::BeginService(Pending pending) {
+  ++busy_servers_;
+  busy_time_.Set(sim_->Now(), static_cast<double>(busy_servers_));
+  ServiceCompletion done = std::move(pending.done);
+  sim_->Schedule(pending.service_time,
+                 [this, done = std::move(done)]() mutable {
+                   OnServiceComplete(std::move(done));
+                 });
+}
+
+void ServerPool::OnServiceComplete(ServiceCompletion done) {
+  --busy_servers_;
+  CCSIM_CHECK_GE(busy_servers_, 0);
+  busy_time_.Set(sim_->Now(), static_cast<double>(busy_servers_));
+  ++completed_requests_;
+
+  // Hand the freed server to the highest-priority waiter before running the
+  // completion, so that queue statistics reflect the instant of transfer.
+  if (!infinite_) {
+    std::deque<Pending>* queue = nullptr;
+    if (!cc_queue_.empty()) {
+      queue = &cc_queue_;
+    } else if (!normal_queue_.empty()) {
+      queue = &normal_queue_;
+    }
+    if (queue != nullptr) {
+      Pending next = std::move(queue->front());
+      queue->pop_front();
+      queue_len_.Set(sim_->Now(), static_cast<double>(queue_length()));
+      wait_times_.Add(ToSeconds(sim_->Now() - next.enqueue_time));
+      BeginService(std::move(next));
+    }
+  }
+  done();
+}
+
+void ServerPool::ResetWindow(SimTime now) {
+  busy_time_.ResetWindow(now);
+  queue_len_.ResetWindow(now);
+  wait_times_.Reset();
+}
+
+}  // namespace ccsim

@@ -1,0 +1,107 @@
+// Physical resource servers (Figure 2 of the paper).
+//
+// A ServerPool models k identical servers fed by one global queue with two
+// priority classes (concurrency control requests are served before normal
+// work, FCFS within class) — this is the paper's CPU model. A pool with one
+// server is the building block of the partitioned-disk model. A pool may be
+// configured as *infinite*, in which case every request is a pure service
+// delay with no queuing — the paper's "infinite resources" assumption.
+#ifndef CCSIM_RES_SERVER_POOL_H_
+#define CCSIM_RES_SERVER_POOL_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "stats/time_weighted.h"
+#include "stats/welford.h"
+
+namespace ccsim {
+
+/// Service priority classes. Lower enumerator = served first.
+enum class ServicePriority { kConcurrencyControl = 0, kNormal = 1 };
+
+/// Completion callback invoked when a service request finishes.
+using ServiceCompletion = std::function<void()>;
+
+/// k identical servers with a shared two-class FCFS queue, or an infinite
+/// server bank when constructed with `infinite = true`.
+class ServerPool {
+ public:
+  /// `num_servers` is ignored when `infinite` is true. Requires
+  /// num_servers >= 1 otherwise.
+  ServerPool(Simulator* sim, int num_servers, bool infinite,
+             std::string name = "pool");
+
+  ServerPool(const ServerPool&) = delete;
+  ServerPool& operator=(const ServerPool&) = delete;
+
+  /// Requests `service_time` µs of service; `done` fires at completion.
+  /// Requires service_time > 0 (zero-cost steps are the caller's business).
+  void Request(SimTime service_time, ServicePriority priority,
+               ServiceCompletion done);
+
+  bool infinite() const { return infinite_; }
+  int num_servers() const { return num_servers_; }
+  const std::string& name() const { return name_; }
+
+  /// Servers currently serving a request.
+  int busy_servers() const { return busy_servers_; }
+
+  /// Requests waiting in queue (all classes).
+  size_t queue_length() const {
+    return cc_queue_.size() + normal_queue_.size();
+  }
+
+  int64_t completed_requests() const { return completed_requests_; }
+
+  /// Mean busy servers over the current measurement window. Divide by
+  /// num_servers() for a utilization fraction (finite pools only).
+  double MeanBusyServers(SimTime now) { return busy_time_.Average(now); }
+
+  /// Utilization fraction in the current window; 0 for infinite pools where
+  /// the notion is meaningless.
+  double Utilization(SimTime now) {
+    return infinite_ ? 0.0
+                     : MeanBusyServers(now) / static_cast<double>(num_servers_);
+  }
+
+  /// Mean queue length over the current window.
+  double MeanQueueLength(SimTime now) { return queue_len_.Average(now); }
+
+  /// Waiting-time statistics (time in queue, excluding service).
+  const Welford& wait_time_stats() const { return wait_times_; }
+
+  /// Starts a new measurement window (batch boundary).
+  void ResetWindow(SimTime now);
+
+ private:
+  struct Pending {
+    SimTime service_time;
+    SimTime enqueue_time;
+    ServiceCompletion done;
+  };
+
+  void BeginService(Pending pending);
+  void OnServiceComplete(ServiceCompletion done);
+
+  Simulator* sim_;
+  int num_servers_;
+  bool infinite_;
+  std::string name_;
+
+  int busy_servers_ = 0;
+  std::deque<Pending> cc_queue_;
+  std::deque<Pending> normal_queue_;
+
+  int64_t completed_requests_ = 0;
+  TimeWeightedValue busy_time_;
+  TimeWeightedValue queue_len_;
+  Welford wait_times_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_RES_SERVER_POOL_H_

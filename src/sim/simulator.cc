@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+EventId Simulator::Schedule(SimTime delay, std::function<void()> action) {
+  CCSIM_CHECK_GE(delay, 0) << "cannot schedule into the past";
+  return ScheduleAt(now_ + delay, std::move(action));
+}
+
+EventId Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
+  CCSIM_CHECK_GE(when, now_) << "cannot schedule into the past";
+  EventId id = next_id_++;
+  heap_.push(HeapEntry{when, id});
+  actions_.emplace(id, std::move(action));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  // Lazy deletion: the heap entry remains and is discarded when popped.
+  return actions_.erase(id) > 0;
+}
+
+bool Simulator::Step() {
+  while (!heap_.empty()) {
+    HeapEntry entry = heap_.top();
+    heap_.pop();
+    auto it = actions_.find(entry.id);
+    if (it == actions_.end()) continue;  // Cancelled.
+    std::function<void()> action = std::move(it->second);
+    actions_.erase(it);
+    CCSIM_CHECK_GE(entry.time, now_);
+    now_ = entry.time;
+    ++events_fired_;
+    action();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  CCSIM_CHECK_GE(until, now_);
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    // Peek at the next live event; stop before crossing `until`.
+    bool fired = false;
+    while (!heap_.empty()) {
+      const HeapEntry& top = heap_.top();
+      if (actions_.find(top.id) == actions_.end()) {
+        heap_.pop();  // Cancelled entry.
+        continue;
+      }
+      if (top.time > until) break;
+      fired = Step();
+      break;
+    }
+    if (!fired) break;
+  }
+  if (!stop_requested_) now_ = until;
+}
+
+}  // namespace ccsim

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Events scheduled for the same instant fire in scheduling order (stable
+// sequence-number tie-breaking), so a simulation run is a pure function of
+// its parameters and master seed. Cancellation is O(1) via lazy deletion.
+#ifndef CCSIM_SIM_SIMULATOR_H_
+#define CCSIM_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ccsim {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+/// The event scheduler and simulation clock.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `action` to fire `delay` µs from now. Requires delay >= 0.
+  EventId Schedule(SimTime delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `when`. Requires when >= Now().
+  EventId ScheduleAt(SimTime when, std::function<void()> action);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired; cancelling an already-fired or unknown id is a no-op.
+  bool Cancel(EventId id);
+
+  /// Fires the next pending event, advancing the clock to its time.
+  /// Returns false when no events remain.
+  bool Step();
+
+  /// Runs until the event queue drains or `RequestStop` is called.
+  void Run();
+
+  /// Runs all events with time <= `until`, then sets the clock to `until`.
+  void RunUntil(SimTime until);
+
+  /// Makes Run()/RunUntil() return after the current event completes.
+  void RequestStop() { stop_requested_ = true; }
+
+  /// Number of events that have fired so far (for perf reporting and tests).
+  uint64_t events_fired() const { return events_fired_; }
+
+  /// Number of pending (non-cancelled) events.
+  size_t pending_events() const { return actions_.size(); }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    EventId id;
+    // Min-heap on (time, id): ties fire in scheduling order.
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t events_fired_ = 0;
+  bool stop_requested_ = false;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>
+      heap_;
+  // Pending actions; entries are erased when fired or cancelled. A heap entry
+  // whose id is absent here has been cancelled and is skipped on pop.
+  std::unordered_map<EventId, std::function<void()>> actions_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_SIM_SIMULATOR_H_

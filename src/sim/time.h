@@ -1,0 +1,37 @@
+// Simulated time.
+//
+// All model time is kept as integer microseconds so that runs are exactly
+// reproducible and event ordering is never subject to floating-point noise.
+// The paper's parameters (milliseconds and seconds) are exact in this base.
+#ifndef CCSIM_SIM_TIME_H_
+#define CCSIM_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace ccsim {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+/// Converts (real-valued) seconds to SimTime, rounding to nearest µs.
+constexpr SimTime FromSeconds(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts milliseconds to SimTime, rounding to nearest µs.
+constexpr SimTime FromMillis(double millis) {
+  return static_cast<SimTime>(millis * static_cast<double>(kMillisecond) + 0.5);
+}
+
+/// Converts SimTime to seconds for reporting.
+constexpr double ToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace ccsim
+
+#endif  // CCSIM_SIM_TIME_H_

@@ -1,0 +1,35 @@
+#include "stats/batch_means.h"
+
+#include <cmath>
+
+namespace ccsim {
+
+double Lag1Autocorrelation(const std::vector<double>& series) {
+  size_t n = series.size();
+  if (n < 3) return 0.0;
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double numerator = 0.0, denominator = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = series[i] - mean;
+    denominator += d * d;
+    if (i + 1 < n) numerator += d * (series[i + 1] - mean);
+  }
+  return denominator > 0.0 ? numerator / denominator : 0.0;
+}
+
+IntervalEstimate BatchMeans::Estimate() const {
+  IntervalEstimate estimate;
+  estimate.batches = batch_count();
+  estimate.mean = across_.Mean();
+  if (estimate.batches >= 2) {
+    double t = StudentTCritical(level_, estimate.batches - 1);
+    estimate.half_width =
+        t * across_.StdDev() / std::sqrt(static_cast<double>(estimate.batches));
+  }
+  estimate.lag1_autocorrelation = Lag1Autocorrelation(batch_values_);
+  return estimate;
+}
+
+}  // namespace ccsim

@@ -1,0 +1,24 @@
+#include "stats/histogram.h"
+
+namespace ccsim {
+
+double Histogram::Quantile(double q) const {
+  CCSIM_CHECK_GE(q, 0.0);
+  CCSIM_CHECK_LE(q, 1.0);
+  if (total_ == 0) return 0.0;
+  double target = q * static_cast<double>(total_);
+  double cumulative = static_cast<double>(underflow_);
+  if (cumulative >= target) return lo_;
+  double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      double fraction = (target - cumulative) / static_cast<double>(counts_[i]);
+      return BinLow(i) + fraction * bin_width;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+}  // namespace ccsim

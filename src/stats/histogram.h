@@ -1,0 +1,66 @@
+// Fixed-bin histogram with quantile estimation, for response-time
+// distributions (the paper highlights response-time *variance*; a histogram
+// lets examples and benches show the full shape).
+#ifndef CCSIM_STATS_HISTOGRAM_H_
+#define CCSIM_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins plus underflow and
+/// overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins)
+      : lo_(lo), hi_(hi), counts_(static_cast<size_t>(bins), 0) {
+    CCSIM_CHECK_GT(bins, 0);
+    CCSIM_CHECK_LT(lo, hi);
+  }
+
+  void Add(double x) {
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    auto bin = static_cast<size_t>((x - lo_) / (hi_ - lo_) *
+                                   static_cast<double>(counts_.size()));
+    if (bin >= counts_.size()) bin = counts_.size() - 1;  // x just below hi.
+    ++counts_[bin];
+  }
+
+  int64_t total() const { return total_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+  /// Lower edge of bin i.
+  double BinLow(size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bin. Returns lo_/hi_ at the extremes; 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_STATS_HISTOGRAM_H_

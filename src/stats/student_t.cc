@@ -1,0 +1,54 @@
+#include "stats/student_t.h"
+
+#include "util/check.h"
+
+namespace ccsim {
+namespace {
+
+// Upper critical values t_{1-alpha/2, df} for df = 1..30.
+constexpr double kT90[30] = {
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+    1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+    1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697};
+
+constexpr double kT95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+
+constexpr double kT99[30] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+
+constexpr double kNormal90 = 1.645;
+constexpr double kNormal95 = 1.960;
+constexpr double kNormal99 = 2.576;
+
+}  // namespace
+
+double StudentTCritical(ConfidenceLevel level, int df) {
+  CCSIM_CHECK_GE(df, 1);
+  if (df > 30) {
+    switch (level) {
+      case ConfidenceLevel::k90:
+        return kNormal90;
+      case ConfidenceLevel::k95:
+        return kNormal95;
+      case ConfidenceLevel::k99:
+        return kNormal99;
+    }
+  }
+  switch (level) {
+    case ConfidenceLevel::k90:
+      return kT90[df - 1];
+    case ConfidenceLevel::k95:
+      return kT95[df - 1];
+    case ConfidenceLevel::k99:
+      return kT99[df - 1];
+  }
+  CCSIM_CHECK(false) << "unreachable";
+  return 0.0;
+}
+
+}  // namespace ccsim

@@ -1,0 +1,17 @@
+// Student-t critical values for confidence intervals on batch means.
+#ifndef CCSIM_STATS_STUDENT_T_H_
+#define CCSIM_STATS_STUDENT_T_H_
+
+namespace ccsim {
+
+/// Two-sided confidence levels supported by the batch-means estimator.
+enum class ConfidenceLevel { k90, k95, k99 };
+
+/// Returns the upper critical value t_{1-alpha/2, df} for the two-sided
+/// interval at `level` with `df` degrees of freedom (df >= 1). Values beyond
+/// the tabulated range fall back to the normal quantile.
+double StudentTCritical(ConfidenceLevel level, int df);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_STATS_STUDENT_T_H_

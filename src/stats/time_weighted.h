@@ -1,0 +1,61 @@
+// Time-weighted averaging of piecewise-constant signals.
+//
+// Used for the average number of active transactions (the paper's "actual
+// multiprogramming level") and for queue-length statistics. Supports window
+// resets so each measurement batch averages only its own interval.
+#ifndef CCSIM_STATS_TIME_WEIGHTED_H_
+#define CCSIM_STATS_TIME_WEIGHTED_H_
+
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace ccsim {
+
+/// Integrates a piecewise-constant value over simulated time.
+class TimeWeightedValue {
+ public:
+  /// Starts tracking at `start_time` with initial value `initial`.
+  explicit TimeWeightedValue(SimTime start_time = 0, double initial = 0.0)
+      : window_start_(start_time), last_time_(start_time), value_(initial) {}
+
+  /// Records that the signal changed to `new_value` at time `now`.
+  void Set(SimTime now, double new_value) {
+    Advance(now);
+    value_ = new_value;
+  }
+
+  /// Adds `delta` to the signal at time `now`.
+  void Add(SimTime now, double delta) { Set(now, value_ + delta); }
+
+  double current() const { return value_; }
+
+  /// Average over [window start, now].
+  double Average(SimTime now) {
+    Advance(now);
+    SimTime elapsed = now - window_start_;
+    return elapsed > 0 ? integral_ / static_cast<double>(elapsed) : value_;
+  }
+
+  /// Starts a new averaging window at `now`, keeping the current value.
+  void ResetWindow(SimTime now) {
+    Advance(now);
+    window_start_ = now;
+    integral_ = 0.0;
+  }
+
+ private:
+  void Advance(SimTime now) {
+    CCSIM_CHECK_GE(now, last_time_);
+    integral_ += value_ * static_cast<double>(now - last_time_);
+    last_time_ = now;
+  }
+
+  SimTime window_start_;
+  SimTime last_time_;
+  double value_;
+  double integral_ = 0.0;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_STATS_TIME_WEIGHTED_H_

@@ -1,0 +1,77 @@
+// Streaming mean/variance accumulation (Welford's algorithm).
+//
+// Used for response-time statistics (the paper reports both the mean and the
+// standard deviation of response time) and as the running average that drives
+// the adaptive restart delay.
+#ifndef CCSIM_STATS_WELFORD_H_
+#define CCSIM_STATS_WELFORD_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ccsim {
+
+/// Numerically stable streaming accumulator for mean, variance, min and max.
+class Welford {
+ public:
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void Reset() { *this = Welford(); }
+
+  int64_t count() const { return count_; }
+
+  /// Mean of the observations; 0 when empty.
+  double Mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double Variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double StdDev() const { return std::sqrt(Variance()); }
+
+  /// Population (biased) variance; 0 when empty.
+  double PopulationVariance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  double Min() const { return count_ > 0 ? min_ : 0.0; }
+  double Max() const { return count_ > 0 ? max_ : 0.0; }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void Merge(const Welford& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    int64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    mean_ += delta * static_cast<double>(other.count_) / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                           static_cast<double>(other.count_) /
+                           static_cast<double>(n);
+    count_ = n;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_STATS_WELFORD_H_

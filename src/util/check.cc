@@ -1,0 +1,19 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ccsim {
+
+void CheckFailed(const char* condition, const char* file, int line,
+                 const std::string& message) {
+  std::fprintf(stderr, "CCSIM_CHECK failed: %s at %s:%d", condition, file, line);
+  if (!message.empty()) {
+    std::fprintf(stderr, " — %s", message.c_str());
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ccsim

@@ -1,0 +1,64 @@
+// Always-on invariant checking for the simulator.
+//
+// Simulation results are only as trustworthy as the model's internal
+// consistency, so invariant checks stay enabled in release builds. A failed
+// check prints the condition, location, and an optional message, then aborts.
+#ifndef CCSIM_UTIL_CHECK_H_
+#define CCSIM_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace ccsim {
+
+/// Prints a fatal check failure and aborts the process. Never returns.
+[[noreturn]] void CheckFailed(const char* condition, const char* file, int line,
+                              const std::string& message);
+
+namespace internal {
+
+/// Stream-collects the optional message of a CCSIM_CHECK and aborts on
+/// destruction. Instances only exist on the failure path.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* condition, const char* file, int line)
+      : condition_(condition), file_(file), line_(line) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(condition_, file_, line_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* condition_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ccsim
+
+/// Aborts with a diagnostic if `condition` is false. Additional context may be
+/// streamed: CCSIM_CHECK(x > 0) << "x=" << x;
+#define CCSIM_CHECK(condition)                                            \
+  if (condition) {                                                        \
+  } else /* NOLINT */                                                     \
+    ::ccsim::internal::CheckMessageBuilder(#condition, __FILE__, __LINE__)
+
+#define CCSIM_CHECK_EQ(a, b) CCSIM_CHECK((a) == (b))
+#define CCSIM_CHECK_NE(a, b) CCSIM_CHECK((a) != (b))
+#define CCSIM_CHECK_LT(a, b) CCSIM_CHECK((a) < (b))
+#define CCSIM_CHECK_LE(a, b) CCSIM_CHECK((a) <= (b))
+#define CCSIM_CHECK_GT(a, b) CCSIM_CHECK((a) > (b))
+#define CCSIM_CHECK_GE(a, b) CCSIM_CHECK((a) >= (b))
+
+#endif  // CCSIM_UTIL_CHECK_H_

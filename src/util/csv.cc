@@ -1,0 +1,42 @@
+#include "util/csv.h"
+
+#include "util/str.h"
+
+namespace ccsim {
+namespace {
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string Quote(const std::string& field) {
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path, std::ios::trunc) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << (NeedsQuoting(fields[i]) ? Quote(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::Field(double value) {
+  return StringPrintf("%.6g", value);
+}
+
+std::string CsvWriter::Field(int64_t value) {
+  return StringPrintf("%lld", static_cast<long long>(value));
+}
+
+}  // namespace ccsim

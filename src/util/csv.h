@@ -1,0 +1,33 @@
+// Minimal CSV writer used by bench harnesses to dump experiment series in a
+// machine-readable form alongside the human-readable tables.
+#ifndef CCSIM_UTIL_CSV_H_
+#define CCSIM_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// Writes rows to a CSV file; fields containing commas, quotes, or newlines
+/// are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates). Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string Field(double value);
+  static std::string Field(int64_t value);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_UTIL_CSV_H_

@@ -1,0 +1,34 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace ccsim {
+
+std::optional<std::string> GetEnv(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return std::nullopt;
+  return std::string(value);
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  auto raw = GetEnv(name);
+  if (!raw.has_value()) return fallback;
+  auto parsed = ParseInt(*raw);
+  CCSIM_CHECK(parsed.has_value())
+      << "environment variable " << name << " = \"" << *raw << "\" is not an integer";
+  return *parsed;
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  auto raw = GetEnv(name);
+  if (!raw.has_value()) return fallback;
+  auto parsed = ParseDouble(*raw);
+  CCSIM_CHECK(parsed.has_value())
+      << "environment variable " << name << " = \"" << *raw << "\" is not a number";
+  return *parsed;
+}
+
+}  // namespace ccsim

@@ -1,0 +1,25 @@
+// Environment-variable helpers. Bench harnesses use these so that run length
+// and statistical effort can be scaled without recompiling:
+//   CCSIM_BATCHES, CCSIM_BATCH_SECONDS, CCSIM_SEED, CCSIM_MPLS, CCSIM_CSV_DIR.
+#ifndef CCSIM_UTIL_ENV_H_
+#define CCSIM_UTIL_ENV_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ccsim {
+
+/// Returns the value of `name` or nullopt if unset/empty.
+std::optional<std::string> GetEnv(const std::string& name);
+
+/// Returns `name` parsed as an integer, or `fallback` when unset. Aborts on a
+/// set-but-malformed value (a silently ignored knob invalidates a run).
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+/// Returns `name` parsed as a double, or `fallback` when unset.
+double GetEnvDouble(const std::string& name, double fallback);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_UTIL_ENV_H_

@@ -1,0 +1,47 @@
+// Leveled logging for the simulator. Default level is kWarning so that test
+// and bench output stays clean; experiment harnesses raise it for progress
+// reporting, and kTrace exposes per-event detail for debugging models.
+#ifndef CCSIM_UTIL_LOGGING_H_
+#define CCSIM_UTIL_LOGGING_H_
+
+#include <sstream>
+
+namespace ccsim {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarning = 3, kError = 4 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log record and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ccsim
+
+#define CCSIM_LOG(level)                                                      \
+  if (::ccsim::LogLevel::level < ::ccsim::GetLogLevel()) {                    \
+  } else                                                                      \
+    ::ccsim::internal::LogMessage(::ccsim::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // CCSIM_UTIL_LOGGING_H_

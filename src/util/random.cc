@@ -1,0 +1,34 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ccsim {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t population,
+                                                   int64_t count) {
+  CCSIM_CHECK_GE(count, 0);
+  CCSIM_CHECK_LE(count, population);
+  // Floyd's algorithm: for j in [population-count, population), pick t uniform
+  // in [0, j]; insert t unless already chosen, else insert j. Produces a
+  // uniform random subset of size `count`.
+  std::unordered_set<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(count) * 2);
+  std::vector<int64_t> result;
+  result.reserve(static_cast<size_t>(count));
+  for (int64_t j = population - count; j < population; ++j) {
+    int64_t t = UniformInt(0, j);
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  // Floyd's subset is uniform but its order is biased; shuffle so that the
+  // access order is also uniform (objects are read in result order).
+  std::shuffle(result.begin(), result.end(), engine_);
+  return result;
+}
+
+}  // namespace ccsim

@@ -1,0 +1,91 @@
+#include "wl/workload.h"
+
+#include <utility>
+
+namespace ccsim {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadParams& params, Rng spec_rng,
+                                     Rng think_rng)
+    : params_(params),
+      spec_rng_(std::move(spec_rng)),
+      think_rng_(std::move(think_rng)) {
+  params_.Validate();
+}
+
+TxnSpec WorkloadGenerator::NextTransaction() {
+  // Select the class, then the class's size and write probability.
+  int class_index = 0;
+  int min_size = params_.min_size;
+  int max_size = params_.max_size;
+  double write_prob = params_.write_prob;
+  if (!params_.classes.empty()) {
+    double pick = spec_rng_.NextDouble();
+    double cumulative = 0.0;
+    for (size_t i = 0; i < params_.classes.size(); ++i) {
+      cumulative += params_.classes[i].fraction;
+      // The last class absorbs any floating-point remainder.
+      if (pick < cumulative || i + 1 == params_.classes.size()) {
+        class_index = static_cast<int>(i);
+        break;
+      }
+    }
+    const TxnClass& cls = params_.classes[static_cast<size_t>(class_index)];
+    min_size = cls.min_size;
+    max_size = cls.max_size;
+    write_prob = cls.write_prob;
+  }
+
+  int size = static_cast<int>(spec_rng_.UniformInt(min_size, max_size));
+  TxnSpec spec;
+  spec.class_index = class_index;
+  if (params_.hot_fraction_db == 0.0) {
+    spec.reads = spec_rng_.SampleWithoutReplacement(params_.db_size, size);
+  } else {
+    // Stratified sampling under the x-y rule: each of the `size` accesses
+    // independently targets the hot set with probability hot_access_prob,
+    // then the hot and cold picks are drawn without replacement from their
+    // strata and interleaved in a uniformly shuffled order.
+    int64_t hot_size = params_.HotSetSize();
+    int hot_picks = 0;
+    std::vector<bool> is_hot(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      is_hot[static_cast<size_t>(i)] =
+          spec_rng_.Bernoulli(params_.hot_access_prob);
+      hot_picks += is_hot[static_cast<size_t>(i)] ? 1 : 0;
+    }
+    std::vector<ObjectId> hot =
+        spec_rng_.SampleWithoutReplacement(hot_size, hot_picks);
+    std::vector<ObjectId> cold = spec_rng_.SampleWithoutReplacement(
+        params_.db_size - hot_size, size - hot_picks);
+    size_t hot_index = 0, cold_index = 0;
+    spec.reads.reserve(static_cast<size_t>(size));
+    for (int i = 0; i < size; ++i) {
+      if (is_hot[static_cast<size_t>(i)]) {
+        spec.reads.push_back(hot[hot_index++]);
+      } else {
+        spec.reads.push_back(hot_size + cold[cold_index++]);
+      }
+    }
+  }
+  spec.writes.resize(spec.reads.size());
+  bool read_only = params_.read_only_fraction > 0.0 &&
+                   spec_rng_.Bernoulli(params_.read_only_fraction);
+  if (!read_only && write_prob > 0.0) {
+    for (size_t i = 0; i < spec.reads.size(); ++i) {
+      spec.writes[i] = spec_rng_.Bernoulli(write_prob);
+    }
+  }
+  return spec;
+}
+
+SimTime WorkloadGenerator::NextExternalThink() {
+  if (params_.ext_think_time == 0) return 0;
+  return FromSeconds(think_rng_.Exponential(ToSeconds(params_.ext_think_time)));
+}
+
+SimTime WorkloadGenerator::NextInternalThink() {
+  if (params_.int_think_time == 0) return 0;
+  return FromSeconds(think_rng_.Exponential(ToSeconds(params_.int_think_time)));
+}
+
+}  // namespace ccsim

@@ -1,0 +1,395 @@
+// Tests for the engine's modeling alternatives: open (Poisson) arrivals,
+// static write locking, and response-time percentile reporting.
+#include <gtest/gtest.h>
+
+#include "core/closed_system.h"
+#include "core/history.h"
+#include "sim/simulator.h"
+
+namespace ccsim {
+namespace {
+
+WorkloadParams SmallWorkload() {
+  WorkloadParams w;
+  w.db_size = 100;
+  w.tran_size = 4;
+  w.min_size = 2;
+  w.max_size = 6;
+  w.write_prob = 0.25;
+  w.num_terms = 20;
+  w.mpl = 10;
+  w.ext_think_time = kSecond;
+  w.obj_io = FromMillis(5);
+  w.obj_cpu = FromMillis(2);
+  return w;
+}
+
+EngineConfig OpenConfig(double rate) {
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  config.source_mode = SourceMode::kOpen;
+  config.arrival_rate = rate;
+  config.seed = 11;
+  return config;
+}
+
+TEST(OpenSystemTest, ThroughputMatchesArrivalRateWhenUnderloaded) {
+  // Capacity here is ~80 tps (2 disks / 5 ms io, ~5 accesses/txn); feed 5.
+  Simulator sim;
+  ClosedSystem system(&sim, OpenConfig(5.0));
+  MetricsReport r = system.RunExperiment(10, 10 * kSecond, 10 * kSecond);
+  EXPECT_NEAR(r.throughput.mean, 5.0, 0.5);
+  // An underloaded open system has short, stable response times.
+  EXPECT_LT(r.response_mean.mean, 1.0);
+}
+
+TEST(OpenSystemTest, OverloadBuildsBacklog) {
+  Simulator sim;
+  ClosedSystem system(&sim, OpenConfig(300.0));  // Beyond disk capacity (~80 tps).
+  system.Prime();
+  sim.RunUntil(60 * kSecond);
+  // Arrivals outstrip completions: a large ready backlog accumulates.
+  EXPECT_GT(system.ready_queue_length(), 200u);
+}
+
+TEST(OpenSystemTest, ArrivalsIgnoreTerminalCount) {
+  // num_terms is irrelevant in open mode: more than num_terms transactions
+  // can be in the system simultaneously.
+  Simulator sim;
+  EngineConfig config = OpenConfig(300.0);
+  config.workload.num_terms = 3;
+  ClosedSystem system(&sim, config);
+  system.Prime();
+  sim.RunUntil(30 * kSecond);
+  EXPECT_GT(system.active_count() + static_cast<int>(system.ready_queue_length()),
+            3);
+}
+
+TEST(OpenSystemTest, DeterministicUnderSeed) {
+  auto run = [] {
+    Simulator sim;
+    ClosedSystem system(&sim, OpenConfig(10.0));
+    return system.RunExperiment(5, 5 * kSecond, 5 * kSecond);
+  };
+  MetricsReport a = run();
+  MetricsReport b = run();
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_DOUBLE_EQ(a.response_mean.mean, b.response_mean.mean);
+}
+
+TEST(OpenSystemDeathTest, RequiresPositiveRate) {
+  Simulator sim;
+  EngineConfig config = OpenConfig(0.0);
+  EXPECT_DEATH(ClosedSystem(&sim, config), "arrival_rate");
+}
+
+EngineConfig StaticLockConfig(const std::string& algorithm) {
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.workload.db_size = 60;  // Contended: upgrades matter.
+  config.workload.write_prob = 0.5;
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = algorithm;
+  config.x_lock_on_read_intent = true;
+  config.seed = 13;
+  config.record_history = true;
+  return config;
+}
+
+TEST(StaticWriteLockingTest, BlockingHasNoUpgradeDeadlocks) {
+  Simulator sim;
+  ClosedSystem system(&sim, StaticLockConfig("blocking"));
+  MetricsReport r = system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+  ASSERT_GT(r.commits, 0);
+  // With write locks taken up front, the classic two-reader upgrade deadlock
+  // cannot form. (Cross-object cycles can still occur, so we compare against
+  // the upgrade variant instead of asserting zero.)
+  EngineConfig upgrade_config = StaticLockConfig("blocking");
+  upgrade_config.x_lock_on_read_intent = false;
+  Simulator sim2;
+  ClosedSystem upgrade_system(&sim2, upgrade_config);
+  MetricsReport u = upgrade_system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+  EXPECT_LT(r.cc_stats.deadlock_victims, u.cc_stats.deadlock_victims);
+}
+
+TEST(StaticWriteLockingTest, HistoriesStaySerializable) {
+  for (const char* algorithm :
+       {"blocking", "immediate_restart", "optimistic", "optimistic_forward",
+        "wound_wait"}) {
+    Simulator sim;
+    ClosedSystem system(&sim, StaticLockConfig(algorithm));
+    MetricsReport r = system.RunExperiment(4, 5 * kSecond, 2 * kSecond);
+    ASSERT_GT(r.commits, 0) << algorithm;
+    auto result = CheckHistorySerializability(system.history());
+    EXPECT_TRUE(result.serializable) << algorithm << ": " << result.ToString();
+  }
+}
+
+TEST(StaticWriteLockingTest, OptimisticOutcomeUnchanged) {
+  // For the optimistic algorithm the declaration order is immaterial; the
+  // same seed must yield the same commits either way.
+  EngineConfig a = StaticLockConfig("optimistic");
+  EngineConfig b = StaticLockConfig("optimistic");
+  b.x_lock_on_read_intent = false;
+  Simulator s1, s2;
+  ClosedSystem sys_a(&s1, a), sys_b(&s2, b);
+  MetricsReport ra = sys_a.RunExperiment(4, 5 * kSecond, 2 * kSecond);
+  MetricsReport rb = sys_b.RunExperiment(4, 5 * kSecond, 2 * kSecond);
+  EXPECT_EQ(ra.commits, rb.commits);
+  EXPECT_EQ(ra.restarts, rb.restarts);
+}
+
+TEST(StaticWriteLockingDeathTest, RejectedForTimestampOrdering) {
+  for (const char* algorithm : {"basic_to", "mvto"}) {
+    Simulator sim;
+    EngineConfig config = StaticLockConfig(algorithm);
+    EXPECT_DEATH(ClosedSystem(&sim, config), "x_lock_on_read_intent");
+  }
+}
+
+TEST(MultiClassTest, PerClassMetricsReported) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.workload.classes = {TxnClass{"update", 0.8, 3, 2, 4, 0.5},
+                             TxnClass{"report", 0.2, 10, 8, 12, 0.0}};
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  ClosedSystem system(&sim, config);
+  MetricsReport r = system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+
+  ASSERT_EQ(r.per_class.size(), 2u);
+  EXPECT_EQ(r.per_class[0].name, "update");
+  EXPECT_EQ(r.per_class[1].name, "report");
+  EXPECT_GT(r.per_class[0].commits, 0);
+  EXPECT_GT(r.per_class[1].commits, 0);
+  // Class totals add up to the aggregate.
+  EXPECT_EQ(r.per_class[0].commits + r.per_class[1].commits, r.commits);
+  EXPECT_EQ(r.per_class[0].restarts + r.per_class[1].restarts, r.restarts);
+  // The 80/20 mix shows in the commit counts (reports are also slower, so
+  // the ratio skews beyond 4:1 — just check dominance).
+  EXPECT_GT(r.per_class[0].commits, r.per_class[1].commits);
+  // Long reports take longer than short updates.
+  EXPECT_GT(r.per_class[1].response_mean, r.per_class[0].response_mean);
+}
+
+TEST(MultiClassTest, SingleClassReportHasOneDefaultEntry) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.resources = ResourceConfig::Finite(1, 2);
+  ClosedSystem system(&sim, config);
+  MetricsReport r = system.RunExperiment(3, 5 * kSecond, 2 * kSecond);
+  ASSERT_EQ(r.per_class.size(), 1u);
+  EXPECT_EQ(r.per_class[0].name, "default");
+  EXPECT_EQ(r.per_class[0].commits, r.commits);
+}
+
+TEST(MultiClassTest, MvtoLetsReportsThroughWhereOptimisticStarvesThem) {
+  // The mixed-OLTP headline in miniature: long read-only transactions under
+  // a write-heavy background commit far more easily with multiversioning.
+  auto run = [](const std::string& algorithm) {
+    Simulator sim;
+    EngineConfig config;
+    config.workload = SmallWorkload();
+    config.workload.db_size = 60;
+    config.workload.classes = {TxnClass{"update", 0.8, 3, 2, 4, 0.8},
+                               TxnClass{"report", 0.2, 15, 10, 20, 0.0}};
+    config.resources = ResourceConfig::Finite(1, 2);
+    config.algorithm = algorithm;
+    config.seed = 21;
+    ClosedSystem system(&sim, config);
+    return system.RunExperiment(4, 15 * kSecond, 10 * kSecond);
+  };
+  MetricsReport mvto = run("mvto");
+  MetricsReport optimistic = run("optimistic");
+  ASSERT_EQ(mvto.per_class.size(), 2u);
+  ASSERT_EQ(optimistic.per_class.size(), 2u);
+  EXPECT_GT(mvto.per_class[1].commits, optimistic.per_class[1].commits);
+  // MVTO reports never restart (reads are never rejected; they have no writes).
+  EXPECT_EQ(mvto.per_class[1].restarts, 0);
+}
+
+TEST(BufferPoolTest, FullHitRateEliminatesReadIo) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.workload.db_size = 100000;  // No conflicts: pure resource study.
+  config.workload.buffer_hit_prob = 1.0;
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  ClosedSystem system(&sim, config);
+  MetricsReport r = system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+  ASSERT_GT(r.commits, 0);
+  // Only deferred updates (writes) still hit the disks: utilization drops
+  // by ~ the read share of disk demand (reads:writes = 4:1 here).
+  Simulator sim2;
+  config.workload.buffer_hit_prob = 0.0;
+  ClosedSystem cold(&sim2, config);
+  MetricsReport c = cold.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+  EXPECT_LT(r.disk_util_total.mean, 0.5 * c.disk_util_total.mean);
+}
+
+TEST(BufferPoolTest, HitRateSpeedsUpDiskBoundSystem) {
+  // A saturated, disk-bound configuration: 200 terminals with short think
+  // against 2 disks (~80 tps of disk capacity at 5 accesses/txn).
+  auto run = [](double hit_prob) {
+    Simulator sim;
+    EngineConfig config;
+    config.workload = SmallWorkload();
+    config.workload.db_size = 100000;
+    config.workload.num_terms = 200;
+    config.workload.mpl = 200;
+    config.workload.ext_think_time = 100 * kMillisecond;
+    config.workload.buffer_hit_prob = hit_prob;
+    config.resources = ResourceConfig::Finite(2, 2);
+    ClosedSystem system(&sim, config);
+    return system.RunExperiment(4, 10 * kSecond, 5 * kSecond).throughput.mean;
+  };
+  EXPECT_GT(run(0.8), 1.4 * run(0.0));
+}
+
+TEST(CommitLogTest, LogDiskUsedOnlyByUpdaters) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.workload.db_size = 100000;
+  config.workload.log_io = FromMillis(5);
+  config.resources = ResourceConfig::Finite(1, 2);
+  ClosedSystem system(&sim, config);
+  MetricsReport r = system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+  ASSERT_GT(r.commits, 0);
+  EXPECT_GT(r.log_util.mean, 0.0);
+  ASSERT_NE(system.resources().log_disk(), nullptr);
+  // One log record per committed update transaction (~ (1-0.75^size) share).
+  int64_t log_writes = system.resources().log_disk()->completed_requests();
+  EXPECT_GT(log_writes, 0);
+  EXPECT_LE(log_writes, system.total_commits());
+}
+
+TEST(CommitLogTest, ReadOnlyWorkloadNeverLogs) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.workload.write_prob = 0.0;
+  config.workload.log_io = FromMillis(5);
+  config.resources = ResourceConfig::Finite(1, 2);
+  ClosedSystem system(&sim, config);
+  MetricsReport r = system.RunExperiment(3, 5 * kSecond, 2 * kSecond);
+  ASSERT_GT(r.commits, 0);
+  EXPECT_DOUBLE_EQ(r.log_util.mean, 0.0);
+  EXPECT_EQ(system.resources().log_disk(), nullptr);
+}
+
+TEST(CommitLogTest, SlowLogBecomesBottleneck) {
+  auto run = [](SimTime log_io) {
+    Simulator sim;
+    EngineConfig config;
+    config.workload = SmallWorkload();
+    config.workload.db_size = 100000;
+    config.workload.num_terms = 40;
+    config.workload.mpl = 40;
+    config.workload.write_prob = 1.0;  // Every commit logs.
+    config.workload.log_io = log_io;
+    config.resources = ResourceConfig::Finite(4, 8);  // Ample data bandwidth.
+    ClosedSystem system(&sim, config);
+    return system.RunExperiment(4, 10 * kSecond, 5 * kSecond).throughput.mean;
+  };
+  // A 100 ms serial log write caps commits near 10/s regardless of the
+  // plentiful CPU/disk capacity.
+  double slow = run(FromMillis(100));
+  double fast = run(FromMillis(1));
+  EXPECT_LT(slow, 11.0);
+  EXPECT_GT(fast, 2.0 * slow);
+}
+
+TEST(GroupCommitTest, CutsLogWritesAndUtilization) {
+  auto run = [](SimTime window) {
+    Simulator sim;
+    EngineConfig config;
+    config.workload = SmallWorkload();
+    config.workload.db_size = 100000;
+    config.workload.write_prob = 1.0;
+    config.workload.num_terms = 60;
+    config.workload.mpl = 60;
+    config.workload.ext_think_time = 100 * kMillisecond;
+    config.workload.log_io = FromMillis(25);  // Serial log caps 40 commits/s.
+    config.group_commit_window = window;
+    config.resources = ResourceConfig::Finite(4, 8);
+    ClosedSystem system(&sim, config);
+    MetricsReport r = system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+    int64_t log_writes = system.resources().log_disk() != nullptr
+                             ? system.resources().log_disk()->completed_requests()
+                             : 0;
+    return std::make_pair(r, log_writes);
+  };
+  auto [per_txn, per_txn_writes] = run(0);
+  auto [grouped, grouped_writes] = run(100 * kMillisecond);
+  ASSERT_GT(grouped.commits, 0);
+  // Batching: several commits share each log write.
+  EXPECT_LT(grouped_writes, per_txn_writes / 2);
+  EXPECT_LT(grouped.log_util.mean, per_txn.log_util.mean);
+  // With a saturated 10 ms serial log, batching lifts throughput.
+  EXPECT_GT(grouped.throughput.mean, 1.2 * per_txn.throughput.mean);
+}
+
+TEST(GroupCommitTest, WindowAddsCommitLatencyWhenIdle) {
+  auto run = [](SimTime window) {
+    Simulator sim;
+    EngineConfig config;
+    config.workload = SmallWorkload();
+    config.workload.db_size = 100000;
+    config.workload.num_terms = 2;  // Nearly idle: no batching benefit.
+    config.workload.mpl = 2;
+    config.workload.write_prob = 1.0;
+    config.workload.log_io = FromMillis(2);
+    config.group_commit_window = window;
+    config.resources = ResourceConfig::Finite(2, 4);
+    ClosedSystem system(&sim, config);
+    return system.RunExperiment(4, 10 * kSecond, 5 * kSecond)
+        .response_mean.mean;
+  };
+  double grouped = run(100 * kMillisecond);
+  double immediate = run(0);
+  EXPECT_GT(grouped, immediate + 0.05);  // Pays most of the 100 ms window.
+}
+
+TEST(GroupCommitTest, SerializabilityUnaffected) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.workload.db_size = 60;
+  config.workload.write_prob = 0.5;
+  config.workload.log_io = FromMillis(3);
+  config.group_commit_window = 20 * kMillisecond;
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  config.record_history = true;
+  ClosedSystem system(&sim, config);
+  MetricsReport r = system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+  ASSERT_GT(r.commits, 0);
+  EXPECT_TRUE(CheckHistorySerializability(system.history()).serializable);
+}
+
+TEST(PercentileTest, PercentilesAreOrderedAndBracketMean) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload = SmallWorkload();
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  ClosedSystem system(&sim, config);
+  MetricsReport r = system.RunExperiment(4, 10 * kSecond, 5 * kSecond);
+  ASSERT_GT(r.commits, 0);
+  EXPECT_GT(r.response_p50, 0.0);
+  EXPECT_LE(r.response_p50, r.response_p90);
+  EXPECT_LE(r.response_p90, r.response_p99);
+  EXPECT_LE(r.response_p99, r.response_max + 0.1);  // Histogram resolution.
+  // The median of a right-skewed response distribution sits below the mean
+  // plus a generous band.
+  EXPECT_LT(r.response_p50, r.response_mean.mean + 3 * r.response_stddev);
+}
+
+}  // namespace
+}  // namespace ccsim

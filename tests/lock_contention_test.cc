@@ -1,0 +1,105 @@
+// Tests for the analytical lock-contention model: closed-form sanity, knee
+// detection, and agreement with the simulator in the model's validity
+// region (low-to-moderate contention).
+#include <gtest/gtest.h>
+
+#include "analytic/lock_contention.h"
+#include "core/closed_system.h"
+#include "sim/simulator.h"
+
+namespace ccsim {
+namespace {
+
+WorkloadParams PaperWorkload() { return WorkloadParams{}; }
+
+TEST(LockContentionTest, EffectiveKFromWriteProb) {
+  LockContentionModel model(PaperWorkload(), ResourceConfig::Finite(1, 2));
+  EXPECT_DOUBLE_EQ(model.effective_k(), 2.0 * 8 * 0.25);  // = 4.
+}
+
+TEST(LockContentionTest, SingleTransactionHasNoContention) {
+  LockContentionModel model(PaperWorkload(), ResourceConfig::Finite(1, 2));
+  LockContentionResult r = model.Solve(1);
+  EXPECT_FALSE(r.thrashing);
+  EXPECT_DOUBLE_EQ(r.conflict_prob, 0.0);
+  EXPECT_DOUBLE_EQ(r.blocks_per_txn, 0.0);
+  EXPECT_DOUBLE_EQ(r.active_fraction, 1.0);
+  // Response = bare MVA response; throughput = 1 / (Z + R).
+  MvaSolver mva = BuildPaperNetwork(PaperWorkload(), ResourceConfig::Finite(1, 2));
+  EXPECT_NEAR(r.response_time, mva.Solve(1).response_time, 1e-9);
+}
+
+TEST(LockContentionTest, BlocksPerTxnMatchesSimulatorAtModerateContention) {
+  // The simulator's measured block ratio at mpl=25, 1 CPU / 2 disks is
+  // ~0.40 (EXPERIMENTS.md). The analytic B = p*k with everyone active:
+  // (25-1)*4/1000 * ... => ~0.38. The model must land in that neighborhood.
+  LockContentionModel model(PaperWorkload(), ResourceConfig::Finite(1, 2));
+  LockContentionResult r = model.Solve(25);
+  EXPECT_NEAR(r.blocks_per_txn, 0.40, 0.10);
+  EXPECT_FALSE(r.thrashing);
+}
+
+TEST(LockContentionTest, KneeDetectedAtHighMpl) {
+  // Infinite resources, db_size 1000: the simulator shows blocking's knee
+  // between mpl 50 and 100 (Figure 5). The analytic thrashing criterion
+  // must fire in that region, and not at mpl 25.
+  LockContentionModel model(PaperWorkload(), ResourceConfig::Infinite());
+  EXPECT_FALSE(model.Solve(25).thrashing);
+  EXPECT_TRUE(model.Solve(200).thrashing);
+}
+
+TEST(LockContentionTest, ActiveFractionShrinksWithContention) {
+  LockContentionModel model(PaperWorkload(), ResourceConfig::Infinite());
+  double last = 1.0;
+  for (int mpl : {5, 25, 75, 150}) {
+    double fraction = model.Solve(mpl).active_fraction;
+    EXPECT_LE(fraction, last + 1e-9);
+    last = fraction;
+  }
+  EXPECT_LT(last, 0.8);  // Substantially blocked at mpl=150.
+}
+
+TEST(LockContentionTest, TracksSimulatorThroughputBelowKnee) {
+  // Within its validity region (moderate contention, before thrashing) the
+  // analytic throughput should land within ~20% of the simulator.
+  for (int mpl : {5, 10, 25}) {
+    LockContentionModel model(PaperWorkload(), ResourceConfig::Finite(1, 2));
+    LockContentionResult predicted = model.Solve(mpl);
+    ASSERT_FALSE(predicted.thrashing) << mpl;
+
+    Simulator sim;
+    EngineConfig config;
+    config.workload.mpl = mpl;
+    config.resources = ResourceConfig::Finite(1, 2);
+    config.algorithm = "blocking";
+    ClosedSystem system(&sim, config);
+    MetricsReport measured =
+        system.RunExperiment(6, 15 * kSecond, 30 * kSecond);
+    EXPECT_NEAR(predicted.throughput, measured.throughput.mean,
+                0.20 * measured.throughput.mean)
+        << "mpl " << mpl;
+  }
+}
+
+TEST(LockContentionTest, ReadOnlyWorkloadNeverConflicts) {
+  WorkloadParams w;
+  w.write_prob = 0.0;
+  LockContentionModel model(w, ResourceConfig::Finite(1, 2));
+  EXPECT_DOUBLE_EQ(model.effective_k(), 0.0);
+  LockContentionResult r = model.Solve(200);
+  EXPECT_FALSE(r.thrashing);
+  EXPECT_DOUBLE_EQ(r.blocks_per_txn, 0.0);
+  EXPECT_DOUBLE_EQ(r.active_fraction, 1.0);
+}
+
+TEST(LockContentionTest, BiggerDatabaseDelaysTheKnee) {
+  WorkloadParams big = PaperWorkload();
+  big.db_size = 10000;
+  LockContentionModel small_db(PaperWorkload(), ResourceConfig::Infinite());
+  LockContentionModel big_db(big, ResourceConfig::Infinite());
+  EXPECT_TRUE(small_db.Solve(200).thrashing);
+  EXPECT_FALSE(big_db.Solve(200).thrashing);  // Exp 1's low-conflict regime.
+}
+
+}  // namespace
+}  // namespace ccsim

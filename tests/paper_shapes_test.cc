@@ -1,0 +1,171 @@
+// Reproduction guards: scaled-down versions of the paper's headline claims.
+// These are the conclusions EXPERIMENTS.md reports at full scale; each test
+// runs a shortened simulation (fewer/shorter batches, same Table 2 workload)
+// and asserts the *ordering* the paper predicts, with margins wide enough to
+// be seed-robust. If a refactor flips one of these, the reproduction broke.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace ccsim {
+namespace {
+
+RunLengths ShortLengths() {
+  RunLengths lengths;
+  lengths.batches = 6;
+  lengths.batch_length = 15 * kSecond;
+  lengths.warmup = 30 * kSecond;
+  return lengths;
+}
+
+EngineConfig PaperConfig(const std::string& algorithm, int mpl,
+                         ResourceConfig resources) {
+  EngineConfig config;  // Table 2 defaults.
+  config.algorithm = algorithm;
+  config.workload.mpl = mpl;
+  config.resources = resources;
+  config.seed = 42;
+  return config;
+}
+
+double Throughput(const std::string& algorithm, int mpl,
+                  ResourceConfig resources) {
+  return RunOnePoint(PaperConfig(algorithm, mpl, resources), ShortLengths())
+      .throughput.mean;
+}
+
+TEST(PaperShapes, Fig5_OptimisticBeatsBlockingAtHighMplInfinite) {
+  double blocking = Throughput("blocking", 200, ResourceConfig::Infinite());
+  double optimistic = Throughput("optimistic", 200, ResourceConfig::Infinite());
+  EXPECT_GT(optimistic, 2.0 * blocking);
+}
+
+TEST(PaperShapes, Fig5_BlockingThrashesBeyondKneeInfinite) {
+  double at_50 = Throughput("blocking", 50, ResourceConfig::Infinite());
+  double at_200 = Throughput("blocking", 200, ResourceConfig::Infinite());
+  EXPECT_GT(at_50, 1.5 * at_200);
+}
+
+TEST(PaperShapes, Fig5_ImmediateRestartPlateausInfinite) {
+  MetricsReport at_100 = RunOnePoint(
+      PaperConfig("immediate_restart", 100, ResourceConfig::Infinite()),
+      ShortLengths());
+  MetricsReport at_200 = RunOnePoint(
+      PaperConfig("immediate_restart", 200, ResourceConfig::Infinite()),
+      ShortLengths());
+  EXPECT_NEAR(at_100.throughput.mean, at_200.throughput.mean,
+              0.1 * at_100.throughput.mean);
+  // The plateau mechanism: the adaptive delay caps the actual mpl far below
+  // the allowed 200.
+  EXPECT_LT(at_200.avg_active_mpl, 100.0);
+}
+
+TEST(PaperShapes, Fig6_BlockingThrashesOnBlocksNotRestarts) {
+  MetricsReport r = RunOnePoint(
+      PaperConfig("blocking", 200, ResourceConfig::Infinite()), ShortLengths());
+  EXPECT_GT(r.block_ratio.mean, 2.0);
+  EXPECT_GT(r.block_ratio.mean, 3.0 * r.restart_ratio.mean);
+}
+
+TEST(PaperShapes, Fig8_BlockingWinsOnRealisticHardware) {
+  ResourceConfig hw = ResourceConfig::Finite(1, 2);
+  double blocking = Throughput("blocking", 25, hw);
+  double immediate = Throughput("immediate_restart", 25, hw);
+  double optimistic = Throughput("optimistic", 25, hw);
+  EXPECT_GT(blocking, immediate);
+  EXPECT_GT(blocking, optimistic);
+}
+
+TEST(PaperShapes, Fig8_RestartAlgorithmsDegradeFasterWithMpl) {
+  ResourceConfig hw = ResourceConfig::Finite(1, 2);
+  // From mpl 10 to 100, blocking loses a little; optimistic loses a lot.
+  double blocking_drop = Throughput("blocking", 10, hw) / Throughput("blocking", 100, hw);
+  double optimistic_drop =
+      Throughput("optimistic", 10, hw) / Throughput("optimistic", 100, hw);
+  EXPECT_GT(optimistic_drop, blocking_drop);
+}
+
+TEST(PaperShapes, Fig9_UsefulUtilizationGapForRestartAlgorithms) {
+  ResourceConfig hw = ResourceConfig::Finite(1, 2);
+  MetricsReport blocking =
+      RunOnePoint(PaperConfig("blocking", 25, hw), ShortLengths());
+  MetricsReport optimistic =
+      RunOnePoint(PaperConfig("optimistic", 25, hw), ShortLengths());
+  // Both run the disks ~full tilt; blocking's work is mostly useful,
+  // optimistic wastes a visible share on doomed incarnations.
+  EXPECT_GT(blocking.disk_util_total.mean, 0.9);
+  EXPECT_GT(optimistic.disk_util_total.mean, 0.9);
+  double blocking_waste =
+      blocking.disk_util_total.mean - blocking.disk_util_useful.mean;
+  double optimistic_waste =
+      optimistic.disk_util_total.mean - optimistic.disk_util_useful.mean;
+  EXPECT_GT(optimistic_waste, 2.0 * blocking_waste);
+}
+
+TEST(PaperShapes, Fig10_ImmediateRestartHasWorstResponseVariance) {
+  ResourceConfig hw = ResourceConfig::Finite(1, 2);
+  MetricsReport blocking =
+      RunOnePoint(PaperConfig("blocking", 25, hw), ShortLengths());
+  MetricsReport immediate =
+      RunOnePoint(PaperConfig("immediate_restart", 25, hw), ShortLengths());
+  EXPECT_GT(immediate.response_stddev, 2.0 * blocking.response_stddev);
+}
+
+TEST(PaperShapes, Fig11_AdaptiveDelayArrestsBlockingCollapse) {
+  ResourceConfig hw = ResourceConfig::Finite(1, 2);
+  EngineConfig plain = PaperConfig("blocking", 200, hw);
+  EngineConfig delayed = PaperConfig("blocking", 200, hw);
+  delayed.restart_delay_mode = RestartDelayMode::kAdaptive;
+  MetricsReport r_plain = RunOnePoint(plain, ShortLengths());
+  MetricsReport r_delayed = RunOnePoint(delayed, ShortLengths());
+  EXPECT_GT(r_delayed.throughput.mean, 1.1 * r_plain.throughput.mean);
+  EXPECT_LT(r_delayed.avg_active_mpl, r_plain.avg_active_mpl);
+}
+
+TEST(PaperShapes, Fig14_MoreHardwareFavorsOptimistic) {
+  // With 25 CPUs / 50 disks, optimistic at its sweet spot beats blocking at
+  // high mpl decisively, and roughly matches blocking's best.
+  ResourceConfig big = ResourceConfig::Finite(25, 50);
+  double blocking_high = Throughput("blocking", 100, big);
+  double optimistic_high = Throughput("optimistic", 100, big);
+  EXPECT_GT(optimistic_high, 1.3 * blocking_high);
+}
+
+TEST(PaperShapes, Exp5_LongThinkTimesFavorOptimistic) {
+  ResourceConfig hw = ResourceConfig::Finite(1, 2);
+  EngineConfig blocking = PaperConfig("blocking", 50, hw);
+  EngineConfig optimistic = PaperConfig("optimistic", 50, hw);
+  for (EngineConfig* config : {&blocking, &optimistic}) {
+    config->workload.int_think_time = 5 * kSecond;
+    config->workload.ext_think_time = 11 * kSecond;
+  }
+  RunLengths lengths;
+  lengths.batches = 5;
+  lengths.batch_length = 40 * kSecond;
+  lengths.warmup = 60 * kSecond;
+  MetricsReport r_blocking = RunOnePoint(blocking, lengths);
+  MetricsReport r_optimistic = RunOnePoint(optimistic, lengths);
+  EXPECT_GT(r_optimistic.throughput.mean, r_blocking.throughput.mean);
+}
+
+TEST(PaperShapes, Exp1_LowConflictMakesAlgorithmsEquivalent) {
+  ResourceConfig hw = ResourceConfig::Finite(1, 2);
+  EngineConfig base = PaperConfig("blocking", 25, hw);
+  base.workload.db_size = 10000;
+  double throughput[3];
+  int i = 0;
+  for (const std::string& algorithm : PaperAlgorithms()) {
+    EngineConfig config = base;
+    config.algorithm = algorithm;
+    throughput[i++] = RunOnePoint(config, ShortLengths()).throughput.mean;
+  }
+  // All within 10% of each other.
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      EXPECT_LT(throughput[a], 1.10 * throughput[b]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -1,0 +1,228 @@
+// Unit tests for the physical resource layer: server pools, priority
+// classes, the partitioned disk array, and utilization accounting.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "res/resources.h"
+#include "res/server_pool.h"
+#include "sim/simulator.h"
+#include "util/random.h"
+
+namespace ccsim {
+namespace {
+
+TEST(ServerPoolTest, SingleServerServesFcfs) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, /*infinite=*/false);
+  std::vector<int> done;
+  pool.Request(10, ServicePriority::kNormal, [&] { done.push_back(1); });
+  pool.Request(10, ServicePriority::kNormal, [&] { done.push_back(2); });
+  pool.Request(10, ServicePriority::kNormal, [&] { done.push_back(3); });
+  EXPECT_EQ(pool.busy_servers(), 1);
+  EXPECT_EQ(pool.queue_length(), 2u);
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+  EXPECT_EQ(pool.completed_requests(), 3);
+}
+
+TEST(ServerPoolTest, CcPriorityJumpsQueue) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  std::vector<int> done;
+  pool.Request(10, ServicePriority::kNormal, [&] { done.push_back(1); });
+  pool.Request(10, ServicePriority::kNormal, [&] { done.push_back(2); });
+  pool.Request(10, ServicePriority::kConcurrencyControl,
+               [&] { done.push_back(3); });
+  sim.Run();
+  // Request 1 is in service; the cc request preempts the *queue*, not the
+  // server, so order is 1, 3, 2.
+  EXPECT_EQ(done, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(ServerPoolTest, MultipleServersRunConcurrently) {
+  Simulator sim;
+  ServerPool pool(&sim, 3, false);
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    pool.Request(10, ServicePriority::kNormal, [&] { ++completed; });
+  }
+  EXPECT_EQ(pool.busy_servers(), 3);
+  EXPECT_EQ(pool.queue_length(), 0u);
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 10);  // All in parallel.
+  EXPECT_EQ(completed, 3);
+}
+
+TEST(ServerPoolTest, FourthRequestWaitsForFreeServer) {
+  Simulator sim;
+  ServerPool pool(&sim, 3, false);
+  SimTime fourth_done = -1;
+  for (int i = 0; i < 3; ++i) {
+    pool.Request(10, ServicePriority::kNormal, [] {});
+  }
+  pool.Request(5, ServicePriority::kNormal, [&] { fourth_done = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fourth_done, 15);  // Waits until 10, then 5 of service.
+}
+
+TEST(ServerPoolTest, InfinitePoolNeverQueues) {
+  Simulator sim;
+  ServerPool pool(&sim, 0, /*infinite=*/true);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    pool.Request(10, ServicePriority::kNormal, [&] { ++completed; });
+  }
+  EXPECT_EQ(pool.queue_length(), 0u);
+  EXPECT_EQ(pool.busy_servers(), 100);
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 10);  // Pure delay: all finish together.
+  EXPECT_EQ(completed, 100);
+}
+
+TEST(ServerPoolTest, UtilizationFullyBusy) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.Request(100, ServicePriority::kNormal, [] {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(pool.Utilization(sim.Now()), 1.0);
+}
+
+TEST(ServerPoolTest, UtilizationHalfBusy) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.Request(50, ServicePriority::kNormal, [] {});
+  sim.Run();
+  sim.RunUntil(100);
+  EXPECT_DOUBLE_EQ(pool.Utilization(sim.Now()), 0.5);
+}
+
+TEST(ServerPoolTest, UtilizationPerServerFraction) {
+  Simulator sim;
+  ServerPool pool(&sim, 2, false);
+  pool.Request(100, ServicePriority::kNormal, [] {});  // One of two busy.
+  sim.Run();
+  EXPECT_DOUBLE_EQ(pool.Utilization(sim.Now()), 0.5);
+}
+
+TEST(ServerPoolTest, WindowResetClearsUtilization) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.Request(50, ServicePriority::kNormal, [] {});
+  sim.Run();
+  pool.ResetWindow(sim.Now());
+  sim.RunUntil(100);
+  EXPECT_DOUBLE_EQ(pool.Utilization(sim.Now()), 0.0);
+}
+
+TEST(ServerPoolTest, WaitTimeStats) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.Request(10, ServicePriority::kNormal, [] {});
+  pool.Request(10, ServicePriority::kNormal, [] {});
+  sim.Run();
+  // First waited 0, second waited 10 (in seconds: 1e-5).
+  EXPECT_EQ(pool.wait_time_stats().count(), 2);
+  EXPECT_NEAR(pool.wait_time_stats().Max(), ToSeconds(10), 1e-12);
+}
+
+TEST(ServerPoolTest, MeanQueueLength) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.Request(10, ServicePriority::kNormal, [] {});
+  pool.Request(10, ServicePriority::kNormal, [] {});  // Queued for [0,10).
+  sim.Run();
+  // Queue length 1 for 10 of 20 time units = 0.5.
+  EXPECT_DOUBLE_EQ(pool.MeanQueueLength(sim.Now()), 0.5);
+}
+
+TEST(ServerPoolTest, InfiniteUtilizationReportsZero) {
+  Simulator sim;
+  ServerPool pool(&sim, 0, true);
+  pool.Request(10, ServicePriority::kNormal, [] {});
+  sim.Run();
+  EXPECT_DOUBLE_EQ(pool.Utilization(sim.Now()), 0.0);
+  EXPECT_GT(pool.MeanBusyServers(sim.Now()), 0.0);
+}
+
+TEST(ResourceManagerTest, FiniteConfigShape) {
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Finite(2, 4), Rng(1));
+  EXPECT_EQ(rm.num_disks(), 4);
+  EXPECT_EQ(rm.cpu().num_servers(), 2);
+  EXPECT_FALSE(rm.cpu().infinite());
+}
+
+TEST(ResourceManagerTest, InfiniteConfigShape) {
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Infinite(), Rng(1));
+  EXPECT_TRUE(rm.cpu().infinite());
+  EXPECT_EQ(rm.num_disks(), 1);  // One infinite pool stands in for all disks.
+  EXPECT_TRUE(rm.disk(0).infinite());
+}
+
+TEST(ResourceManagerTest, RandomDiskSpreadsLoad) {
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Finite(1, 4), Rng(7));
+  for (int i = 0; i < 400; ++i) {
+    rm.RequestDisk(1, [] {});
+  }
+  sim.Run();
+  for (int d = 0; d < 4; ++d) {
+    // Each disk should see roughly 100 of 400 accesses.
+    EXPECT_GT(rm.disk(d).completed_requests(), 60);
+    EXPECT_LT(rm.disk(d).completed_requests(), 140);
+  }
+}
+
+TEST(ResourceManagerTest, RequestDiskAtTargetsSpecificDisk) {
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Finite(1, 3), Rng(7));
+  rm.RequestDiskAt(2, 10, [] {});
+  sim.Run();
+  EXPECT_EQ(rm.disk(2).completed_requests(), 1);
+  EXPECT_EQ(rm.disk(0).completed_requests(), 0);
+}
+
+TEST(ResourceManagerTest, DiskUtilizationIsMeanAcrossDisks) {
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Finite(1, 2), Rng(7));
+  rm.RequestDiskAt(0, 100, [] {});  // Disk 0 fully busy, disk 1 idle.
+  sim.Run();
+  EXPECT_DOUBLE_EQ(rm.DiskUtilization(sim.Now()), 0.5);
+}
+
+TEST(ResourceManagerTest, CpuUtilization) {
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Finite(1, 1), Rng(7));
+  rm.RequestCpu(25, ServicePriority::kNormal, [] {});
+  sim.Run();
+  sim.RunUntil(100);
+  EXPECT_DOUBLE_EQ(rm.CpuUtilization(sim.Now()), 0.25);
+}
+
+TEST(ResourceManagerTest, ResetWindowResetsAllPools) {
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Finite(1, 2), Rng(7));
+  rm.RequestCpu(10, ServicePriority::kNormal, [] {});
+  rm.RequestDiskAt(0, 10, [] {});
+  sim.Run();
+  rm.ResetWindow(sim.Now());
+  sim.RunUntil(20);
+  EXPECT_DOUBLE_EQ(rm.CpuUtilization(sim.Now()), 0.0);
+  EXPECT_DOUBLE_EQ(rm.DiskUtilization(sim.Now()), 0.0);
+}
+
+TEST(ResourceManagerTest, SingleDiskSkipsRng) {
+  // With one disk the choice is deterministic and must not consume random
+  // numbers (keeps workloads comparable across disk counts).
+  Simulator sim;
+  ResourceManager rm(&sim, ResourceConfig::Finite(1, 1), Rng(55));
+  for (int i = 0; i < 10; ++i) rm.RequestDisk(1, [] {});
+  sim.Run();
+  EXPECT_EQ(rm.disk(0).completed_requests(), 10);
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -1,0 +1,67 @@
+// Unit tests for restart delay policies.
+#include <gtest/gtest.h>
+
+#include "cc/restart_policy.h"
+
+namespace ccsim {
+namespace {
+
+TEST(RestartPolicyTest, NoneIsAlwaysZero) {
+  RestartDelayPolicy policy(RestartDelayMode::kNone, 0, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(policy.NextDelay(&rng), 0);
+}
+
+TEST(RestartPolicyTest, FixedMeanMatches) {
+  RestartDelayPolicy policy(RestartDelayMode::kFixed, 2 * kSecond, 1.0);
+  Rng rng(2);
+  double total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += ToSeconds(policy.NextDelay(&rng));
+  EXPECT_NEAR(total / n, 2.0, 0.06);
+}
+
+TEST(RestartPolicyTest, FixedZeroMeanIsZero) {
+  RestartDelayPolicy policy(RestartDelayMode::kFixed, 0, 1.0);
+  Rng rng(3);
+  EXPECT_EQ(policy.NextDelay(&rng), 0);
+}
+
+TEST(RestartPolicyTest, AdaptiveUsesBootstrapBeforeFirstCommit) {
+  RestartDelayPolicy policy(RestartDelayMode::kAdaptive, 0, 0.75);
+  EXPECT_DOUBLE_EQ(policy.AdaptiveMeanSeconds(), 0.75);
+  Rng rng(4);
+  double total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += ToSeconds(policy.NextDelay(&rng));
+  EXPECT_NEAR(total / n, 0.75, 0.03);
+}
+
+TEST(RestartPolicyTest, AdaptiveTracksRunningAverage) {
+  RestartDelayPolicy policy(RestartDelayMode::kAdaptive, 0, 1.0);
+  policy.RecordResponse(2.0);
+  policy.RecordResponse(4.0);
+  EXPECT_DOUBLE_EQ(policy.AdaptiveMeanSeconds(), 3.0);
+  policy.RecordResponse(6.0);
+  EXPECT_DOUBLE_EQ(policy.AdaptiveMeanSeconds(), 4.0);
+}
+
+TEST(RestartPolicyTest, AdaptiveDelayMeanFollowsResponses) {
+  RestartDelayPolicy policy(RestartDelayMode::kAdaptive, 0, 1.0);
+  for (int i = 0; i < 100; ++i) policy.RecordResponse(5.0);
+  Rng rng(5);
+  double total = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) total += ToSeconds(policy.NextDelay(&rng));
+  EXPECT_NEAR(total / n, 5.0, 0.15);
+}
+
+TEST(RestartPolicyTest, ModeAccessor) {
+  EXPECT_EQ(RestartDelayPolicy(RestartDelayMode::kNone, 0, 1).mode(),
+            RestartDelayMode::kNone);
+  EXPECT_EQ(RestartDelayPolicy(RestartDelayMode::kAdaptive, 0, 1).mode(),
+            RestartDelayMode::kAdaptive);
+}
+
+}  // namespace
+}  // namespace ccsim

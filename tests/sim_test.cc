@@ -1,0 +1,203 @@
+// Unit tests for the discrete-event simulation kernel.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace ccsim {
+namespace {
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(FromSeconds(1.0), kSecond);
+  EXPECT_EQ(FromSeconds(0.5), 500 * kMillisecond);
+  EXPECT_EQ(FromMillis(35), 35 * kMillisecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(1500 * kMillisecond), 1.5);
+  EXPECT_EQ(FromMillis(0.0015), 2);  // Rounds to nearest µs.
+}
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, TiesFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.Schedule(42, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Schedule(10, [&] {
+    times.push_back(sim.Now());
+    sim.Schedule(5, [&] { times.push_back(sim.Now()); });
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, ZeroDelayEventFiresAtSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(10, [&] {
+    order.push_back(1);
+    sim.Schedule(0, [&] { order.push_back(2); });
+  });
+  sim.Schedule(10, [&] { order.push_back(3); });
+  sim.Run();
+  // The zero-delay event was scheduled after event 3, so it fires after it.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(sim.Now(), 10);
+}
+
+TEST(SimulatorTest, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.Schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(9999));
+}
+
+TEST(SimulatorTest, CancelFiredEventReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.Schedule(1, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, DoubleCancelReturnsFalse) {
+  Simulator sim;
+  EventId id = sim.Schedule(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.Schedule(10, [&] { fired.push_back(10); });
+  sim.Schedule(20, [&] { fired.push_back(20); });
+  sim.Schedule(30, [&] { fired.push_back(30); });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20}));
+  EXPECT_EQ(sim.Now(), 20);
+  sim.RunUntil(35);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 20, 30}));
+  EXPECT_EQ(sim.Now(), 35);
+}
+
+TEST(SimulatorTest, RunUntilWithNoEventsAdvancesClock) {
+  Simulator sim;
+  sim.RunUntil(100);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired_late = false;
+  EventId id = sim.Schedule(5, [] { FAIL() << "cancelled event fired"; });
+  sim.Schedule(10, [&] { fired_late = true; });
+  sim.Cancel(id);
+  sim.RunUntil(10);
+  EXPECT_TRUE(fired_late);
+}
+
+TEST(SimulatorTest, RequestStopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(1, [&] {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.Schedule(2, [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  sim.Run();  // Resumes.
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsFiredCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_fired(), 5u);
+}
+
+TEST(SimulatorTest, PendingEventsExcludesCancelled) {
+  Simulator sim;
+  EventId id = sim.Schedule(1, [] {});
+  sim.Schedule(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(id);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1;
+  int count = 0;
+  for (int i = 0; i < 10000; ++i) {
+    SimTime when = (i * 7919) % 1000;  // Scattered, with many ties.
+    sim.Schedule(when, [&, when] {
+      EXPECT_GE(when, last);
+      last = when;
+      ++count;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(count, 10000);
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -1,0 +1,296 @@
+// Unit tests for the statistics layer.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/batch_means.h"
+#include "stats/histogram.h"
+#include "stats/student_t.h"
+#include "stats/time_weighted.h"
+#include "stats/welford.h"
+#include "util/random.h"
+
+namespace ccsim {
+namespace {
+
+double DirectMean(const std::vector<double>& xs) {
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double DirectSampleVariance(const std::vector<double>& xs) {
+  double mean = DirectMean(xs);
+  double ss = 0;
+  for (double x : xs) ss += (x - mean) * (x - mean);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+TEST(WelfordTest, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Max(), 0.0);
+}
+
+TEST(WelfordTest, SingleValue) {
+  Welford w;
+  w.Add(5.0);
+  EXPECT_EQ(w.count(), 1);
+  EXPECT_DOUBLE_EQ(w.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(w.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(w.Max(), 5.0);
+}
+
+TEST(WelfordTest, MatchesDirectComputation) {
+  std::vector<double> xs = {1.5, 2.5, -3.0, 7.25, 0.0, 4.5, 4.5};
+  Welford w;
+  for (double x : xs) w.Add(x);
+  EXPECT_NEAR(w.Mean(), DirectMean(xs), 1e-12);
+  EXPECT_NEAR(w.Variance(), DirectSampleVariance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(w.Min(), -3.0);
+  EXPECT_DOUBLE_EQ(w.Max(), 7.25);
+}
+
+TEST(WelfordTest, NumericallyStableWithLargeOffset) {
+  // Classic catastrophic-cancellation case: tiny variance on a huge mean.
+  Welford w;
+  for (double x : {1e9 + 1.0, 1e9 + 2.0, 1e9 + 3.0}) w.Add(x);
+  EXPECT_NEAR(w.Mean(), 1e9 + 2.0, 1e-3);
+  EXPECT_NEAR(w.Variance(), 1.0, 1e-6);
+}
+
+TEST(WelfordTest, MergeMatchesCombined) {
+  std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8};
+  Welford all, left, right;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    all.Add(xs[i]);
+    (i < 3 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-12);
+  EXPECT_NEAR(left.Variance(), all.Variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(left.Max(), all.Max());
+}
+
+TEST(WelfordTest, MergeWithEmpty) {
+  Welford a, b;
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_DOUBLE_EQ(b.Mean(), 3.0);
+}
+
+TEST(WelfordTest, ResetClears) {
+  Welford w;
+  w.Add(1);
+  w.Add(2);
+  w.Reset();
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_DOUBLE_EQ(w.Mean(), 0.0);
+}
+
+TEST(StudentTTest, KnownValues) {
+  EXPECT_NEAR(StudentTCritical(ConfidenceLevel::k90, 19), 1.729, 1e-3);
+  EXPECT_NEAR(StudentTCritical(ConfidenceLevel::k95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(StudentTCritical(ConfidenceLevel::k99, 1), 63.657, 1e-3);
+}
+
+TEST(StudentTTest, LargeDfApproachesNormal) {
+  EXPECT_NEAR(StudentTCritical(ConfidenceLevel::k90, 1000), 1.645, 1e-3);
+  EXPECT_NEAR(StudentTCritical(ConfidenceLevel::k95, 31), 1.960, 1e-3);
+}
+
+TEST(StudentTTest, MonotoneDecreasingInDf) {
+  for (int df = 1; df < 30; ++df) {
+    EXPECT_GE(StudentTCritical(ConfidenceLevel::k90, df),
+              StudentTCritical(ConfidenceLevel::k90, df + 1));
+  }
+}
+
+TEST(BatchMeansTest, PointEstimateIsMeanOfBatches) {
+  BatchMeans bm;
+  bm.AddBatch(10);
+  bm.AddBatch(12);
+  bm.AddBatch(11);
+  bm.AddBatch(13);
+  IntervalEstimate e = bm.Estimate();
+  EXPECT_EQ(e.batches, 4);
+  EXPECT_DOUBLE_EQ(e.mean, 11.5);
+  EXPECT_GT(e.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(e.lower(), e.mean - e.half_width);
+  EXPECT_DOUBLE_EQ(e.upper(), e.mean + e.half_width);
+}
+
+TEST(BatchMeansTest, HalfWidthFormula) {
+  // Two batches: mean m, sd s => hw = t(0.95, df=1) * s / sqrt(2).
+  BatchMeans bm;
+  bm.AddBatch(8);
+  bm.AddBatch(12);
+  IntervalEstimate e = bm.Estimate();
+  double sd = std::sqrt(8.0);  // Sample sd of {8, 12}.
+  EXPECT_NEAR(e.half_width, 6.314 * sd / std::sqrt(2.0), 1e-9);
+}
+
+TEST(BatchMeansTest, SingleBatchDegenerate) {
+  BatchMeans bm;
+  bm.AddBatch(5);
+  IntervalEstimate e = bm.Estimate();
+  EXPECT_DOUBLE_EQ(e.mean, 5.0);
+  EXPECT_DOUBLE_EQ(e.half_width, 0.0);
+}
+
+TEST(BatchMeansTest, IdenticalBatchesZeroWidth) {
+  BatchMeans bm;
+  for (int i = 0; i < 20; ++i) bm.AddBatch(7.0);
+  IntervalEstimate e = bm.Estimate();
+  EXPECT_DOUBLE_EQ(e.mean, 7.0);
+  EXPECT_NEAR(e.half_width, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(e.relative_half_width(), 0.0);
+}
+
+TEST(BatchMeansTest, CoverageOnGaussianBatches) {
+  // With i.i.d. normal batch means, the 90% CI should cover the true mean
+  // roughly 90% of the time.
+  Rng rng(123);
+  int covered = 0;
+  const int experiments = 2000;
+  for (int e = 0; e < experiments; ++e) {
+    BatchMeans bm(ConfidenceLevel::k90);
+    for (int b = 0; b < 20; ++b) {
+      // Sum of 12 uniforms - 6 ≈ standard normal; mean 5.
+      double z = -6.0;
+      for (int i = 0; i < 12; ++i) z += rng.NextDouble();
+      bm.AddBatch(5.0 + z);
+    }
+    IntervalEstimate est = bm.Estimate();
+    if (est.lower() <= 5.0 && 5.0 <= est.upper()) ++covered;
+  }
+  double coverage = static_cast<double>(covered) / experiments;
+  EXPECT_NEAR(coverage, 0.90, 0.03);
+}
+
+TEST(AutocorrelationTest, ShortOrConstantSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(Lag1Autocorrelation({}), 0.0);
+  EXPECT_DOUBLE_EQ(Lag1Autocorrelation({1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Lag1Autocorrelation({5.0, 5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesIsStronglyNegative) {
+  std::vector<double> series;
+  for (int i = 0; i < 40; ++i) series.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(Lag1Autocorrelation(series), -0.8);
+}
+
+TEST(AutocorrelationTest, TrendingSeriesIsStronglyPositive) {
+  std::vector<double> series;
+  for (int i = 0; i < 40; ++i) series.push_back(i);
+  EXPECT_GT(Lag1Autocorrelation(series), 0.8);
+}
+
+TEST(AutocorrelationTest, IidNoiseIsNearZero) {
+  Rng rng(77);
+  std::vector<double> series;
+  for (int i = 0; i < 5000; ++i) series.push_back(rng.NextDouble());
+  EXPECT_NEAR(Lag1Autocorrelation(series), 0.0, 0.05);
+}
+
+TEST(AutocorrelationTest, ExposedThroughBatchMeans) {
+  BatchMeans bm;
+  for (int i = 0; i < 20; ++i) bm.AddBatch(i);  // Trending: correlated.
+  IntervalEstimate e = bm.Estimate();
+  EXPECT_GT(e.lag1_autocorrelation, 0.5);
+  EXPECT_FALSE(e.batches_look_independent());
+
+  BatchMeans iid;
+  Rng rng(78);
+  for (int i = 0; i < 20; ++i) iid.AddBatch(rng.NextDouble());
+  EXPECT_TRUE(iid.Estimate().batches_look_independent());
+}
+
+TEST(TimeWeightedTest, ConstantSignal) {
+  TimeWeightedValue v(0, 3.0);
+  EXPECT_DOUBLE_EQ(v.Average(100), 3.0);
+}
+
+TEST(TimeWeightedTest, StepSignal) {
+  TimeWeightedValue v(0, 0.0);
+  v.Set(50, 10.0);  // 0 for [0,50), 10 for [50,100).
+  EXPECT_DOUBLE_EQ(v.Average(100), 5.0);
+}
+
+TEST(TimeWeightedTest, AddDeltas) {
+  TimeWeightedValue v(0, 1.0);
+  v.Add(10, +2.0);  // 1 over [0,10), 3 over [10,20).
+  EXPECT_DOUBLE_EQ(v.Average(20), 2.0);
+  EXPECT_DOUBLE_EQ(v.current(), 3.0);
+}
+
+TEST(TimeWeightedTest, WindowReset) {
+  TimeWeightedValue v(0, 4.0);
+  v.Set(10, 8.0);
+  v.ResetWindow(10);
+  EXPECT_DOUBLE_EQ(v.Average(20), 8.0);  // Only the new window counts.
+}
+
+TEST(TimeWeightedTest, AverageAtWindowStartReturnsCurrent) {
+  TimeWeightedValue v(5, 2.5);
+  EXPECT_DOUBLE_EQ(v.Average(5), 2.5);
+}
+
+TEST(TimeWeightedTest, NonZeroStartTime) {
+  TimeWeightedValue v(100, 1.0);
+  v.Set(150, 3.0);
+  EXPECT_DOUBLE_EQ(v.Average(200), 2.0);
+}
+
+TEST(HistogramTest, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(9.99);
+  h.Add(5.0);
+  EXPECT_EQ(h.counts()[0], 1);
+  EXPECT_EQ(h.counts()[9], 1);
+  EXPECT_EQ(h.counts()[5], 1);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-0.1);
+  h.Add(1.0);  // hi is exclusive.
+  h.Add(2.0);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 2);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(HistogramTest, QuantileUniform) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.1), 10.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileEmptyIsZero) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BinLowEdges) {
+  Histogram h(10.0, 20.0, 5);
+  EXPECT_DOUBLE_EQ(h.BinLow(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.BinLow(4), 18.0);
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -1,0 +1,150 @@
+// Tests for the lifecycle trace subsystem: unit tests for the validator's
+// grammar, and engine integration asserting every algorithm emits
+// well-formed traces under contention.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/closed_system.h"
+#include "core/trace.h"
+#include "sim/simulator.h"
+
+namespace ccsim {
+namespace {
+
+TraceRecord R(SimTime t, TxnId txn, int inc, TxnEvent e) {
+  return TraceRecord{t, txn, inc, e};
+}
+
+TEST(TraceValidatorTest, WellFormedLifetime) {
+  std::vector<TraceRecord> records = {
+      R(0, 1, 0, TxnEvent::kSubmitted),  R(1, 1, 1, TxnEvent::kActivated),
+      R(2, 1, 1, TxnEvent::kBlocked),    R(3, 1, 1, TxnEvent::kResumed),
+      R(4, 1, 1, TxnEvent::kRestarted),  R(5, 1, 2, TxnEvent::kActivated),
+      R(6, 1, 2, TxnEvent::kCommitted),
+  };
+  EXPECT_TRUE(ValidateTrace(records).ok);
+}
+
+TEST(TraceValidatorTest, InterleavedTransactionsAreIndependent) {
+  std::vector<TraceRecord> records = {
+      R(0, 1, 0, TxnEvent::kSubmitted), R(0, 2, 0, TxnEvent::kSubmitted),
+      R(1, 2, 1, TxnEvent::kActivated), R(1, 1, 1, TxnEvent::kActivated),
+      R(2, 1, 1, TxnEvent::kCommitted), R(3, 2, 1, TxnEvent::kCommitted),
+  };
+  EXPECT_TRUE(ValidateTrace(records).ok);
+}
+
+TEST(TraceValidatorTest, CatchesCommitWithoutActivation) {
+  std::vector<TraceRecord> records = {
+      R(0, 1, 0, TxnEvent::kSubmitted),
+      R(1, 1, 1, TxnEvent::kCommitted),
+  };
+  auto v = ValidateTrace(records);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("commit"), std::string::npos);
+}
+
+TEST(TraceValidatorTest, CatchesDoubleBlock) {
+  std::vector<TraceRecord> records = {
+      R(0, 1, 0, TxnEvent::kSubmitted), R(1, 1, 1, TxnEvent::kActivated),
+      R(2, 1, 1, TxnEvent::kBlocked),   R(3, 1, 1, TxnEvent::kBlocked),
+  };
+  EXPECT_FALSE(ValidateTrace(records).ok);
+}
+
+TEST(TraceValidatorTest, CatchesSkippedIncarnation) {
+  std::vector<TraceRecord> records = {
+      R(0, 1, 0, TxnEvent::kSubmitted),
+      R(1, 1, 2, TxnEvent::kActivated),
+  };
+  auto v = ValidateTrace(records);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("incarnation"), std::string::npos);
+}
+
+TEST(TraceValidatorTest, CatchesEventsAfterCommit) {
+  std::vector<TraceRecord> records = {
+      R(0, 1, 0, TxnEvent::kSubmitted), R(1, 1, 1, TxnEvent::kActivated),
+      R(2, 1, 1, TxnEvent::kCommitted), R(3, 1, 1, TxnEvent::kBlocked),
+  };
+  EXPECT_FALSE(ValidateTrace(records).ok);
+}
+
+TEST(TraceValidatorTest, CatchesTimeTravel) {
+  std::vector<TraceRecord> records = {
+      R(5, 1, 0, TxnEvent::kSubmitted),
+      R(4, 1, 1, TxnEvent::kActivated),
+  };
+  auto v = ValidateTrace(records);
+  EXPECT_FALSE(v.ok);
+  EXPECT_NE(v.error.find("backwards"), std::string::npos);
+}
+
+TEST(TraceValidatorTest, EmptyTraceIsValid) {
+  EXPECT_TRUE(ValidateTrace({}).ok);
+}
+
+TEST(StreamSinkTest, FormatsReadableLines) {
+  std::ostringstream out;
+  StreamTraceSink sink(&out);
+  sink.Record(R(1500000, 42, 2, TxnEvent::kRestarted));
+  std::string line = out.str();
+  EXPECT_NE(line.find("txn 42"), std::string::npos);
+  EXPECT_NE(line.find("restarted"), std::string::npos);
+  EXPECT_NE(line.find("1.5"), std::string::npos);
+}
+
+TEST(EngineTraceTest, EveryAlgorithmEmitsWellFormedTraces) {
+  for (const std::string& algorithm : AllAlgorithms()) {
+    Simulator sim;
+    EngineConfig config;
+    config.workload.db_size = 80;  // Contended: restarts and blocks occur.
+    config.workload.tran_size = 4;
+    config.workload.min_size = 2;
+    config.workload.max_size = 6;
+    config.workload.write_prob = 0.4;
+    config.workload.num_terms = 15;
+    config.workload.mpl = 8;
+    config.workload.obj_io = FromMillis(5);
+    config.workload.obj_cpu = FromMillis(2);
+    config.resources = ResourceConfig::Finite(1, 2);
+    config.algorithm = algorithm;
+    ClosedSystem system(&sim, config);
+    MemoryTraceSink sink;
+    system.SetTraceSink(&sink);
+    system.Prime();
+    sim.RunUntil(30 * kSecond);
+
+    ASSERT_GT(sink.records().size(), 100u) << algorithm;
+    auto validation = ValidateTrace(sink.records());
+    EXPECT_TRUE(validation.ok) << algorithm << ": " << validation.error;
+  }
+}
+
+TEST(EngineTraceTest, InteractiveWorkloadTracesThinkEvents) {
+  Simulator sim;
+  EngineConfig config;
+  config.workload.db_size = 1000;
+  config.workload.num_terms = 10;
+  config.workload.mpl = 10;
+  config.workload.int_think_time = 500 * kMillisecond;
+  config.workload.obj_io = FromMillis(5);
+  config.workload.obj_cpu = FromMillis(2);
+  config.resources = ResourceConfig::Finite(1, 2);
+  ClosedSystem system(&sim, config);
+  MemoryTraceSink sink;
+  system.SetTraceSink(&sink);
+  system.Prime();
+  sim.RunUntil(30 * kSecond);
+
+  int thinks = 0;
+  for (const TraceRecord& r : sink.records()) {
+    thinks += r.event == TxnEvent::kInternalThink ? 1 : 0;
+  }
+  EXPECT_GT(thinks, 10);
+  EXPECT_TRUE(ValidateTrace(sink.records()).ok);
+}
+
+}  // namespace
+}  // namespace ccsim

@@ -1,0 +1,184 @@
+// Unit tests for util: string helpers, config parsing, CSV, env.
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/config.h"
+#include "util/csv.h"
+#include "util/env.h"
+#include "util/str.h"
+
+namespace ccsim {
+namespace {
+
+TEST(StrTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("\t a b \n"), "a b");
+}
+
+TEST(StrTest, SplitBasic) {
+  auto fields = Split("a,b,c", ',');
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "b");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(StrTest, SplitKeepsEmptyFields) {
+  auto fields = Split(",a,,b,", ',');
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(fields[4], "");
+}
+
+TEST(StrTest, SplitNoSeparator) {
+  auto fields = Split("abc", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "abc");
+}
+
+TEST(StrTest, ParseIntValid) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_EQ(ParseInt(" 100 ").value(), 100);
+  EXPECT_EQ(ParseInt("0").value(), 0);
+}
+
+TEST(StrTest, ParseIntInvalid) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("abc").has_value());
+  EXPECT_FALSE(ParseInt("42x").has_value());
+  EXPECT_FALSE(ParseInt("4.2").has_value());
+}
+
+TEST(StrTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").value(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("7").value(), 7.0);
+}
+
+TEST(StrTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("1.2.3").has_value());
+  EXPECT_FALSE(ParseDouble("x").has_value());
+}
+
+TEST(StrTest, ParseBool) {
+  EXPECT_TRUE(ParseBool("true").value());
+  EXPECT_TRUE(ParseBool("TRUE").value());
+  EXPECT_TRUE(ParseBool("1").value());
+  EXPECT_FALSE(ParseBool("false").value());
+  EXPECT_FALSE(ParseBool("0").value());
+  EXPECT_FALSE(ParseBool("maybe").has_value());
+}
+
+TEST(StrTest, StringPrintf) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StringPrintf("empty"), "empty");
+}
+
+TEST(StrTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+TEST(ConfigTest, ParseTextBasic) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.ParseText("a = 1\nb=hello\n# comment\n\nc = 2.5", &error));
+  EXPECT_EQ(config.GetInt("a").value(), 1);
+  EXPECT_EQ(config.GetString("b").value(), "hello");
+  EXPECT_DOUBLE_EQ(config.GetDouble("c").value(), 2.5);
+}
+
+TEST(ConfigTest, ParseTextInlineComment) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.ParseText("a = 1 # trailing", &error));
+  EXPECT_EQ(config.GetInt("a").value(), 1);
+}
+
+TEST(ConfigTest, ParseTextMalformed) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(config.ParseText("just a line without equals", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ConfigTest, ParseArgs) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.ParseArgs({"mpl=25", "write_prob=0.5"}, &error));
+  EXPECT_EQ(config.GetInt("mpl").value(), 25);
+  EXPECT_DOUBLE_EQ(config.GetDouble("write_prob").value(), 0.5);
+}
+
+TEST(ConfigTest, ParseArgsMalformed) {
+  Config config;
+  std::string error;
+  EXPECT_FALSE(config.ParseArgs({"justakey"}, &error));
+}
+
+TEST(ConfigTest, MissingKeysReturnNullopt) {
+  Config config;
+  EXPECT_FALSE(config.GetInt("absent").has_value());
+  EXPECT_EQ(config.GetIntOr("absent", 9), 9);
+  EXPECT_DOUBLE_EQ(config.GetDoubleOr("absent", 1.5), 1.5);
+  EXPECT_EQ(config.GetStringOr("absent", "dflt"), "dflt");
+  EXPECT_TRUE(config.GetBoolOr("absent", true));
+}
+
+TEST(ConfigTest, LastSetWins) {
+  Config config;
+  std::string error;
+  ASSERT_TRUE(config.ParseArgs({"k=1", "k=2"}, &error));
+  EXPECT_EQ(config.GetInt("k").value(), 2);
+}
+
+TEST(CsvTest, WritesQuotedFields) {
+  std::string path = testing::TempDir() + "/ccsim_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.WriteRow({"plain", "with,comma", "with\"quote"});
+    csv.WriteRow({CsvWriter::Field(1.5), CsvWriter::Field(int64_t{42})});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "plain,\"with,comma\",\"with\"\"quote\"");
+  EXPECT_EQ(line2, "1.5,42");
+}
+
+TEST(EnvTest, UnsetReturnsFallback) {
+  unsetenv("CCSIM_TEST_UNSET");
+  EXPECT_FALSE(GetEnv("CCSIM_TEST_UNSET").has_value());
+  EXPECT_EQ(GetEnvInt("CCSIM_TEST_UNSET", 3), 3);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CCSIM_TEST_UNSET", 2.5), 2.5);
+}
+
+TEST(EnvTest, SetValueParsed) {
+  setenv("CCSIM_TEST_SET", "17", 1);
+  EXPECT_EQ(GetEnvInt("CCSIM_TEST_SET", 3), 17);
+  setenv("CCSIM_TEST_SET", "2.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("CCSIM_TEST_SET", 0.0), 2.25);
+  unsetenv("CCSIM_TEST_SET");
+}
+
+TEST(EnvTest, EmptyTreatedAsUnset) {
+  setenv("CCSIM_TEST_EMPTY", "", 1);
+  EXPECT_FALSE(GetEnv("CCSIM_TEST_EMPTY").has_value());
+  unsetenv("CCSIM_TEST_EMPTY");
+}
+
+}  // namespace
+}  // namespace ccsim
