@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adaptive_mpl.dir/ablation_adaptive_mpl.cc.o"
+  "CMakeFiles/ablation_adaptive_mpl.dir/ablation_adaptive_mpl.cc.o.d"
+  "ablation_adaptive_mpl"
+  "ablation_adaptive_mpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adaptive_mpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buffer_log.dir/ablation_buffer_log.cc.o"
+  "CMakeFiles/ablation_buffer_log.dir/ablation_buffer_log.cc.o.d"
+  "ablation_buffer_log"
+  "ablation_buffer_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buffer_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

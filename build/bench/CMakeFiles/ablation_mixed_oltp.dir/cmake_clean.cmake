@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mixed_oltp.dir/ablation_mixed_oltp.cc.o"
+  "CMakeFiles/ablation_mixed_oltp.dir/ablation_mixed_oltp.cc.o.d"
+  "ablation_mixed_oltp"
+  "ablation_mixed_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mixed_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

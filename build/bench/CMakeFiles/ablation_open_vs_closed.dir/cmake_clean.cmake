@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_open_vs_closed.dir/ablation_open_vs_closed.cc.o"
+  "CMakeFiles/ablation_open_vs_closed.dir/ablation_open_vs_closed.cc.o.d"
+  "ablation_open_vs_closed"
+  "ablation_open_vs_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_open_vs_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

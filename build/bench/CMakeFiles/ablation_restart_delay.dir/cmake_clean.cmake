@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restart_delay.dir/ablation_restart_delay.cc.o"
+  "CMakeFiles/ablation_restart_delay.dir/ablation_restart_delay.cc.o.d"
+  "ablation_restart_delay"
+  "ablation_restart_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restart_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_restart_variants.dir/ablation_restart_variants.cc.o"
+  "CMakeFiles/ablation_restart_variants.dir/ablation_restart_variants.cc.o.d"
+  "ablation_restart_variants"
+  "ablation_restart_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_restart_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_upgrade_policy.dir/ablation_upgrade_policy.cc.o"
+  "CMakeFiles/ablation_upgrade_policy.dir/ablation_upgrade_policy.cc.o.d"
+  "ablation_upgrade_policy"
+  "ablation_upgrade_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_upgrade_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

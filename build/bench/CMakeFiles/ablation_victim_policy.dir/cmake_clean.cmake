@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_victim_policy.dir/ablation_victim_policy.cc.o"
+  "CMakeFiles/ablation_victim_policy.dir/ablation_victim_policy.cc.o.d"
+  "ablation_victim_policy"
+  "ablation_victim_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

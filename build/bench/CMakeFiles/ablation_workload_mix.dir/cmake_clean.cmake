@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workload_mix.dir/ablation_workload_mix.cc.o"
+  "CMakeFiles/ablation_workload_mix.dir/ablation_workload_mix.cc.o.d"
+  "ablation_workload_mix"
+  "ablation_workload_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workload_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/ccsim_bench_harness.dir/harness.cc.o.d"
+  "libccsim_bench_harness.a"
+  "libccsim_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

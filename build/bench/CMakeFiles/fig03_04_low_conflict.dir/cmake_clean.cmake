@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_04_low_conflict.dir/fig03_04_low_conflict.cc.o"
+  "CMakeFiles/fig03_04_low_conflict.dir/fig03_04_low_conflict.cc.o.d"
+  "fig03_04_low_conflict"
+  "fig03_04_low_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_04_low_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

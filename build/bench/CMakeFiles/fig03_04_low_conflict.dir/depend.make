@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_04_low_conflict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_07_infinite_resources.dir/fig05_07_infinite_resources.cc.o"
+  "CMakeFiles/fig05_07_infinite_resources.dir/fig05_07_infinite_resources.cc.o.d"
+  "fig05_07_infinite_resources"
+  "fig05_07_infinite_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_07_infinite_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

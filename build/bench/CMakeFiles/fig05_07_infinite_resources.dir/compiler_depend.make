@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_07_infinite_resources.
+# This may be replaced when dependencies are built.

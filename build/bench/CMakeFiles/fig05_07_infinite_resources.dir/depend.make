@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_07_infinite_resources.
+# This may be replaced when dependencies are built.

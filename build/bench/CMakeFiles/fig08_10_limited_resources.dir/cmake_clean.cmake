@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_10_limited_resources.dir/fig08_10_limited_resources.cc.o"
+  "CMakeFiles/fig08_10_limited_resources.dir/fig08_10_limited_resources.cc.o.d"
+  "fig08_10_limited_resources"
+  "fig08_10_limited_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_10_limited_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

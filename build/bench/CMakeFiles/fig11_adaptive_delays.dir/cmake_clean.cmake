@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_adaptive_delays.dir/fig11_adaptive_delays.cc.o"
+  "CMakeFiles/fig11_adaptive_delays.dir/fig11_adaptive_delays.cc.o.d"
+  "fig11_adaptive_delays"
+  "fig11_adaptive_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_adaptive_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_13_multi_resources_5x10.dir/fig12_13_multi_resources_5x10.cc.o"
+  "CMakeFiles/fig12_13_multi_resources_5x10.dir/fig12_13_multi_resources_5x10.cc.o.d"
+  "fig12_13_multi_resources_5x10"
+  "fig12_13_multi_resources_5x10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_13_multi_resources_5x10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig12_13_multi_resources_5x10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_multi_resources_25x50.dir/fig14_15_multi_resources_25x50.cc.o"
+  "CMakeFiles/fig14_15_multi_resources_25x50.dir/fig14_15_multi_resources_25x50.cc.o.d"
+  "fig14_15_multi_resources_25x50"
+  "fig14_15_multi_resources_25x50.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_multi_resources_25x50.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_15_multi_resources_25x50.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_15_multi_resources_25x50.
+# This may be replaced when dependencies are built.

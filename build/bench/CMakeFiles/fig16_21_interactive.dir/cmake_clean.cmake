@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_21_interactive.dir/fig16_21_interactive.cc.o"
+  "CMakeFiles/fig16_21_interactive.dir/fig16_21_interactive.cc.o.d"
+  "fig16_21_interactive"
+  "fig16_21_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_21_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_21_interactive.
+# This may be replaced when dependencies are built.

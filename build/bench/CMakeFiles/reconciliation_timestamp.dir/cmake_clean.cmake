@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconciliation_timestamp.dir/reconciliation_timestamp.cc.o"
+  "CMakeFiles/reconciliation_timestamp.dir/reconciliation_timestamp.cc.o.d"
+  "reconciliation_timestamp"
+  "reconciliation_timestamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconciliation_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/validation_lock_model.cc" "bench/CMakeFiles/validation_lock_model.dir/validation_lock_model.cc.o" "gcc" "bench/CMakeFiles/validation_lock_model.dir/validation_lock_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ccsim_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/ccsim_cc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytic/CMakeFiles/ccsim_analytic.dir/DependInfo.cmake"
+  "/root/repo/build/src/res/CMakeFiles/ccsim_res.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/ccsim_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_lock_model.dir/validation_lock_model.cc.o"
+  "CMakeFiles/validation_lock_model.dir/validation_lock_model.cc.o.d"
+  "validation_lock_model"
+  "validation_lock_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_lock_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_mva.dir/validation_mva.cc.o"
+  "CMakeFiles/validation_mva.dir/validation_mva.cc.o.d"
+  "validation_mva"
+  "validation_mva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_mva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_mpl_demo.dir/adaptive_mpl_demo.cpp.o"
+  "CMakeFiles/adaptive_mpl_demo.dir/adaptive_mpl_demo.cpp.o.d"
+  "adaptive_mpl_demo"
+  "adaptive_mpl_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_mpl_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

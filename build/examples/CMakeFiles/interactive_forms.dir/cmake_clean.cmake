@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_forms.dir/interactive_forms.cpp.o"
+  "CMakeFiles/interactive_forms.dir/interactive_forms.cpp.o.d"
+  "interactive_forms"
+  "interactive_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

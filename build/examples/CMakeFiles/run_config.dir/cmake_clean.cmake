@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_config.dir/run_config.cpp.o"
+  "CMakeFiles/run_config.dir/run_config.cpp.o.d"
+  "run_config"
+  "run_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

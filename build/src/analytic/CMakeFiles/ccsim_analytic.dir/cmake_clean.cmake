@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_analytic.dir/lock_contention.cc.o"
+  "CMakeFiles/ccsim_analytic.dir/lock_contention.cc.o.d"
+  "CMakeFiles/ccsim_analytic.dir/mva.cc.o"
+  "CMakeFiles/ccsim_analytic.dir/mva.cc.o.d"
+  "libccsim_analytic.a"
+  "libccsim_analytic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/basic_to.cc" "src/cc/CMakeFiles/ccsim_cc.dir/basic_to.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/basic_to.cc.o.d"
+  "/root/repo/src/cc/blocking.cc" "src/cc/CMakeFiles/ccsim_cc.dir/blocking.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/blocking.cc.o.d"
+  "/root/repo/src/cc/deadlock.cc" "src/cc/CMakeFiles/ccsim_cc.dir/deadlock.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/deadlock.cc.o.d"
+  "/root/repo/src/cc/factory.cc" "src/cc/CMakeFiles/ccsim_cc.dir/factory.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/factory.cc.o.d"
+  "/root/repo/src/cc/lock_manager.cc" "src/cc/CMakeFiles/ccsim_cc.dir/lock_manager.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/lock_manager.cc.o.d"
+  "/root/repo/src/cc/mvto.cc" "src/cc/CMakeFiles/ccsim_cc.dir/mvto.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/mvto.cc.o.d"
+  "/root/repo/src/cc/optimistic.cc" "src/cc/CMakeFiles/ccsim_cc.dir/optimistic.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/optimistic.cc.o.d"
+  "/root/repo/src/cc/optimistic_forward.cc" "src/cc/CMakeFiles/ccsim_cc.dir/optimistic_forward.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/optimistic_forward.cc.o.d"
+  "/root/repo/src/cc/static_locking.cc" "src/cc/CMakeFiles/ccsim_cc.dir/static_locking.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/static_locking.cc.o.d"
+  "/root/repo/src/cc/timestamp_locking.cc" "src/cc/CMakeFiles/ccsim_cc.dir/timestamp_locking.cc.o" "gcc" "src/cc/CMakeFiles/ccsim_cc.dir/timestamp_locking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ccsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/ccsim_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ccsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_cc.dir/basic_to.cc.o"
+  "CMakeFiles/ccsim_cc.dir/basic_to.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/blocking.cc.o"
+  "CMakeFiles/ccsim_cc.dir/blocking.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/deadlock.cc.o"
+  "CMakeFiles/ccsim_cc.dir/deadlock.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/factory.cc.o"
+  "CMakeFiles/ccsim_cc.dir/factory.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/lock_manager.cc.o"
+  "CMakeFiles/ccsim_cc.dir/lock_manager.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/mvto.cc.o"
+  "CMakeFiles/ccsim_cc.dir/mvto.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/optimistic.cc.o"
+  "CMakeFiles/ccsim_cc.dir/optimistic.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/optimistic_forward.cc.o"
+  "CMakeFiles/ccsim_cc.dir/optimistic_forward.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/static_locking.cc.o"
+  "CMakeFiles/ccsim_cc.dir/static_locking.cc.o.d"
+  "CMakeFiles/ccsim_cc.dir/timestamp_locking.cc.o"
+  "CMakeFiles/ccsim_cc.dir/timestamp_locking.cc.o.d"
+  "libccsim_cc.a"
+  "libccsim_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_core.dir/adaptive_mpl.cc.o"
+  "CMakeFiles/ccsim_core.dir/adaptive_mpl.cc.o.d"
+  "CMakeFiles/ccsim_core.dir/closed_system.cc.o"
+  "CMakeFiles/ccsim_core.dir/closed_system.cc.o.d"
+  "CMakeFiles/ccsim_core.dir/experiment.cc.o"
+  "CMakeFiles/ccsim_core.dir/experiment.cc.o.d"
+  "CMakeFiles/ccsim_core.dir/history.cc.o"
+  "CMakeFiles/ccsim_core.dir/history.cc.o.d"
+  "CMakeFiles/ccsim_core.dir/report.cc.o"
+  "CMakeFiles/ccsim_core.dir/report.cc.o.d"
+  "CMakeFiles/ccsim_core.dir/trace.cc.o"
+  "CMakeFiles/ccsim_core.dir/trace.cc.o.d"
+  "libccsim_core.a"
+  "libccsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

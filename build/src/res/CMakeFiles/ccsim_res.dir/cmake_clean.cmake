@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_res.dir/resources.cc.o"
+  "CMakeFiles/ccsim_res.dir/resources.cc.o.d"
+  "CMakeFiles/ccsim_res.dir/server_pool.cc.o"
+  "CMakeFiles/ccsim_res.dir/server_pool.cc.o.d"
+  "libccsim_res.a"
+  "libccsim_res.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_res.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

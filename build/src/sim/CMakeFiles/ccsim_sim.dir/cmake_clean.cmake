@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_sim.dir/simulator.cc.o"
+  "CMakeFiles/ccsim_sim.dir/simulator.cc.o.d"
+  "libccsim_sim.a"
+  "libccsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

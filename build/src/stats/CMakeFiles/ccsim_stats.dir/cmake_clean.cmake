@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_stats.dir/batch_means.cc.o"
+  "CMakeFiles/ccsim_stats.dir/batch_means.cc.o.d"
+  "CMakeFiles/ccsim_stats.dir/histogram.cc.o"
+  "CMakeFiles/ccsim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/ccsim_stats.dir/student_t.cc.o"
+  "CMakeFiles/ccsim_stats.dir/student_t.cc.o.d"
+  "libccsim_stats.a"
+  "libccsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccsim_stats.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_util.dir/check.cc.o"
+  "CMakeFiles/ccsim_util.dir/check.cc.o.d"
+  "CMakeFiles/ccsim_util.dir/config.cc.o"
+  "CMakeFiles/ccsim_util.dir/config.cc.o.d"
+  "CMakeFiles/ccsim_util.dir/csv.cc.o"
+  "CMakeFiles/ccsim_util.dir/csv.cc.o.d"
+  "CMakeFiles/ccsim_util.dir/env.cc.o"
+  "CMakeFiles/ccsim_util.dir/env.cc.o.d"
+  "CMakeFiles/ccsim_util.dir/logging.cc.o"
+  "CMakeFiles/ccsim_util.dir/logging.cc.o.d"
+  "CMakeFiles/ccsim_util.dir/random.cc.o"
+  "CMakeFiles/ccsim_util.dir/random.cc.o.d"
+  "CMakeFiles/ccsim_util.dir/str.cc.o"
+  "CMakeFiles/ccsim_util.dir/str.cc.o.d"
+  "libccsim_util.a"
+  "libccsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_wl.dir/params.cc.o"
+  "CMakeFiles/ccsim_wl.dir/params.cc.o.d"
+  "CMakeFiles/ccsim_wl.dir/workload.cc.o"
+  "CMakeFiles/ccsim_wl.dir/workload.cc.o.d"
+  "libccsim_wl.a"
+  "libccsim_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

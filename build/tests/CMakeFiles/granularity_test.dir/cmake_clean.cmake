@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_test.dir/granularity_test.cc.o"
+  "CMakeFiles/granularity_test.dir/granularity_test.cc.o.d"
+  "granularity_test"
+  "granularity_test.pdb"
+  "granularity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_contention_test.dir/lock_contention_test.cc.o"
+  "CMakeFiles/lock_contention_test.dir/lock_contention_test.cc.o.d"
+  "lock_contention_test"
+  "lock_contention_test.pdb"
+  "lock_contention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_fuzz_test.dir/lock_fuzz_test.cc.o"
+  "CMakeFiles/lock_fuzz_test.dir/lock_fuzz_test.cc.o.d"
+  "lock_fuzz_test"
+  "lock_fuzz_test.pdb"
+  "lock_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

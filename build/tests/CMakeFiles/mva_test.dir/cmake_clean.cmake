@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mva_test.dir/mva_test.cc.o"
+  "CMakeFiles/mva_test.dir/mva_test.cc.o.d"
+  "mva_test"
+  "mva_test.pdb"
+  "mva_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mva_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

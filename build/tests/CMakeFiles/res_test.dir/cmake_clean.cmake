@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/res_test.dir/res_test.cc.o"
+  "CMakeFiles/res_test.dir/res_test.cc.o.d"
+  "res_test"
+  "res_test.pdb"
+  "res_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/res_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_policy_test.dir/restart_policy_test.cc.o"
+  "CMakeFiles/restart_policy_test.dir/restart_policy_test.cc.o.d"
+  "restart_policy_test"
+  "restart_policy_test.pdb"
+  "restart_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

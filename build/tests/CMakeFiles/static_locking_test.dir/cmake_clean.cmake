@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_locking_test.dir/static_locking_test.cc.o"
+  "CMakeFiles/static_locking_test.dir/static_locking_test.cc.o.d"
+  "static_locking_test"
+  "static_locking_test.pdb"
+  "static_locking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_locking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
+include("/root/repo/build/tests/random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/mva_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_contention_test[1]_include.cmake")
+include("/root/repo/build/tests/res_test[1]_include.cmake")
+include("/root/repo/build/tests/wl_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/deadlock_test[1]_include.cmake")
+include("/root/repo/build/tests/cc_algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/restart_policy_test[1]_include.cmake")
+include("/root/repo/build/tests/timestamp_ordering_test[1]_include.cmake")
+include("/root/repo/build/tests/static_locking_test[1]_include.cmake")
+include("/root/repo/build/tests/history_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/granularity_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
