@@ -20,6 +20,9 @@
 //   victim           youngest | oldest | fewest_locks
 //   source           closed | open;  arrival_rate (tps, for open)
 //   x_lock_on_read_intent  true|false
+//   audit            true|false (or --audit): runtime invariant auditing +
+//                    replay digest (docs/AUDIT.md); any detected violation
+//                    fails the run with a nonzero exit
 //   seed, batches, batch_seconds, warmup_seconds, csv=<path>, title=<text>
 #include <fstream>
 #include <iostream>
@@ -53,6 +56,9 @@ int main(int argc, char** argv) {
   ccsim::Config config;
   std::string error;
   std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::string& arg : args) {
+    if (arg == "--audit") arg = "audit=true";
+  }
 
   // A single non-key=value argument is a config file path.
   if (args.size() == 1 && args[0].find('=') == std::string::npos) {
@@ -119,6 +125,7 @@ int main(int argc, char** argv) {
   }
   sweep.base.x_lock_on_read_intent =
       config.GetBoolOr("x_lock_on_read_intent", false);
+  sweep.base.audit = config.GetBoolOr("audit", sweep.base.audit);
   sweep.base.seed = static_cast<uint64_t>(config.GetIntOr("seed", 42));
 
   sweep.algorithms = ccsim::Split(
@@ -139,6 +146,16 @@ int main(int argc, char** argv) {
               << r.throughput.mean << " tps\n";
   });
 
+  int64_t audit_violations = 0;
+  for (const ccsim::MetricsReport& r : reports) {
+    if (!r.audited) continue;
+    audit_violations += r.audit_violations;
+    std::cerr << "  [audit] " << r.algorithm << " mpl=" << r.mpl << ": "
+              << r.audit_checks << " checks, " << r.audit_violations
+              << " violation(s), digest " << std::hex << r.replay_digest
+              << std::dec << "\n";
+  }
+
   ccsim::ReportColumns columns;
   columns.percentiles = config.GetBoolOr("percentiles", false);
   ccsim::PrintReportTable(std::cout,
@@ -152,6 +169,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << "(csv: " << csv << ")\n";
+  }
+  if (audit_violations > 0) {
+    std::cerr << "audit: " << audit_violations << " invariant violation(s)\n";
+    return 2;
   }
   return 0;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Local reproduction of the CI matrix (.github/workflows/ci.yml):
+#   1. RelWithDebInfo build + full ctest suite
+#   2. ASan+UBSan build + full ctest suite
+#   3. TSan build + full ctest suite
+#   4. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
+#      the local toolchain may be gcc-only; CI still enforces it)
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer builds (plain build + tests + tidy only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=$(($(nproc) > 1 ? $(nproc) : 2))
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run_config() {
+  local name="$1"; shift
+  echo "=== ${name} ==="
+  cmake -B "build-${name}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake --build "build-${name}" -j "${JOBS}"
+  ctest --test-dir "build-${name}" --output-on-failure -j "${JOBS}"
+}
+
+run_config plain
+if [[ "${FAST}" -eq 0 ]]; then
+  run_config asan -DCCSIM_SAN=address,undefined
+  run_config tsan -DCCSIM_SAN=thread
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy ==="
+  cmake --build build-plain --target tidy
+else
+  echo "=== clang-tidy not installed; skipped (CI runs it) ==="
+fi
+
+echo "All checks passed."

@@ -1,0 +1,38 @@
+// FNV-1a 64-bit streaming digest.
+//
+// Used for the deterministic-replay check: the engine folds every cc-stream
+// operation into the digest, and two runs with the same seed must end with
+// identical values. FNV-1a is not cryptographic — it is chosen for being
+// trivially portable, order-sensitive, and fast enough to leave enabled in
+// sanitizer sweeps.
+#ifndef CCSIM_AUDIT_DIGEST_H_
+#define CCSIM_AUDIT_DIGEST_H_
+
+#include <cstdint>
+
+namespace ccsim {
+
+class FnvDigest {
+ public:
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  /// Folds the 8 bytes of `word` into the digest, little-end first.
+  void Fold(uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xffu;
+      hash_ *= kPrime;
+    }
+  }
+
+  uint64_t value() const { return hash_; }
+
+  void Reset() { hash_ = kOffsetBasis; }
+
+ private:
+  uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_AUDIT_DIGEST_H_

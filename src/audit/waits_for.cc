@@ -1,0 +1,63 @@
+#include "audit/waits_for.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ccsim {
+
+std::vector<TxnId> WaitsForSnapshot::FindCycle() const {
+  // Iterative DFS with three colors; unordered_map iteration order must not
+  // influence the result (the auditor itself must be deterministic), so
+  // roots and neighbors are visited in sorted order.
+  std::vector<TxnId> roots;
+  roots.reserve(edges_.size());
+  for (const auto& [waiter, blockers] : edges_) roots.push_back(waiter);
+  std::sort(roots.begin(), roots.end());
+
+  enum class Color { kWhite, kGray, kBlack };
+  std::unordered_map<TxnId, Color> color;
+  // Parent edge within the current DFS tree, to reconstruct the cycle.
+  std::unordered_map<TxnId, TxnId> parent;
+
+  for (TxnId root : roots) {
+    if (color.count(root) > 0) continue;
+    std::vector<std::pair<TxnId, size_t>> stack;  // (node, next child index)
+    color[root] = Color::kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, child_index] = stack.back();
+      auto it = edges_.find(node);
+      std::vector<TxnId> blockers;
+      if (it != edges_.end()) {
+        blockers = it->second;
+        std::sort(blockers.begin(), blockers.end());
+      }
+      if (child_index >= blockers.size()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        continue;
+      }
+      TxnId next = blockers[child_index++];
+      auto color_it = color.find(next);
+      if (color_it == color.end()) {
+        color[next] = Color::kGray;
+        parent[next] = node;
+        stack.emplace_back(next, 0);
+      } else if (color_it->second == Color::kGray) {
+        // Found a back edge node -> next: walk parents from node to next.
+        std::vector<TxnId> cycle;
+        cycle.push_back(next);
+        for (TxnId walk = node; walk != next; walk = parent.at(walk)) {
+          cycle.push_back(walk);
+        }
+        // Reverse so each member waits for its successor.
+        std::reverse(cycle.begin() + 1, cycle.end());
+        return cycle;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace ccsim

@@ -1,0 +1,44 @@
+// Waits-for graph snapshot used by the audit layer.
+//
+// Algorithms hand the auditor a snapshot of "who waits for whom"; a cycle
+// among transactions that no deadlock resolution has already doomed means a
+// permanently blocked set — the simulation would still tick (terminal events
+// keep firing) while part of its population is silently wedged, quietly
+// skewing every reported metric.
+#ifndef CCSIM_AUDIT_WAITS_FOR_H_
+#define CCSIM_AUDIT_WAITS_FOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "cc/types.h"
+
+namespace ccsim {
+
+/// Adjacency snapshot: edges[t] = the transactions t waits for.
+class WaitsForSnapshot {
+ public:
+  void AddEdge(TxnId waiter, TxnId blocker) {
+    edges_[waiter].push_back(blocker);
+  }
+
+  bool empty() const { return edges_.empty(); }
+  size_t waiter_count() const { return edges_.size(); }
+
+  const std::unordered_map<TxnId, std::vector<TxnId>>& edges() const {
+    return edges_;
+  }
+
+  /// Returns one cycle as an ordered list of transactions (each waiting for
+  /// the next, the last waiting for the first), or an empty vector if the
+  /// graph is acyclic. Deterministic: traversal visits waiters in ascending
+  /// TxnId order so the same snapshot always yields the same cycle.
+  std::vector<TxnId> FindCycle() const;
+
+ private:
+  std::unordered_map<TxnId, std::vector<TxnId>> edges_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_AUDIT_WAITS_FOR_H_

@@ -1,7 +1,9 @@
 #include "cc/basic_to.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "audit/audit.h"
 #include "util/check.h"
 
 namespace ccsim {
@@ -117,6 +119,93 @@ void BasicTimestampOrderingCC::Abort(TxnId txn) {
   RemoveFromWaiters(txn, it->second);
   ResolvePrewrites(it->second, /*publish=*/false);
   active_.erase(it);
+}
+
+bool BasicTimestampOrderingCC::AuditTracksWaiter(TxnId txn) const {
+  auto it = active_.find(txn);
+  if (it == active_.end() || !it->second.waiting_on.has_value()) return false;
+  auto object = objects_.find(*it->second.waiting_on);
+  if (object == objects_.end()) return false;
+  const std::vector<TxnId>& waiters = object->second.waiters;
+  return std::find(waiters.begin(), waiters.end(), txn) != waiters.end();
+}
+
+void BasicTimestampOrderingCC::AuditCheck() const {
+  if (auditor_ == nullptr) return;
+  auto report = [this](TxnId txn, const std::string& detail) {
+    auditor_->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
+  };
+  for (const auto& [obj, object] : objects_) {
+    if (object.pending_writer != kInvalidTxn) {
+      auto writer = active_.find(object.pending_writer);
+      if (writer == active_.end()) {
+        std::ostringstream detail;
+        detail << "object " << obj << " has a pending write by an inactive txn";
+        report(object.pending_writer, detail.str());
+      } else {
+        if (writer->second.ts != object.pending_ts) {
+          std::ostringstream detail;
+          detail << "object " << obj << " pending ts " << object.pending_ts
+                 << " != writer ts " << writer->second.ts;
+          report(object.pending_writer, detail.str());
+        }
+        const std::vector<ObjectId>& prewrites = writer->second.prewrites;
+        if (std::find(prewrites.begin(), prewrites.end(), obj) ==
+            prewrites.end()) {
+          std::ostringstream detail;
+          detail << "pending writer of object " << obj
+                 << " does not list it among its prewrites";
+          report(object.pending_writer, detail.str());
+        }
+      }
+    } else if (!object.waiters.empty()) {
+      // Waiters only ever wait for a pending write; with none in flight
+      // nothing will ever wake them.
+      std::ostringstream detail;
+      detail << object.waiters.size() << " waiter(s) on object " << obj
+             << " with no pending write to resolve";
+      auditor_->Report(AuditInvariant::kPermanentBlock, object.waiters.front(),
+                       detail.str());
+    }
+    for (TxnId waiter : object.waiters) {
+      auto it = active_.find(waiter);
+      if (it == active_.end()) {
+        std::ostringstream detail;
+        detail << "inactive txn among waiters of object " << obj;
+        report(waiter, detail.str());
+        continue;
+      }
+      if (!it->second.waiting_on.has_value() ||
+          *it->second.waiting_on != obj) {
+        std::ostringstream detail;
+        detail << "waiter on object " << obj
+               << " does not record it as its waiting_on";
+        report(waiter, detail.str());
+      }
+      // Waits point only at strictly older pending writes, which keeps the
+      // wait graph acyclic (the algorithm's deadlock-freedom argument).
+      if (object.pending_writer != kInvalidTxn &&
+          it->second.ts <= object.pending_ts) {
+        std::ostringstream detail;
+        detail << "waiter ts " << it->second.ts
+               << " not younger than pending ts " << object.pending_ts
+               << " on object " << obj;
+        auditor_->Report(AuditInvariant::kPermanentBlock, waiter, detail.str());
+      }
+    }
+  }
+  // txn -> object direction.
+  for (const auto& [txn, state] : active_) {
+    for (ObjectId obj : state.prewrites) {
+      auto it = objects_.find(obj);
+      if (it == objects_.end() || it->second.pending_writer != txn) {
+        std::ostringstream detail;
+        detail << "prewrite of object " << obj
+               << " has no matching pending record";
+        report(txn, detail.str());
+      }
+    }
+  }
 }
 
 }  // namespace ccsim

@@ -51,6 +51,9 @@ class BasicTimestampOrderingCC : public ConcurrencyControl {
   void Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
 
+  bool AuditTracksWaiter(TxnId txn) const override;
+  void AuditCheck() const override;
+
   /// The logical timestamp of an active transaction (tests).
   uint64_t TimestampOf(TxnId txn) const { return active_.at(txn).ts; }
 

@@ -16,6 +16,8 @@
 
 namespace ccsim {
 
+class Auditor;
+
 /// Algorithm-level counters (the engine keeps workload-level ones).
 struct CCStats {
   int64_t deadlocks_detected = 0;    ///< Cycles found by the detector.
@@ -87,9 +89,33 @@ class ConcurrencyControl {
 
   const CCStats& stats() const { return stats_; }
 
+  // --- Runtime invariant auditing (docs/AUDIT.md) ---
+
+  /// Attaches the auditor (nullptr detaches). Lock-based algorithms forward
+  /// it to their lock manager so every grant/release feeds the
+  /// two-phase-locking discipline check.
+  virtual void SetAuditor(Auditor* auditor) { auditor_ = auditor; }
+
+  /// True if the algorithm currently tracks `txn` as a waiter it will
+  /// eventually wake (a grant path exists). The engine cross-checks this for
+  /// every transaction it holds in the blocked state; a blocked transaction
+  /// no algorithm tracks can never resume. The default says "not tracked",
+  /// which is correct for algorithms that never block (their engine-side
+  /// blocked population must be empty).
+  virtual bool AuditTracksWaiter(TxnId txn) const {
+    (void)txn;
+    return false;
+  }
+
+  /// Deep structural self-check; implementations report inconsistencies into
+  /// the attached auditor. Called periodically by the engine and at the end
+  /// of every experiment. Default: nothing to check.
+  virtual void AuditCheck() const {}
+
  protected:
   CCCallbacks callbacks_;
   CCStats stats_;
+  Auditor* auditor_ = nullptr;
 };
 
 }  // namespace ccsim

@@ -8,6 +8,7 @@
 #ifndef CCSIM_CC_IMMEDIATE_RESTART_H_
 #define CCSIM_CC_IMMEDIATE_RESTART_H_
 
+#include <unordered_set>
 #include <vector>
 
 #include "cc/concurrency_control.h"
@@ -41,6 +42,17 @@ class ImmediateRestartCC : public ConcurrencyControl {
 
   void Commit(TxnId txn) override { Release(txn); }
   void Abort(TxnId txn) override { Release(txn); }
+
+  void SetAuditor(Auditor* auditor) override {
+    auditor_ = auditor;
+    locks_.SetAuditor(auditor);
+  }
+  // AuditTracksWaiter: base default (false) — requests never enqueue, so an
+  // engine-side blocked transaction would itself be the violation.
+  void AuditCheck() const override {
+    static const std::unordered_set<TxnId> kNoDoomed;
+    locks_.AuditCheck(auditor_, kNoDoomed);
+  }
 
   const LockManager& locks() const { return locks_; }
 

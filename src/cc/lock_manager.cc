@@ -1,7 +1,10 @@
 #include "cc/lock_manager.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "audit/audit.h"
+#include "audit/waits_for.h"
 #include "util/check.h"
 
 namespace ccsim {
@@ -56,6 +59,9 @@ LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
     if (CompatibleWithHolders(entry, txn, mode, /*upgrade=*/true)) {
       mine->mode = LockMode::kExclusive;
       ++stats_.immediate_grants;
+      if (auditor_ != nullptr) {
+        auditor_->OnLockAcquired(txn, obj, /*exclusive=*/true);
+      }
       return LockRequestOutcome::kGranted;
     }
     if (!enqueue_on_conflict) {
@@ -77,6 +83,9 @@ LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
     entry.holders.push_back(Holder{txn, mode});
     held_[txn].insert(obj);
     ++stats_.immediate_grants;
+    if (auditor_ != nullptr) {
+      auditor_->OnLockAcquired(txn, obj, mode == LockMode::kExclusive);
+    }
     return LockRequestOutcome::kGranted;
   }
   if (!enqueue_on_conflict) {
@@ -104,6 +113,9 @@ void LockManager::ProcessQueue(ObjectId obj, Entry& entry,
       for (Holder& h : entry.holders) {
         if (h.txn == w.txn) h.mode = LockMode::kExclusive;
       }
+      if (auditor_ != nullptr) {
+        auditor_->OnLockAcquired(w.txn, obj, /*exclusive=*/true);
+      }
     } else {
       LockMode mode = waiter_modes_.at(w.txn);
       if (!CompatibleWithHolders(entry, w.txn, mode, /*upgrade=*/false)) {
@@ -112,6 +124,9 @@ void LockManager::ProcessQueue(ObjectId obj, Entry& entry,
       entry.holders.push_back(Holder{w.txn, mode});
       held_[w.txn].insert(obj);
       waiter_modes_.erase(w.txn);
+      if (auditor_ != nullptr) {
+        auditor_->OnLockAcquired(w.txn, obj, mode == LockMode::kExclusive);
+      }
     }
     waiting_.erase(w.txn);
     granted->push_back(w.txn);
@@ -140,6 +155,9 @@ std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
 
   // Release held locks.
   auto held_it = held_.find(txn);
+  if (auditor_ != nullptr && held_it != held_.end()) {
+    auditor_->OnLockReleased(txn);
+  }
   if (held_it != held_.end()) {
     for (ObjectId obj : held_it->second) {
       Entry& entry = table_.at(obj);
@@ -217,6 +235,124 @@ void LockManager::MaybeErase(ObjectId obj) {
   if (it != table_.end() && it->second.holders.empty() &&
       it->second.queue.empty()) {
     table_.erase(it);
+  }
+}
+
+void LockManager::AuditCheck(Auditor* auditor,
+                             const std::unordered_set<TxnId>& doomed) const {
+  if (auditor == nullptr) return;
+  auto report = [auditor](TxnId txn, const std::string& detail) {
+    auditor->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
+  };
+
+  // table_ -> held_/waiting_ direction.
+  for (const auto& [obj, entry] : table_) {
+    if (entry.holders.empty() && entry.queue.empty()) {
+      std::ostringstream detail;
+      detail << "object " << obj << " has an empty lock-table entry";
+      report(kInvalidTxn, detail.str());
+    }
+    std::unordered_set<TxnId> seen_holders;
+    int exclusive_holders = 0;
+    for (const Holder& h : entry.holders) {
+      if (!seen_holders.insert(h.txn).second) {
+        std::ostringstream detail;
+        detail << "txn appears twice among holders of object " << obj;
+        report(h.txn, detail.str());
+      }
+      if (h.mode == LockMode::kExclusive) ++exclusive_holders;
+      auto held_it = held_.find(h.txn);
+      if (held_it == held_.end() || held_it->second.count(obj) == 0) {
+        std::ostringstream detail;
+        detail << "holder of object " << obj << " missing from held_ index";
+        report(h.txn, detail.str());
+      }
+    }
+    if (exclusive_holders > 0 && entry.holders.size() > 1) {
+      std::ostringstream detail;
+      detail << "object " << obj << " has an exclusive holder alongside "
+             << entry.holders.size() - 1 << " other holder(s)";
+      report(entry.holders.front().txn, detail.str());
+    }
+    for (const Waiter& w : entry.queue) {
+      auto wait_it = waiting_.find(w.txn);
+      if (wait_it == waiting_.end() || wait_it->second != obj) {
+        std::ostringstream detail;
+        detail << "queued waiter on object " << obj
+               << " missing from waiting_ index";
+        report(w.txn, detail.str());
+      }
+      if (w.upgrade) {
+        if (seen_holders.count(w.txn) == 0) {
+          std::ostringstream detail;
+          detail << "upgrade waiter on object " << obj
+                 << " holds no lock to upgrade";
+          report(w.txn, detail.str());
+        }
+      } else if (waiter_modes_.count(w.txn) == 0) {
+        std::ostringstream detail;
+        detail << "non-upgrade waiter on object " << obj
+               << " has no recorded mode";
+        report(w.txn, detail.str());
+      }
+    }
+  }
+
+  // held_/waiting_ -> table_ direction.
+  for (const auto& [txn, objects] : held_) {
+    for (ObjectId obj : objects) {
+      auto it = table_.find(obj);
+      bool found = false;
+      if (it != table_.end()) {
+        for (const Holder& h : it->second.holders) found |= h.txn == txn;
+      }
+      if (!found) {
+        std::ostringstream detail;
+        detail << "held_ index lists object " << obj
+               << " without a matching table holder";
+        report(txn, detail.str());
+      }
+    }
+  }
+  WaitsForSnapshot waits_for;
+  for (const auto& [txn, obj] : waiting_) {
+    auto it = table_.find(obj);
+    bool queued = false;
+    if (it != table_.end()) {
+      for (const Waiter& w : it->second.queue) queued |= w.txn == txn;
+    }
+    if (!queued) {
+      std::ostringstream detail;
+      detail << "waiting_ index points at object " << obj
+             << " whose queue does not contain the txn";
+      report(txn, detail.str());
+      continue;
+    }
+    std::vector<TxnId> blockers = BlockersOf(txn);
+    if (blockers.empty()) {
+      // Prefix grants run at every release, so a waiter with nothing in its
+      // way should have been granted already: its wake-up is lost.
+      std::ostringstream detail;
+      detail << "waiter on object " << obj
+             << " has no blockers yet was never granted";
+      auditor->Report(AuditInvariant::kPermanentBlock, txn, detail.str());
+      continue;
+    }
+    if (doomed.count(txn) > 0) continue;
+    for (TxnId blocker : blockers) {
+      if (doomed.count(blocker) == 0) waits_for.AddEdge(txn, blocker);
+    }
+  }
+
+  // A waits-for cycle among non-doomed transactions is a permanent block:
+  // no future release can ever wake any member.
+  std::vector<TxnId> cycle = waits_for.FindCycle();
+  if (!cycle.empty()) {
+    std::ostringstream detail;
+    detail << "waits-for cycle with no pending resolution:";
+    for (TxnId member : cycle) detail << " " << member;
+    auditor->Report(AuditInvariant::kPermanentBlock, cycle.front(),
+                    detail.str());
   }
 }
 

@@ -29,6 +29,8 @@
 
 namespace ccsim {
 
+class Auditor;
+
 enum class LockMode { kShared, kExclusive };
 
 /// Result of a lock request.
@@ -94,6 +96,18 @@ class LockManager {
 
   const LockManagerStats& stats() const { return stats_; }
 
+  /// Attaches the runtime invariant auditor (nullptr detaches): every grant
+  /// and release is reported for two-phase-locking discipline checking.
+  void SetAuditor(Auditor* auditor) { auditor_ = auditor; }
+
+  /// Deep structural self-check, reporting violations into `auditor`:
+  /// held_ ↔ table_ agreement, holder compatibility, waiter bookkeeping, and
+  /// waits-for acyclicity. `doomed` lists transactions already selected as
+  /// deadlock/wound victims whose aborts are still in flight; cycles made
+  /// only of doomed members are in-resolution, not permanent blocks.
+  void AuditCheck(Auditor* auditor,
+                  const std::unordered_set<TxnId>& doomed) const;
+
  private:
   struct Holder {
     TxnId txn;
@@ -128,6 +142,7 @@ class LockManager {
   /// Requested mode of each non-upgrade waiter (upgrades are implicitly X).
   std::unordered_map<TxnId, LockMode> waiter_modes_;
   LockManagerStats stats_;
+  Auditor* auditor_ = nullptr;
 };
 
 }  // namespace ccsim

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <sstream>
 
+#include "audit/audit.h"
 #include "util/check.h"
 
 namespace ccsim {
@@ -152,6 +154,103 @@ void MultiversionTimestampOrderingCC::Abort(TxnId txn) {
 size_t MultiversionTimestampOrderingCC::VersionCount(ObjectId obj) const {
   auto it = objects_.find(obj);
   return it == objects_.end() ? 0 : it->second.versions.size();
+}
+
+bool MultiversionTimestampOrderingCC::AuditTracksWaiter(TxnId txn) const {
+  auto it = active_.find(txn);
+  if (it == active_.end() || !it->second.waiting_on.has_value()) return false;
+  auto object = objects_.find(*it->second.waiting_on);
+  if (object == objects_.end()) return false;
+  const std::vector<TxnId>& waiters = object->second.waiters;
+  return std::find(waiters.begin(), waiters.end(), txn) != waiters.end();
+}
+
+void MultiversionTimestampOrderingCC::AuditCheck() const {
+  if (auditor_ == nullptr) return;
+  auto report = [this](TxnId txn, const std::string& detail) {
+    auditor_->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
+  };
+  for (const auto& [obj, object] : objects_) {
+    for (size_t i = 1; i < object.versions.size(); ++i) {
+      if (object.versions[i - 1].wts >= object.versions[i].wts) {
+        std::ostringstream detail;
+        detail << "versions of object " << obj
+               << " are not strictly ordered by wts";
+        report(kInvalidTxn, detail.str());
+        break;
+      }
+    }
+    for (const PendingWrite& pending : object.pending) {
+      auto writer = active_.find(pending.writer);
+      if (writer == active_.end()) {
+        std::ostringstream detail;
+        detail << "object " << obj << " has a pending version by an inactive txn";
+        report(pending.writer, detail.str());
+        continue;
+      }
+      if (writer->second.ts != pending.ts) {
+        std::ostringstream detail;
+        detail << "object " << obj << " pending ts " << pending.ts
+               << " != writer ts " << writer->second.ts;
+        report(pending.writer, detail.str());
+      }
+      const std::vector<ObjectId>& prewrites = writer->second.prewrites;
+      if (std::find(prewrites.begin(), prewrites.end(), obj) ==
+          prewrites.end()) {
+        std::ostringstream detail;
+        detail << "pending writer of object " << obj
+               << " does not list it among its prewrites";
+        report(pending.writer, detail.str());
+      }
+    }
+    for (TxnId waiter : object.waiters) {
+      auto it = active_.find(waiter);
+      if (it == active_.end()) {
+        std::ostringstream detail;
+        detail << "inactive txn among waiters of object " << obj;
+        report(waiter, detail.str());
+        continue;
+      }
+      if (!it->second.waiting_on.has_value() ||
+          *it->second.waiting_on != obj) {
+        std::ostringstream detail;
+        detail << "waiter on object " << obj
+               << " does not record it as its waiting_on";
+        report(waiter, detail.str());
+        continue;
+      }
+      // A reader waits only for a strictly older pending version; if none
+      // exists, nothing will ever wake it (waits stay acyclic because every
+      // wait edge points from younger to older).
+      bool has_older_pending = false;
+      for (const PendingWrite& pending : object.pending) {
+        has_older_pending |= pending.ts < it->second.ts;
+      }
+      if (!has_older_pending) {
+        std::ostringstream detail;
+        detail << "waiter ts " << it->second.ts << " on object " << obj
+               << " has no older pending version to wait for";
+        auditor_->Report(AuditInvariant::kPermanentBlock, waiter, detail.str());
+      }
+    }
+  }
+  for (const auto& [txn, state] : active_) {
+    for (ObjectId obj : state.prewrites) {
+      auto it = objects_.find(obj);
+      bool pending_found = false;
+      if (it != objects_.end()) {
+        for (const PendingWrite& pending : it->second.pending) {
+          pending_found |= pending.writer == txn;
+        }
+      }
+      if (!pending_found) {
+        std::ostringstream detail;
+        detail << "prewrite of object " << obj
+               << " has no matching pending version";
+        report(txn, detail.str());
+      }
+    }
+  }
 }
 
 }  // namespace ccsim

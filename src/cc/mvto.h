@@ -49,6 +49,9 @@ class MultiversionTimestampOrderingCC : public ConcurrencyControl {
   void Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
 
+  bool AuditTracksWaiter(TxnId txn) const override;
+  void AuditCheck() const override;
+
   /// Number of committed versions currently kept for `obj` (tests/GC).
   size_t VersionCount(ObjectId obj) const;
 

@@ -1,7 +1,10 @@
 #include "cc/optimistic.h"
 
 #include <algorithm>
+#include <sstream>
+#include <unordered_map>
 
+#include "audit/audit.h"
 #include "util/check.h"
 
 namespace ccsim {
@@ -95,6 +98,39 @@ void OptimisticCC::Abort(TxnId txn) {
 SimTime OptimisticCC::LastCommittedWrite(ObjectId obj) const {
   auto it = committed_writes_.find(obj);
   return it == committed_writes_.end() ? -1 : it->second;
+}
+
+void OptimisticCC::AuditCheck() const {
+  if (auditor_ == nullptr) return;
+  // The flush claims must be exactly the write sets of the validated
+  // transactions — a leaked claim blocks future validators forever, a lost
+  // claim lets a stale read pass validation.
+  std::unordered_map<ObjectId, int> expected;
+  for (const auto& [txn, state] : active_) {
+    (void)txn;
+    if (!state.validated) continue;
+    for (ObjectId obj : state.writes) ++expected[obj];
+  }
+  for (const auto& [obj, count] : flushing_) {
+    auto it = expected.find(obj);
+    int expected_count = it == expected.end() ? 0 : it->second;
+    if (count != expected_count || count <= 0) {
+      std::ostringstream detail;
+      detail << "object " << obj << " has " << count
+             << " flush claim(s) but " << expected_count
+             << " validated writer(s)";
+      auditor_->Report(AuditInvariant::kWaitsForConsistency, kInvalidTxn,
+                       detail.str());
+    }
+  }
+  for (const auto& [obj, count] : expected) {
+    if (flushing_.count(obj) == 0 && count > 0) {
+      std::ostringstream detail;
+      detail << "validated write of object " << obj << " holds no flush claim";
+      auditor_->Report(AuditInvariant::kWaitsForConsistency, kInvalidTxn,
+                       detail.str());
+    }
+  }
 }
 
 }  // namespace ccsim

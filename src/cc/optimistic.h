@@ -32,6 +32,9 @@ class OptimisticCC : public ConcurrencyControl {
   void Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
 
+  // AuditTracksWaiter: base default (false) — the algorithm never blocks.
+  void AuditCheck() const override;
+
   /// Last committed write timestamp of `obj`, or -1 when never written.
   /// Exposed for tests.
   SimTime LastCommittedWrite(ObjectId obj) const;

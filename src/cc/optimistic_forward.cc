@@ -1,7 +1,9 @@
 #include "cc/optimistic_forward.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "audit/audit.h"
 #include "util/check.h"
 
 namespace ccsim {
@@ -129,6 +131,64 @@ void ForwardOptimisticCC::Abort(TxnId txn) {
   RemoveFromWaiters(txn, it->second);
   ReleaseFlushClaims(it->second);
   active_.erase(it);
+}
+
+bool ForwardOptimisticCC::AuditTracksWaiter(TxnId txn) const {
+  auto it = active_.find(txn);
+  if (it == active_.end() || !it->second.waiting_on.has_value()) return false;
+  auto waiting = waiters_.find(*it->second.waiting_on);
+  if (waiting == waiters_.end()) return false;
+  const std::vector<TxnId>& list = waiting->second;
+  return std::find(list.begin(), list.end(), txn) != list.end();
+}
+
+void ForwardOptimisticCC::AuditCheck() const {
+  if (auditor_ == nullptr) return;
+  auto report = [this](TxnId txn, const std::string& detail) {
+    auditor_->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
+  };
+  // Flush claims must be exactly the validated transactions' write sets.
+  std::unordered_map<ObjectId, int> expected;
+  for (const auto& [txn, state] : active_) {
+    (void)txn;
+    if (!state.validated) continue;
+    for (ObjectId obj : state.writes) ++expected[obj];
+  }
+  for (const auto& [obj, count] : flushing_) {
+    auto it = expected.find(obj);
+    int expected_count = it == expected.end() ? 0 : it->second;
+    if (count != expected_count || count <= 0) {
+      std::ostringstream detail;
+      detail << "object " << obj << " has " << count << " flush claim(s) but "
+             << expected_count << " validated writer(s)";
+      report(kInvalidTxn, detail.str());
+    }
+  }
+  // Waiters wait only on objects actually mid-flush; anything else never
+  // gets a wake-up.
+  for (const auto& [obj, list] : waiters_) {
+    if (flushing_.count(obj) == 0) {
+      std::ostringstream detail;
+      detail << list.size() << " waiter(s) on object " << obj
+             << " which is not being flushed";
+      auditor_->Report(AuditInvariant::kPermanentBlock,
+                       list.empty() ? kInvalidTxn : list.front(), detail.str());
+    }
+    for (TxnId waiter : list) {
+      auto it = active_.find(waiter);
+      if (it == active_.end()) {
+        std::ostringstream detail;
+        detail << "inactive txn among waiters of object " << obj;
+        report(waiter, detail.str());
+      } else if (!it->second.waiting_on.has_value() ||
+                 *it->second.waiting_on != obj) {
+        std::ostringstream detail;
+        detail << "waiter on object " << obj
+               << " does not record it as its waiting_on";
+        report(waiter, detail.str());
+      }
+    }
+  }
 }
 
 }  // namespace ccsim

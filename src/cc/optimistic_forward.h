@@ -45,6 +45,9 @@ class ForwardOptimisticCC : public ConcurrencyControl {
   void Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
 
+  bool AuditTracksWaiter(TxnId txn) const override;
+  void AuditCheck() const override;
+
  private:
   struct TxnState {
     std::unordered_set<ObjectId> reads;

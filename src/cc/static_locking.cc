@@ -1,7 +1,9 @@
 #include "cc/static_locking.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "audit/audit.h"
 #include "util/check.h"
 
 namespace ccsim {
@@ -60,15 +62,22 @@ void StaticLockingCC::Acquire(TxnState& state, TxnId txn) {
     ObjectLocks& locks = objects_[obj];
     CCSIM_CHECK_EQ(locks.writer, kInvalidTxn);
     locks.writer = txn;
+    if (auditor_ != nullptr) {
+      auditor_->OnLockAcquired(txn, obj, /*exclusive=*/true);
+    }
   }
   for (ObjectId obj : state.read_only) {
     objects_[obj].readers.insert(txn);
+    if (auditor_ != nullptr) {
+      auditor_->OnLockAcquired(txn, obj, /*exclusive=*/false);
+    }
   }
   state.holding = true;
 }
 
 void StaticLockingCC::Release(TxnState& state, TxnId txn) {
   if (!state.holding) return;
+  if (auditor_ != nullptr) auditor_->OnLockReleased(txn);
   for (ObjectId obj : state.written) {
     auto it = objects_.find(obj);
     CCSIM_CHECK(it != objects_.end() && it->second.writer == txn);
@@ -128,6 +137,81 @@ void StaticLockingCC::Abort(TxnId txn) {
   Release(it->second, txn);
   active_.erase(it);
   ScanWaiters();
+}
+
+bool StaticLockingCC::AuditTracksWaiter(TxnId txn) const {
+  return std::find(waiters_.begin(), waiters_.end(), txn) != waiters_.end();
+}
+
+void StaticLockingCC::AuditCheck() const {
+  if (auditor_ == nullptr) return;
+  auto report = [this](TxnId txn, const std::string& detail) {
+    auditor_->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
+  };
+  // active_ -> objects_ direction: a holding transaction's declared set must
+  // be registered exactly; a waiter must hold nothing.
+  for (const auto& [txn, state] : active_) {
+    for (ObjectId obj : state.written) {
+      auto it = objects_.find(obj);
+      bool writes = it != objects_.end() && it->second.writer == txn;
+      if (state.holding != writes) {
+        std::ostringstream detail;
+        detail << (state.holding ? "holding txn not registered as writer of "
+                                 : "non-holding txn registered as writer of ")
+               << "object " << obj;
+        report(txn, detail.str());
+      }
+    }
+    for (ObjectId obj : state.read_only) {
+      auto it = objects_.find(obj);
+      bool reads = it != objects_.end() && it->second.readers.count(txn) > 0;
+      if (state.holding != reads) {
+        std::ostringstream detail;
+        detail << (state.holding ? "holding txn not registered as reader of "
+                                 : "non-holding txn registered as reader of ")
+               << "object " << obj;
+        report(txn, detail.str());
+      }
+    }
+  }
+  // objects_ -> active_ direction, plus the compatibility matrix (a writer
+  // excludes every other holder).
+  for (const auto& [obj, locks] : objects_) {
+    if (locks.writer != kInvalidTxn) {
+      if (active_.count(locks.writer) == 0) {
+        std::ostringstream detail;
+        detail << "object " << obj << " written by an unknown transaction";
+        report(locks.writer, detail.str());
+      }
+      for (TxnId reader : locks.readers) {
+        if (reader != locks.writer) {
+          std::ostringstream detail;
+          detail << "object " << obj << " has reader " << reader
+                 << " alongside exclusive writer " << locks.writer;
+          report(reader, detail.str());
+        }
+      }
+    }
+    for (TxnId reader : locks.readers) {
+      if (active_.count(reader) == 0) {
+        std::ostringstream detail;
+        detail << "object " << obj << " read-locked by an unknown transaction";
+        report(reader, detail.str());
+      }
+    }
+  }
+  // Every waiter must be known and must not be holding.
+  for (TxnId waiter : waiters_) {
+    auto it = active_.find(waiter);
+    if (it == active_.end()) {
+      report(waiter, "waiter is not an active transaction");
+    } else if (it->second.holding) {
+      // All-or-nothing acquisition: waiting while holding is the deadlock
+      // static locking exists to rule out.
+      auditor_->Report(AuditInvariant::kPermanentBlock, waiter,
+                       "waiter already holds its locks");
+    }
+  }
 }
 
 }  // namespace ccsim

@@ -49,6 +49,9 @@ class StaticLockingCC : public ConcurrencyControl {
   void Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
 
+  bool AuditTracksWaiter(TxnId txn) const override;
+  void AuditCheck() const override;
+
   /// Waiting transactions (tests).
   size_t waiting_count() const { return waiters_.size(); }
 

@@ -46,6 +46,15 @@ class TimestampLockingCC : public ConcurrencyControl {
   void Commit(TxnId txn) override;
   void Abort(TxnId txn) override;
 
+  void SetAuditor(Auditor* auditor) override {
+    auditor_ = auditor;
+    locks_.SetAuditor(auditor);
+  }
+  bool AuditTracksWaiter(TxnId txn) const override {
+    return locks_.IsWaiting(txn);
+  }
+  void AuditCheck() const override { locks_.AuditCheck(auditor_, doomed_); }
+
   const LockManager& locks() const { return locks_; }
 
  private:

@@ -75,6 +75,11 @@ ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
     };
   }
   cc_->SetCallbacks(std::move(callbacks));
+  if (config_.audit) {
+    auditor_ = std::make_unique<Auditor>(AuditorOptions{},
+                                         [this] { return sim_->Now(); });
+    cc_->SetAuditor(auditor_.get());
+  }
 }
 
 double ClosedSystem::BootstrapResponseSeconds() const {
@@ -150,6 +155,10 @@ void ClosedSystem::Activate(TxnId id) {
   active_mpl_.Add(sim_->Now(), +1.0);
   if (config_.record_history) history_.RecordActivation(id, txn.incarnation);
   Trace(txn, TxnEvent::kActivated);
+  if (auditor_ != nullptr) {
+    auditor_->OnTxnAdmitted(id, txn.incarnation);
+    AuditFold(AuditOp::kBegin, id, txn.incarnation, 0);
+  }
   cc_->OnBegin(id, txn.first_submit, txn.incarnation_start);
   if (cc_->needs_predeclaration()) {
     std::vector<ObjectId> read_granules, write_granules;
@@ -167,7 +176,11 @@ void ClosedSystem::Activate(TxnId id) {
         write_granules.push_back(granule);
       }
     }
-    switch (cc_->Predeclare(id, read_granules, write_granules)) {
+    CCDecision decision = cc_->Predeclare(id, read_granules, write_granules);
+    AuditFold(AuditOp::kPredeclare, id, static_cast<int64_t>(decision),
+              static_cast<int64_t>(read_granules.size() +
+                                   write_granules.size()));
+    switch (decision) {
       case CCDecision::kGranted:
         break;
       case CCDecision::kBlocked:
@@ -175,6 +188,7 @@ void ClosedSystem::Activate(TxnId id) {
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
+        AuditBlocked(id);
         return;
       case CCDecision::kRestart:
         Restart(id);
@@ -185,6 +199,7 @@ void ClosedSystem::Activate(TxnId id) {
 }
 
 void ClosedSystem::NextStep(TxnId id) {
+  AuditTransition();
   Txn& txn = GetTxn(id);
   CCSIM_CHECK(txn.state == TxnState::kRunning);
   if (txn.doomed) {
@@ -272,8 +287,11 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
     bool write_intent =
         config_.x_lock_on_read_intent &&
         txn.spec.writes[static_cast<size_t>(txn.read_index)];
-    switch (write_intent ? cc_->WriteRequest(id, granule)
-                         : cc_->ReadRequest(id, granule)) {
+    CCDecision decision = write_intent ? cc_->WriteRequest(id, granule)
+                                       : cc_->ReadRequest(id, granule);
+    AuditFold(write_intent ? AuditOp::kWrite : AuditOp::kRead, id, granule,
+              static_cast<int64_t>(decision));
+    switch (decision) {
       case CCDecision::kGranted:
         if (config_.lock_granule_size > 1) {
           (write_intent ? txn.write_granules : txn.read_granules)
@@ -286,6 +304,7 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
+        AuditBlocked(id);
         return;
       case CCDecision::kRestart:
         Restart(id);
@@ -296,7 +315,9 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
   if (txn.write_index < static_cast<int>(txn.write_set.size())) {
     ObjectId granule =
         GranuleOf(txn.write_set[static_cast<size_t>(txn.write_index)]);
-    switch (cc_->WriteRequest(id, granule)) {
+    CCDecision decision = cc_->WriteRequest(id, granule);
+    AuditFold(AuditOp::kWrite, id, granule, static_cast<int64_t>(decision));
+    switch (decision) {
       case CCDecision::kGranted:
         if (config_.lock_granule_size > 1) txn.write_granules.insert(granule);
         StartAccess(id);
@@ -306,6 +327,7 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
+        AuditBlocked(id);
         return;
       case CCDecision::kRestart:
         Restart(id);
@@ -314,7 +336,9 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
   }
 
   // Validation at the commit point.
-  if (cc_->Validate(id)) {
+  bool valid = cc_->Validate(id);
+  AuditFold(AuditOp::kValidate, id, valid ? 1 : 0, 0);
+  if (valid) {
     BeginUpdates(id);
   } else {
     Restart(id);
@@ -504,6 +528,10 @@ void ClosedSystem::Complete(TxnId id) {
   cc_->Commit(id);
   if (config_.record_history) history_.RecordCommit(id, txn.incarnation);
   Trace(txn, TxnEvent::kCommitted);
+  if (auditor_ != nullptr) {
+    AuditFold(AuditOp::kCommit, id, txn.incarnation, 0);
+    auditor_->OnTxnFinished(id);
+  }
 
   int terminal = txn.terminal;
   Deactivate();
@@ -514,6 +542,7 @@ void ClosedSystem::Complete(TxnId id) {
     sim_->Schedule(think, [this, terminal] { SubmitFromTerminal(terminal); });
   }
   TryActivate();
+  AuditTransition();
 }
 
 void ClosedSystem::Restart(TxnId id) {
@@ -533,6 +562,10 @@ void ClosedSystem::Restart(TxnId id) {
 
   cc_->Abort(id);
   if (config_.record_history) history_.RecordAbort(id, txn.incarnation);
+  if (auditor_ != nullptr) {
+    AuditFold(AuditOp::kRestart, id, txn.incarnation, 0);
+    auditor_->OnTxnFinished(id);
+  }
   Deactivate();
 
   SimTime delay = restart_policy_.NextDelay(&delay_rng_);
@@ -553,6 +586,7 @@ void ClosedSystem::Restart(TxnId id) {
     ready_queue_.push_back(id);
     TryActivate();
   }
+  AuditTransition();
 }
 
 void ClosedSystem::Deactivate() {
@@ -573,6 +607,7 @@ void ClosedSystem::OnGranted(TxnId id) {
     if (t.state != TxnState::kBlocked) return;  // Stale grant.
     t.state = TxnState::kRunning;
     Trace(t, TxnEvent::kResumed);
+    AuditTransition();
     if (t.doomed) {
       Restart(id);
       return;
@@ -607,6 +642,63 @@ void ClosedSystem::OnWound(TxnId id) {
       }
       Restart(id);
     });
+  }
+}
+
+namespace {
+/// Deep cc-algorithm checks are O(lock table), so they run on a sampled
+/// subset of transitions; the census and monotonicity checks run on all.
+constexpr int64_t kAuditDeepCheckPeriod = 64;
+}  // namespace
+
+void ClosedSystem::AuditTransition() {
+  if (auditor_ == nullptr) return;
+  auditor_->OnEventTime(sim_->Now());
+  TxnCensus census;
+  census.total = static_cast<int64_t>(txns_.size());
+  for (const auto& [id, txn] : txns_) {
+    (void)id;
+    switch (txn.state) {
+      case TxnState::kReady: ++census.ready; break;
+      case TxnState::kRunning: ++census.running; break;
+      case TxnState::kBlocked: ++census.blocked; break;
+      case TxnState::kIntThink: ++census.thinking; break;
+      case TxnState::kRestartDelay: ++census.restart_delay; break;
+    }
+  }
+  census.ready_queue = static_cast<int64_t>(ready_queue_.size());
+  census.active = active_count_;
+  auditor_->CheckConservation(census);
+  if (++audit_transitions_ % kAuditDeepCheckPeriod == 0) cc_->AuditCheck();
+}
+
+void ClosedSystem::AuditBlocked(TxnId id) {
+  if (auditor_ == nullptr) return;
+  auditor_->CheckBlockedTracked(id, cc_->AuditTracksWaiter(id));
+}
+
+void ClosedSystem::AuditFold(AuditOp op, TxnId id, int64_t a, int64_t b) {
+  if (auditor_ == nullptr) return;
+  auditor_->FoldOp(static_cast<uint64_t>(op), id, a, b,
+                   static_cast<int64_t>(sim_->Now()));
+}
+
+void ClosedSystem::AuditFinal() {
+  if (auditor_ == nullptr) return;
+  cc_->AuditCheck();
+  AuditTransition();
+  // Quiescence: with the event queue drained nothing can ever wake a
+  // blocked transaction again — each one is permanently stuck.
+  if (sim_->pending_events() == 0) {
+    std::vector<TxnId> stuck;
+    for (const auto& [id, txn] : txns_) {
+      if (txn.state == TxnState::kBlocked) stuck.push_back(id);
+    }
+    std::sort(stuck.begin(), stuck.end());
+    for (TxnId id : stuck) {
+      auditor_->Report(AuditInvariant::kPermanentBlock, id,
+                       "blocked transaction outlived the event queue");
+    }
   }
 }
 
@@ -733,6 +825,13 @@ MetricsReport ClosedSystem::RunExperiment(int batches, SimTime batch_length,
   report.measured_seconds = ToSeconds(batch_length) * batches;
   report.batches = batches;
   report.cc_stats = cc_->stats();
+  AuditFinal();
+  if (auditor_ != nullptr) {
+    report.audited = true;
+    report.audit_violations = auditor_->violation_count();
+    report.audit_checks = auditor_->checks_performed();
+    report.replay_digest = auditor_->digest();
+  }
   for (size_t i = 0; i < class_response_.size(); ++i) {
     ClassMetrics metrics;
     metrics.name = config_.workload.ClassName(static_cast<int>(i));

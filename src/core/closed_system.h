@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "audit/audit.h"
 #include "cc/deadlock.h"
 #include "cc/factory.h"
 #include "cc/restart_policy.h"
@@ -92,6 +93,17 @@ struct EngineConfig {
   /// Record the full execution history (serializability tests); costs memory
   /// proportional to run length.
   bool record_history = false;
+  /// Runtime invariant auditing (docs/AUDIT.md): the engine and the cc
+  /// algorithm cross-check two-phase-locking discipline, lock-table ↔
+  /// waits-for consistency, transaction conservation, and event-time
+  /// monotonicity, and fold every cc decision into a deterministic replay
+  /// digest. Disabled, each hook costs one null-pointer test. Builds
+  /// configured with -DCCSIM_AUDIT=ON flip the default to on.
+#ifdef CCSIM_AUDIT_DEFAULT_ON
+  bool audit = true;
+#else
+  bool audit = false;
+#endif
 };
 
 /// The simulation engine. Owns the workload, resources, and the concurrency
@@ -120,6 +132,8 @@ class ClosedSystem {
   ResourceManager& resources() { return resources_; }
   const HistoryRecorder& history() const { return history_; }
   const EngineConfig& config() const { return config_; }
+  /// The runtime invariant auditor; nullptr unless config.audit is set.
+  const Auditor* auditor() const { return auditor_.get(); }
 
   /// Committed-response-time running mean in seconds (drives the adaptive
   /// restart delay; exposed for tests and the adaptive-mpl controller).
@@ -192,6 +206,19 @@ class ClosedSystem {
   // Concurrency control callbacks.
   void OnGranted(TxnId id);
   void OnWound(TxnId id);
+
+  // Auditing (no-ops unless config.audit is set).
+  /// Monotonicity + conservation census at every lifecycle transition; every
+  /// kAuditDeepCheckPeriod-th call also deep-checks the cc algorithm.
+  void AuditTransition();
+  /// Cross-checks a newly blocked transaction against the algorithm's
+  /// waiter bookkeeping.
+  void AuditBlocked(TxnId id);
+  /// Folds one cc-stream op into the replay digest.
+  void AuditFold(AuditOp op, TxnId id, int64_t a, int64_t b);
+  /// End-of-run checks: deep cc check, final census, and quiescence (no
+  /// blocked transaction may outlive the event queue).
+  void AuditFinal();
 
   // Helpers.
   Txn& GetTxn(TxnId id);
@@ -269,6 +296,8 @@ class ClosedSystem {
 
   HistoryRecorder history_;
   TraceSink* trace_ = nullptr;
+  std::unique_ptr<Auditor> auditor_;
+  int64_t audit_transitions_ = 0;
 
   /// Transactions whose commit records await the next group-commit flush
   /// (id, incarnation); the window timer is pending_group_flush_.

@@ -68,6 +68,14 @@ struct MetricsReport {
   /// Algorithm-level counters at end of run (cumulative since time 0).
   CCStats cc_stats;
 
+  /// Runtime invariant auditing (EngineConfig::audit; docs/AUDIT.md).
+  /// `replay_digest` is an FNV-1a digest over the cc op stream: two runs of
+  /// the same configuration and seed must report the same digest.
+  bool audited = false;
+  int64_t audit_violations = 0;
+  int64_t audit_checks = 0;
+  uint64_t replay_digest = 0;
+
   /// Per-class breakdown; one entry per TxnClass (a single entry named
   /// "default" for the paper's single-class workload).
   std::vector<ClassMetrics> per_class;

@@ -1,0 +1,324 @@
+// Tests for the runtime invariant auditor: each violation class must be
+// detected when injected, clean histories must pass, and a sweep of every
+// algorithm under full auditing must come back violation-free.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "audit/audit.h"
+#include "audit/digest.h"
+#include "audit/waits_for.h"
+#include "cc/factory.h"
+#include "cc/lock_manager.h"
+#include "core/closed_system.h"
+#include "sim/simulator.h"
+
+namespace ccsim {
+namespace {
+
+bool HasViolation(const Auditor& auditor, AuditInvariant invariant) {
+  for (const AuditViolation& violation : auditor.violations()) {
+    if (violation.invariant == invariant) return true;
+  }
+  return false;
+}
+
+// --- Two-phase-locking discipline ---
+
+TEST(AuditorTest, DetectsLockAcquireAfterRelease) {
+  Auditor auditor;
+  auditor.OnTxnAdmitted(1, /*incarnation=*/1);
+  auditor.OnLockAcquired(1, /*obj=*/10, /*exclusive=*/false);
+  auditor.OnLockReleased(1);
+  auditor.OnLockAcquired(1, /*obj=*/11, /*exclusive=*/true);  // Injected.
+  EXPECT_TRUE(HasViolation(auditor, AuditInvariant::kTwoPhaseLocking))
+      << auditor.Summary();
+  EXPECT_EQ(auditor.violation_count(), 1);
+}
+
+TEST(AuditorTest, AcceptsStrictTwoPhaseHistory) {
+  Auditor auditor;
+  auditor.OnTxnAdmitted(1, 1);
+  auditor.OnLockAcquired(1, 10, false);
+  auditor.OnLockAcquired(1, 11, true);
+  auditor.OnLockReleased(1);
+  auditor.OnTxnFinished(1);
+  EXPECT_EQ(auditor.violation_count(), 0) << auditor.Summary();
+  EXPECT_GT(auditor.checks_performed(), 0);
+}
+
+TEST(AuditorTest, NewIncarnationMayReacquire) {
+  Auditor auditor;
+  auditor.OnTxnAdmitted(1, 1);
+  auditor.OnLockAcquired(1, 10, true);
+  auditor.OnLockReleased(1);
+  auditor.OnTxnFinished(1);  // Restarted; same id comes back.
+  auditor.OnTxnAdmitted(1, 2);
+  auditor.OnLockAcquired(1, 10, true);
+  EXPECT_EQ(auditor.violation_count(), 0) << auditor.Summary();
+}
+
+// --- Leaked blocked transaction ---
+
+TEST(AuditorTest, DetectsBlockedTxnNoAlgorithmTracks) {
+  Auditor auditor;
+  auditor.CheckBlockedTracked(7, /*tracked_by_algorithm=*/false);  // Injected.
+  EXPECT_TRUE(HasViolation(auditor, AuditInvariant::kPermanentBlock))
+      << auditor.Summary();
+  auditor.CheckBlockedTracked(8, true);
+  EXPECT_EQ(auditor.violation_count(), 1);
+}
+
+// --- Conservation across the queues ---
+
+TEST(AuditorTest, AcceptsBalancedCensus) {
+  Auditor auditor;
+  TxnCensus census;
+  census.total = 10;
+  census.ready = 2;
+  census.running = 3;
+  census.blocked = 1;
+  census.thinking = 2;
+  census.restart_delay = 2;
+  census.ready_queue = 2;
+  census.active = 6;  // running + blocked + thinking.
+  auditor.CheckConservation(census);
+  EXPECT_EQ(auditor.violation_count(), 0) << auditor.Summary();
+}
+
+TEST(AuditorTest, DetectsQueueCountDrift) {
+  Auditor auditor;
+  TxnCensus census;
+  census.total = 5;
+  census.ready = 1;
+  census.running = 3;  // 1 + 3 = 4 != 5: one transaction vanished.
+  census.ready_queue = 1;
+  census.active = 3;
+  auditor.CheckConservation(census);
+  EXPECT_TRUE(HasViolation(auditor, AuditInvariant::kTxnConservation))
+      << auditor.Summary();
+}
+
+TEST(AuditorTest, DetectsActiveCountMismatch) {
+  Auditor auditor;
+  TxnCensus census;
+  census.total = 4;
+  census.ready = 1;
+  census.running = 2;
+  census.blocked = 1;
+  census.ready_queue = 1;
+  census.active = 2;  // Should be running + blocked = 3.
+  auditor.CheckConservation(census);
+  EXPECT_TRUE(HasViolation(auditor, AuditInvariant::kTxnConservation));
+}
+
+TEST(AuditorTest, DetectsReadyQueueMismatch) {
+  Auditor auditor;
+  TxnCensus census;
+  census.total = 2;
+  census.ready = 2;
+  census.ready_queue = 1;  // One ready transaction is not enqueued.
+  census.active = 0;
+  auditor.CheckConservation(census);
+  EXPECT_TRUE(HasViolation(auditor, AuditInvariant::kTxnConservation));
+}
+
+// --- Event-time monotonicity ---
+
+TEST(AuditorTest, DetectsTimeGoingBackwards) {
+  Auditor auditor;
+  auditor.OnEventTime(100);
+  auditor.OnEventTime(100);  // Equal is fine (zero-delay events).
+  EXPECT_EQ(auditor.violation_count(), 0);
+  auditor.OnEventTime(99);  // Injected.
+  EXPECT_TRUE(HasViolation(auditor, AuditInvariant::kTimeMonotonicity))
+      << auditor.Summary();
+}
+
+// --- Replay digest ---
+
+TEST(AuditorTest, ReplayDigestMatchesSameStream) {
+  Auditor a;
+  Auditor b;
+  for (int i = 0; i < 10; ++i) {
+    a.FoldOp(static_cast<uint64_t>(AuditOp::kRead), i, i * 2, 0, i * 7);
+    b.FoldOp(static_cast<uint64_t>(AuditOp::kRead), i, i * 2, 0, i * 7);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_TRUE(a.VerifyReplay(b.digest()));
+  EXPECT_EQ(a.violation_count(), 0);
+}
+
+TEST(AuditorTest, DetectsSeedReplayDivergence) {
+  Auditor a;
+  Auditor b;
+  a.FoldOp(static_cast<uint64_t>(AuditOp::kRead), 1, 10, 0, 5);
+  b.FoldOp(static_cast<uint64_t>(AuditOp::kWrite), 1, 10, 0, 5);  // Injected.
+  EXPECT_NE(a.digest(), b.digest());
+  EXPECT_FALSE(a.VerifyReplay(b.digest()));
+  EXPECT_TRUE(HasViolation(a, AuditInvariant::kReplayDivergence))
+      << a.Summary();
+}
+
+TEST(AuditorTest, DigestIsOrderSensitive) {
+  Auditor a;
+  Auditor b;
+  a.FoldOp(1, 1, 0, 0, 0);
+  a.FoldOp(2, 2, 0, 0, 0);
+  b.FoldOp(2, 2, 0, 0, 0);
+  b.FoldOp(1, 1, 0, 0, 0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(FnvDigestTest, KnownProperties) {
+  FnvDigest digest;
+  uint64_t empty = digest.value();
+  digest.Fold(0);  // Folding a zero word must still change the digest.
+  EXPECT_NE(digest.value(), empty);
+  digest.Reset();
+  EXPECT_EQ(digest.value(), empty);
+}
+
+// --- Recording cap ---
+
+TEST(AuditorTest, RecordsUpToCapButCountsAll) {
+  AuditorOptions options;
+  options.max_recorded = 3;
+  Auditor auditor(options);
+  for (int i = 0; i < 10; ++i) {
+    auditor.Report(AuditInvariant::kTxnConservation, i, "injected");
+  }
+  EXPECT_EQ(auditor.violations().size(), 3u);
+  EXPECT_EQ(auditor.violation_count(), 10);
+}
+
+// --- Waits-for snapshot ---
+
+TEST(WaitsForSnapshotTest, NoCycleOnDag) {
+  WaitsForSnapshot graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(1, 3);
+  EXPECT_TRUE(graph.FindCycle().empty());
+}
+
+TEST(WaitsForSnapshotTest, FindsCycleMembers) {
+  WaitsForSnapshot graph;
+  graph.AddEdge(1, 2);
+  graph.AddEdge(2, 3);
+  graph.AddEdge(3, 1);
+  graph.AddEdge(4, 1);  // Off-cycle spur.
+  std::vector<TxnId> cycle = graph.FindCycle();
+  ASSERT_EQ(cycle.size(), 3u);
+  for (TxnId member : cycle) {
+    EXPECT_TRUE(member == 1 || member == 2 || member == 3);
+  }
+}
+
+// --- Lock-table deep check against a real deadlock ---
+
+TEST(LockManagerAuditTest, CleanTableHasNoViolations) {
+  LockManager locks;
+  Auditor auditor;
+  locks.SetAuditor(&auditor);
+  ASSERT_EQ(locks.Request(1, 10, LockMode::kShared, true),
+            LockRequestOutcome::kGranted);
+  ASSERT_EQ(locks.Request(2, 10, LockMode::kExclusive, true),
+            LockRequestOutcome::kWaiting);
+  locks.AuditCheck(&auditor, /*doomed=*/{});
+  EXPECT_EQ(auditor.violation_count(), 0) << auditor.Summary();
+}
+
+TEST(LockManagerAuditTest, UnresolvedDeadlockIsPermanentBlock) {
+  LockManager locks;
+  Auditor auditor;
+  ASSERT_EQ(locks.Request(1, 10, LockMode::kExclusive, true),
+            LockRequestOutcome::kGranted);
+  ASSERT_EQ(locks.Request(2, 20, LockMode::kExclusive, true),
+            LockRequestOutcome::kGranted);
+  ASSERT_EQ(locks.Request(1, 20, LockMode::kExclusive, true),
+            LockRequestOutcome::kWaiting);
+  ASSERT_EQ(locks.Request(2, 10, LockMode::kExclusive, true),
+            LockRequestOutcome::kWaiting);
+  // Nobody was chosen as a victim: the cycle is a permanent block.
+  locks.AuditCheck(&auditor, /*doomed=*/{});
+  EXPECT_TRUE(HasViolation(auditor, AuditInvariant::kPermanentBlock))
+      << auditor.Summary();
+  // With one member doomed (its abort in flight), the cycle is being
+  // resolved and must not be reported.
+  Auditor resolved;
+  locks.AuditCheck(&resolved, /*doomed=*/{2});
+  EXPECT_EQ(resolved.violation_count(), 0) << resolved.Summary();
+}
+
+// --- Full-engine sweep: every algorithm, auditing on ---
+
+class AuditedAlgorithmSweep : public testing::TestWithParam<std::string> {};
+
+TEST_P(AuditedAlgorithmSweep, RunsViolationFree) {
+  EngineConfig config;
+  config.workload.db_size = 100;  // Hot: exercise conflicts and restarts.
+  config.workload.tran_size = 5;
+  config.workload.min_size = 2;
+  config.workload.max_size = 8;
+  config.workload.write_prob = 0.4;
+  config.workload.num_terms = 20;
+  config.workload.mpl = 10;
+  config.workload.ext_think_time = 500 * kMillisecond;
+  config.workload.obj_io = FromMillis(5);
+  config.workload.obj_cpu = FromMillis(2);
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = GetParam();
+  config.seed = 2026;
+  config.audit = true;
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  MetricsReport report = system.RunExperiment(4, 5 * kSecond, 2 * kSecond);
+  ASSERT_GT(report.commits, 0);
+  ASSERT_TRUE(report.audited);
+  EXPECT_GT(report.audit_checks, 0);
+  EXPECT_NE(report.replay_digest, 0u);
+  EXPECT_EQ(report.audit_violations, 0) << system.auditor()->Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, AuditedAlgorithmSweep,
+                         testing::ValuesIn(AllAlgorithms()),
+                         [](const testing::TestParamInfo<std::string>& param_info) {
+                           return param_info.param;
+                         });
+
+// Auditing must not change the simulation: same seed with and without the
+// auditor attached yields identical metrics (the auditor is a pure observer).
+TEST(AuditOverheadTest, AuditingDoesNotPerturbResults) {
+  EngineConfig config;
+  config.workload.db_size = 200;
+  config.workload.num_terms = 20;
+  config.workload.mpl = 10;
+  config.workload.ext_think_time = 500 * kMillisecond;
+  config.workload.obj_io = FromMillis(5);
+  config.workload.obj_cpu = FromMillis(2);
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  config.seed = 7;
+  config.audit = false;
+  Simulator plain_sim;
+  ClosedSystem plain(&plain_sim, config);
+  MetricsReport plain_report = plain.RunExperiment(3, 5 * kSecond, kSecond);
+
+  config.audit = true;
+  Simulator audited_sim;
+  ClosedSystem audited(&audited_sim, config);
+  MetricsReport audited_report =
+      audited.RunExperiment(3, 5 * kSecond, kSecond);
+
+  EXPECT_EQ(plain_report.commits, audited_report.commits);
+  EXPECT_EQ(plain_report.restarts, audited_report.restarts);
+  EXPECT_EQ(plain_report.blocks, audited_report.blocks);
+  EXPECT_DOUBLE_EQ(plain_report.throughput.mean,
+                   audited_report.throughput.mean);
+  EXPECT_EQ(audited_report.audit_violations, 0)
+      << audited.auditor()->Summary();
+}
+
+}  // namespace
+}  // namespace ccsim

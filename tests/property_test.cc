@@ -40,6 +40,7 @@ class AlgorithmProperty : public testing::TestWithParam<PropertyParam> {
     config.algorithm = algorithm;
     config.seed = 101;
     config.record_history = true;
+    config.audit = true;  // Full invariant auditing across the whole sweep.
     return config;
   }
 };
@@ -76,6 +77,10 @@ TEST_P(AlgorithmProperty, BookkeepingInvariants) {
   EXPECT_GE(report.response_stddev, 0.0);
   EXPECT_GE(report.avg_active_mpl, 0.0);
   EXPECT_LE(report.avg_active_mpl, static_cast<double>(report.mpl) + 1e-9);
+
+  ASSERT_TRUE(report.audited);
+  EXPECT_GT(report.audit_checks, 0);
+  EXPECT_EQ(report.audit_violations, 0) << system.auditor()->Summary();
 
   auto [algorithm, mpl, res_mode] = GetParam();
   (void)mpl;
@@ -116,10 +121,10 @@ INSTANTIATE_TEST_SUITE_P(
                                      "mvto", "static_locking"),
                      testing::Values(1, 5, 20),
                      testing::Values(ResMode::kInfinite, ResMode::kFinite)),
-    [](const testing::TestParamInfo<PropertyParam>& info) {
-      return std::get<0>(info.param) + "_mpl" +
-             std::to_string(std::get<1>(info.param)) +
-             (std::get<2>(info.param) == ResMode::kInfinite ? "_inf" : "_fin");
+    [](const testing::TestParamInfo<PropertyParam>& param_info) {
+      return std::get<0>(param_info.param) + "_mpl" +
+             std::to_string(std::get<1>(param_info.param)) +
+             (std::get<2>(param_info.param) == ResMode::kInfinite ? "_inf" : "_fin");
     });
 
 // A second sweep under a skewed (90-10), write-heavier workload: every
@@ -150,9 +155,9 @@ INSTANTIATE_TEST_SUITE_P(
                                      "mvto", "static_locking"),
                      testing::Values(5, 20),
                      testing::Values(ResMode::kFinite)),
-    [](const testing::TestParamInfo<PropertyParam>& info) {
-      return std::get<0>(info.param) + "_mpl" +
-             std::to_string(std::get<1>(info.param));
+    [](const testing::TestParamInfo<PropertyParam>& param_info) {
+      return std::get<0>(param_info.param) + "_mpl" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace
