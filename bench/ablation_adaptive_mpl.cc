@@ -43,23 +43,31 @@ int main() {
       "Ablation — adaptive mpl control vs fixed mpl (1 CPU / 2 disks)",
       lengths);
 
-  std::vector<MetricsReport> reports;
+  // The four fixed-mpl baselines are independent points — run them across
+  // CCSIM_JOBS workers. The controller runs drive a live Simulator through
+  // a bespoke loop, so they stay serial below.
+  std::vector<bench::LabeledPoint> fixed_points;
   for (const char* algorithm : {"blocking", "optimistic"}) {
-    EngineConfig base = bench::PaperBaseConfig();
-    base.resources = ResourceConfig::Finite(1, 2);
-    base.algorithm = algorithm;
-
     for (int mpl : {25, 200}) {  // Near-best and worst fixed settings.
-      EngineConfig config = base;
+      EngineConfig config = bench::PaperBaseConfig();
+      config.resources = ResourceConfig::Finite(1, 2);
+      config.algorithm = algorithm;
       config.workload.mpl = mpl;
-      MetricsReport r = RunOnePoint(config, lengths);
-      r.algorithm = StringPrintf("%s fixed", algorithm);
-      reports.push_back(r);
-      std::cerr << "  " << algorithm << " fixed mpl=" << mpl << ": "
-                << r.throughput.mean << " tps\n";
+      fixed_points.push_back({StringPrintf("%s fixed", algorithm), config});
     }
+  }
+  std::vector<MetricsReport> fixed_reports =
+      bench::RunLabeledPoints(fixed_points, lengths);
 
-    EngineConfig adaptive = base;
+  std::vector<MetricsReport> reports;
+  size_t fixed_index = 0;
+  for (const char* algorithm : {"blocking", "optimistic"}) {
+    reports.push_back(fixed_reports[fixed_index++]);
+    reports.push_back(fixed_reports[fixed_index++]);
+
+    EngineConfig adaptive = bench::PaperBaseConfig();
+    adaptive.resources = ResourceConfig::Finite(1, 2);
+    adaptive.algorithm = algorithm;
     adaptive.workload.mpl = 200;  // Start from the worst setting.
     MetricsReport r = RunWithController(adaptive, lengths);
     std::string label = r.algorithm;

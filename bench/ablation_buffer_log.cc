@@ -23,7 +23,7 @@ int main() {
       "Ablation — buffer hits and commit logging (1 CPU / 2 disks, mpl=50)",
       lengths);
 
-  std::vector<MetricsReport> buffer_reports;
+  std::vector<bench::LabeledPoint> buffer_points;
   for (double hit : {0.0, 0.5, 0.8, 0.95}) {
     for (const std::string& algorithm : {std::string("blocking"),
                                          std::string("optimistic")}) {
@@ -32,12 +32,13 @@ int main() {
       config.workload.mpl = 50;
       config.workload.buffer_hit_prob = hit;
       config.algorithm = algorithm;
-      MetricsReport r = RunOnePoint(config, lengths);
-      r.algorithm = StringPrintf("hit=%.0f%% %s", hit * 100, algorithm.c_str());
-      buffer_reports.push_back(r);
-      std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+      buffer_points.push_back(
+          {StringPrintf("hit=%.0f%% %s", hit * 100, algorithm.c_str()),
+           config});
     }
   }
+  std::vector<MetricsReport> buffer_reports =
+      bench::RunLabeledPoints(buffer_points, lengths);
   ReportColumns columns = ReportColumns::ThroughputOnly();
   columns.ratios = true;
   columns.disk_util = true;
@@ -45,7 +46,7 @@ int main() {
       "Buffer hit sweep (high hit rates shrink blocking's edge)",
       "ablation_buffer", buffer_reports, columns);
 
-  std::vector<MetricsReport> log_reports;
+  std::vector<bench::LabeledPoint> log_points;
   for (double log_ms : {0.0, 5.0, 20.0}) {
     for (const std::string& algorithm : {std::string("blocking"),
                                          std::string("optimistic")}) {
@@ -54,14 +55,12 @@ int main() {
       config.workload.mpl = 25;
       config.workload.log_io = FromMillis(log_ms);
       config.algorithm = algorithm;
-      MetricsReport r = RunOnePoint(config, lengths);
-      r.algorithm =
-          StringPrintf("log=%.0fms %s", log_ms, algorithm.c_str());
-      log_reports.push_back(r);
-      std::cerr << "  " << r.algorithm << ": " << r.throughput.mean
-                << " tps (log util " << r.log_util.mean << ")\n";
+      log_points.push_back(
+          {StringPrintf("log=%.0fms %s", log_ms, algorithm.c_str()), config});
     }
   }
+  std::vector<MetricsReport> log_reports =
+      bench::RunLabeledPoints(log_points, lengths);
   bench::EmitFigure("Commit-log cost sweep", "ablation_log", log_reports,
                     columns);
   return 0;

@@ -30,7 +30,7 @@ int main() {
   // transactions share almost no granules, so coarsening buys nothing and
   // manufactures false conflicts. Fine granularity wins.
   for (int mpl : {10, 100}) {
-    std::vector<MetricsReport> reports;
+    std::vector<bench::LabeledPoint> points;
     for (int granule : granules) {
       EngineConfig config = bench::PaperBaseConfig();
       config.resources = ResourceConfig::Finite(1, 2);
@@ -38,12 +38,10 @@ int main() {
       config.workload.cc_cpu = FromMillis(1);
       config.algorithm = "blocking";
       config.lock_granule_size = granule;
-      MetricsReport r = RunOnePoint(config, lengths);
-      r.algorithm = StringPrintf("%4d obj/granule", granule);
-      reports.push_back(r);
-      std::cerr << "  mpl=" << mpl << " granule=" << granule << ": "
-                << r.throughput.mean << " tps\n";
+      points.push_back({StringPrintf("%4d obj/granule", granule), config});
     }
+    std::vector<MetricsReport> reports =
+        bench::RunLabeledPoints(points, lengths);
     bench::EmitFigure(
         StringPrintf("Granularity sweep, update workload, mpl=%d (db=1000)",
                      mpl),
@@ -58,7 +56,7 @@ int main() {
   // touches it — which is why mixed workloads want multiple granularities
   // or intention locks, a refinement outside this model.)
   {
-    std::vector<MetricsReport> reports;
+    std::vector<bench::LabeledPoint> points;
     for (int granule : {1, 100, 1000, 2500}) {
       EngineConfig config = bench::PaperBaseConfig();
       config.resources = ResourceConfig::Finite(1, 2);
@@ -71,12 +69,10 @@ int main() {
       config.workload.cc_cpu = FromMillis(5);
       config.algorithm = "blocking";
       config.lock_granule_size = granule;
-      MetricsReport r = RunOnePoint(config, lengths);
-      r.algorithm = StringPrintf("%4d obj/granule", granule);
-      reports.push_back(r);
-      std::cerr << "  scans granule=" << granule << ": " << r.throughput.mean
-                << " tps\n";
+      points.push_back({StringPrintf("%4d obj/granule", granule), config});
     }
+    std::vector<MetricsReport> reports =
+        bench::RunLabeledPoints(points, lengths);
     bench::EmitFigure(
         "Granularity sweep, scan workload (coarse wins on overhead)",
         "ablation_granularity_scans", reports, columns);

@@ -29,7 +29,7 @@ int main() {
       {0.05, 0.95, "95-5"},
   };
 
-  std::vector<MetricsReport> reports;
+  std::vector<bench::LabeledPoint> points;
   for (const Skew& skew : skews) {
     for (const std::string& algorithm : PaperAlgorithms()) {
       EngineConfig config = bench::PaperBaseConfig();
@@ -38,12 +38,11 @@ int main() {
       config.workload.hot_fraction_db = skew.hot_db;
       config.workload.hot_access_prob = skew.hot_prob;
       config.algorithm = algorithm;
-      MetricsReport r = RunOnePoint(config, lengths);
-      r.algorithm = StringPrintf("%s %s", skew.label, algorithm.c_str());
-      reports.push_back(r);
-      std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+      points.push_back(
+          {StringPrintf("%s %s", skew.label, algorithm.c_str()), config});
     }
   }
+  std::vector<MetricsReport> reports = bench::RunLabeledPoints(points, lengths);
 
   ReportColumns columns = ReportColumns::ThroughputOnly();
   columns.ratios = true;

@@ -31,14 +31,13 @@ int main() {
 
   const std::vector<std::string> algorithms = {
       "blocking", "optimistic", "basic_to", "mvto", "static_locking"};
-  std::vector<MetricsReport> reports;
+  std::vector<bench::LabeledPoint> points;
   for (const std::string& algorithm : algorithms) {
     EngineConfig config = base;
     config.algorithm = algorithm;
-    reports.push_back(RunOnePoint(config, lengths));
-    std::cerr << "  " << algorithm << ": " << reports.back().throughput.mean
-              << " tps\n";
+    points.push_back({algorithm, config});
   }
+  std::vector<MetricsReport> reports = bench::RunLabeledPoints(points, lengths);
 
   ReportColumns columns;
   columns.percentiles = true;

@@ -28,25 +28,20 @@ int main() {
   const double txn_seconds = 0.5;
   const double multipliers[] = {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0};
 
-  std::vector<MetricsReport> reports;
+  std::vector<bench::LabeledPoint> points;
   for (double m : multipliers) {
     EngineConfig config = base;
     config.restart_delay_mode = RestartDelayMode::kFixed;
     config.fixed_restart_delay = FromSeconds(m * txn_seconds);
-    MetricsReport r = RunOnePoint(config, lengths);
     // Reuse the algorithm column to label the delay setting.
-    r.algorithm = StringPrintf("fixed %.3gx txn", m);
-    reports.push_back(r);
-    std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+    points.push_back({StringPrintf("fixed %.3gx txn", m), config});
   }
   {
     EngineConfig config = base;
     config.restart_delay_mode = RestartDelayMode::kAdaptive;
-    MetricsReport r = RunOnePoint(config, lengths);
-    r.algorithm = "adaptive (paper)";
-    reports.push_back(r);
-    std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+    points.push_back({"adaptive (paper)", config});
   }
+  std::vector<MetricsReport> reports = bench::RunLabeledPoints(points, lengths);
 
   ReportColumns columns = ReportColumns::ThroughputOnly();
   columns.response = true;

@@ -18,7 +18,7 @@ int main() {
   bench::PrintBanner(
       "Ablation — read-only mix sweep at mpl=50, 1 CPU / 2 disks", lengths);
 
-  std::vector<MetricsReport> reports;
+  std::vector<bench::LabeledPoint> points;
   for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     for (const std::string& algorithm : PaperAlgorithms()) {
       EngineConfig config = bench::PaperBaseConfig();
@@ -26,13 +26,12 @@ int main() {
       config.workload.mpl = 50;
       config.workload.read_only_fraction = fraction;
       config.algorithm = algorithm;
-      MetricsReport r = RunOnePoint(config, lengths);
-      r.algorithm =
-          StringPrintf("ro=%.0f%% %s", fraction * 100, algorithm.c_str());
-      reports.push_back(r);
-      std::cerr << "  " << r.algorithm << ": " << r.throughput.mean << " tps\n";
+      points.push_back(
+          {StringPrintf("ro=%.0f%% %s", fraction * 100, algorithm.c_str()),
+           config});
     }
   }
+  std::vector<MetricsReport> reports = bench::RunLabeledPoints(points, lengths);
 
   ReportColumns columns = ReportColumns::ThroughputOnly();
   columns.ratios = true;

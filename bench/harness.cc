@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "exec/jobs.h"
+#include "util/check.h"
 #include "util/env.h"
 
 namespace ccsim {
@@ -19,7 +21,11 @@ RunLengths BenchLengths(double batch_seconds, double warmup_seconds) {
 EngineConfig PaperBaseConfig() {
   EngineConfig config;           // WorkloadParams defaults are Table 2.
   config.resources = ResourceConfig::Finite(1, 2);
-  config.seed = static_cast<uint64_t>(GetEnvInt("CCSIM_SEED", 42));
+  int64_t seed = GetEnvInt("CCSIM_SEED", 42);
+  CCSIM_CHECK_GE(seed, 0)
+      << "CCSIM_SEED must be non-negative (a negative value would wrap to a "
+         "huge unsigned seed), got " << seed;
+  config.seed = static_cast<uint64_t>(seed);
   return config;
 }
 
@@ -38,22 +44,45 @@ std::vector<MetricsReport> RunPaperSweep(
   });
 }
 
+std::vector<MetricsReport> RunLabeledPoints(
+    const std::vector<LabeledPoint>& points, const RunLengths& lengths) {
+  std::vector<EngineConfig> configs;
+  configs.reserve(points.size());
+  for (const LabeledPoint& point : points) configs.push_back(point.config);
+  std::vector<MetricsReport> reports = RunPoints(
+      configs, lengths, /*jobs=*/0,
+      [&points](size_t index, const MetricsReport& r) {
+        std::fprintf(stderr, "  %-28s thruput=%7.2f (%lld commits)\n",
+                     points[index].label.c_str(), r.throughput.mean,
+                     static_cast<long long>(r.commits));
+      });
+  for (size_t i = 0; i < reports.size(); ++i) {
+    reports[i].algorithm = points[i].label;
+  }
+  return reports;
+}
+
 void EmitFigure(const std::string& title, const std::string& csv_name,
                 const std::vector<MetricsReport>& reports,
                 const ReportColumns& columns) {
   PrintReportTable(std::cout, title, reports, columns);
   std::string path = CsvPathFor(csv_name);
-  if (!path.empty()) {
-    if (WriteReportCsv(path, reports)) {
-      std::cout << "(csv: " << path << ")\n";
-    } else {
-      std::cerr << "failed to write " << path << "\n";
-    }
-    // A companion gnuplot script: run `gnuplot <name>.gp` inside the output
-    // directory to render <name>.csv.png.
-    WriteThroughputGnuplot(path.substr(0, path.size() - 4) + ".gp",
-                           csv_name + ".csv", title, reports);
+  if (path.empty()) return;
+  if (!WriteReportCsv(path, reports)) {
+    std::cerr << "failed to write " << path << "\n";
+    return;  // No companion script for a CSV that does not exist.
   }
+  std::cout << "(csv: " << path << ")\n";
+  // A companion gnuplot script: run `gnuplot <name>.gp` inside the output
+  // directory to render <name>.csv.png.
+  std::string stem = path;
+  const std::string kCsvSuffix = ".csv";
+  if (stem.size() >= kCsvSuffix.size() &&
+      stem.compare(stem.size() - kCsvSuffix.size(), kCsvSuffix.size(),
+                   kCsvSuffix) == 0) {
+    stem.resize(stem.size() - kCsvSuffix.size());
+  }
+  WriteThroughputGnuplot(stem + ".gp", csv_name + ".csv", title, reports);
 }
 
 void PrintBanner(const std::string& what, const RunLengths& lengths) {
@@ -61,7 +90,10 @@ void PrintBanner(const std::string& what, const RunLengths& lengths) {
             << "  methodology: " << lengths.batches << " batches x "
             << ToSeconds(lengths.batch_length) << "s after "
             << ToSeconds(lengths.warmup)
-            << "s warmup, 90% confidence intervals (batch means)\n";
+            << "s warmup, 90% confidence intervals (batch means)\n"
+            << "  execution: " << ExperimentJobs()
+            << " worker thread(s) (CCSIM_JOBS; results are job-count "
+               "independent)\n";
 }
 
 }  // namespace bench

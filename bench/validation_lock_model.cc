@@ -36,14 +36,20 @@ int main() {
     std::printf("\n== %s ==\n%6s %11s %11s %9s %10s %10s %6s\n", hw.label,
                 "mpl", "sim(tps)", "model(tps)", "delta", "sim B", "model B",
                 "knee?");
-    for (int mpl : PaperMplLevels()) {
+    const std::vector<int> mpls = PaperMplLevels();
+    std::vector<EngineConfig> configs;
+    for (int mpl : mpls) {
       EngineConfig config = bench::PaperBaseConfig();
       config.resources = hw.config;
       config.workload.mpl = mpl;
       config.algorithm = "blocking";
-      MetricsReport measured = RunOnePoint(config, lengths);
-      LockContentionResult predicted = model.Solve(mpl);
-      std::printf("%6d %11.2f %11.2f %8.1f%% %10.3f %10.3f %6s\n", mpl,
+      configs.push_back(config);
+    }
+    std::vector<MetricsReport> reports = RunPoints(configs, lengths);
+    for (size_t i = 0; i < mpls.size(); ++i) {
+      const MetricsReport& measured = reports[i];
+      LockContentionResult predicted = model.Solve(mpls[i]);
+      std::printf("%6d %11.2f %11.2f %8.1f%% %10.3f %10.3f %6s\n", mpls[i],
                   measured.throughput.mean, predicted.throughput,
                   100.0 * (predicted.throughput - measured.throughput.mean) /
                       measured.throughput.mean,

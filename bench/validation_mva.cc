@@ -30,23 +30,27 @@ int main() {
       {ResourceConfig::Infinite(), "infinite"},
   };
 
+  const std::vector<int> populations = {1, 5, 25, 50, 100, 200};
   for (const Hw& hw : hardware) {
     std::printf("\n== %s ==\n%6s %12s %12s %8s\n", hw.label, "terms",
                 "sim (tps)", "mva (tps)", "delta");
-    for (int population : {1, 5, 25, 50, 100, 200}) {
+    std::vector<EngineConfig> configs;
+    for (int population : populations) {
       EngineConfig config = bench::PaperBaseConfig();
       config.resources = hw.config;
       config.workload.db_size = 1000000;  // Contention-free.
       config.workload.num_terms = population;
       config.workload.mpl = population;
       config.algorithm = "blocking";
-      MetricsReport r = RunOnePoint(config, lengths);
-
-      MvaSolver solver = BuildPaperNetwork(config.workload, hw.config);
-      double predicted = solver.Solve(population).throughput;
-      std::printf("%6d %12.2f %12.2f %7.1f%%\n", population, r.throughput.mean,
-                  predicted,
-                  100.0 * (r.throughput.mean - predicted) / predicted);
+      configs.push_back(config);
+    }
+    std::vector<MetricsReport> reports = RunPoints(configs, lengths);
+    for (size_t i = 0; i < populations.size(); ++i) {
+      MvaSolver solver = BuildPaperNetwork(configs[i].workload, hw.config);
+      double predicted = solver.Solve(populations[i]).throughput;
+      std::printf("%6d %12.2f %12.2f %7.1f%%\n", populations[i],
+                  reports[i].throughput.mean, predicted,
+                  100.0 * (reports[i].throughput.mean - predicted) / predicted);
     }
   }
   std::printf(

@@ -2,8 +2,10 @@
 # Local reproduction of the CI matrix (.github/workflows/ci.yml):
 #   1. RelWithDebInfo build + full ctest suite
 #   2. ASan+UBSan build + full ctest suite
-#   3. TSan build + full ctest suite
-#   4. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
+#   3. TSan build + full ctest suite, plus the parallel-runner tests re-run
+#      under CCSIM_JOBS=8 (the threaded sweep path under TSan)
+#   4. bench smoke: one figure binary, short batches, CCSIM_JOBS=4
+#   5. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
 #      the local toolchain may be gcc-only; CI still enforces it)
 #
 # Usage: scripts/check.sh [--fast]
@@ -27,7 +29,14 @@ run_config plain
 if [[ "${FAST}" -eq 0 ]]; then
   run_config asan -DCCSIM_SAN=address,undefined
   run_config tsan -DCCSIM_SAN=thread
+  echo "=== parallel-runner tests under TSan, CCSIM_JOBS=8 ==="
+  CCSIM_JOBS=8 ctest --test-dir build-tsan --output-on-failure \
+    -R '(ParallelSweep|ParallelReplication|RunPoints|ThreadPool|ParallelFor|Jobs)'
 fi
+
+echo "=== bench smoke (fig03_04, short batches, CCSIM_JOBS=4) ==="
+CCSIM_JOBS=4 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 CCSIM_WARMUP_SECONDS=1 \
+  ./build-plain/bench/fig03_04_low_conflict >/dev/null
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="

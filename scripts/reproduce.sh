@@ -6,11 +6,15 @@
 #   scripts/reproduce.sh [results_dir]
 #
 # Scale statistical effort with CCSIM_BATCHES / CCSIM_BATCH_SECONDS /
-# CCSIM_WARMUP_SECONDS; change the sample path with CCSIM_SEED.
+# CCSIM_WARMUP_SECONDS; change the sample path with CCSIM_SEED. Sweeps run
+# their points across CCSIM_JOBS worker threads (default: all cores; results
+# are bit-identical at any job count — see docs/EXECUTION.md).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 RESULTS="${1:-results}"
+export CCSIM_JOBS="${CCSIM_JOBS:-$(nproc)}"
+echo "reproduce: CCSIM_JOBS=${CCSIM_JOBS} worker threads per sweep"
 
 cmake -B build -G Ninja
 cmake --build build

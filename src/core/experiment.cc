@@ -1,5 +1,9 @@
 #include "core/experiment.h"
 
+#include <mutex>
+
+#include "exec/jobs.h"
+#include "exec/thread_pool.h"
 #include "util/check.h"
 #include "util/env.h"
 #include "util/random.h"
@@ -29,10 +33,21 @@ std::vector<int> PaperMplLevels() {
     auto parsed = ParseInt(field);
     CCSIM_CHECK(parsed.has_value())
         << "CCSIM_MPLS entry \"" << field << "\" is not an integer";
+    CCSIM_CHECK_GT(*parsed, 0)
+        << "CCSIM_MPLS entry \"" << field
+        << "\" must be a positive multiprogramming level";
     mpls.push_back(static_cast<int>(*parsed));
   }
   CCSIM_CHECK(!mpls.empty());
   return mpls;
+}
+
+std::vector<uint64_t> DeriveSeeds(uint64_t master_seed, size_t count) {
+  std::vector<uint64_t> seeds;
+  seeds.reserve(count);
+  uint64_t state = master_seed;
+  for (size_t i = 0; i < count; ++i) seeds.push_back(SplitMix64(state));
+  return seeds;
 }
 
 MetricsReport RunOnePoint(const EngineConfig& config, const RunLengths& lengths) {
@@ -42,40 +57,73 @@ MetricsReport RunOnePoint(const EngineConfig& config, const RunLengths& lengths)
                               lengths.warmup);
 }
 
-ReplicatedEstimate RunReplications(const EngineConfig& config,
-                                   const RunLengths& lengths,
-                                   int replications) {
-  CCSIM_CHECK_GE(replications, 2) << "need >= 2 replications for an interval";
-  ReplicatedEstimate estimate;
-  BatchMeans throughput, response;
-  uint64_t seed_state = config.seed;
-  for (int r = 0; r < replications; ++r) {
-    EngineConfig replication = config;
-    replication.seed = SplitMix64(seed_state);
-    MetricsReport report = RunOnePoint(replication, lengths);
-    throughput.AddBatch(report.throughput.mean);
-    response.AddBatch(report.response_mean.mean);
-    estimate.replications.push_back(std::move(report));
-  }
-  estimate.throughput = throughput.Estimate();
-  estimate.response_mean = response.Estimate();
-  return estimate;
+std::vector<MetricsReport> RunPoints(
+    const std::vector<EngineConfig>& configs, const RunLengths& lengths,
+    int jobs,
+    const std::function<void(size_t, const MetricsReport&)>& progress) {
+  std::vector<MetricsReport> reports(configs.size());
+  std::mutex progress_mu;
+  ParallelFor(static_cast<int64_t>(configs.size()), ResolveJobs(jobs),
+              [&](int64_t i) {
+                size_t index = static_cast<size_t>(i);
+                reports[index] = RunOnePoint(configs[index], lengths);
+                if (progress) {
+                  std::lock_guard<std::mutex> lock(progress_mu);
+                  progress(index, reports[index]);
+                }
+              });
+  return reports;
 }
 
 std::vector<MetricsReport> RunSweep(
     const SweepConfig& sweep,
     const std::function<void(const MetricsReport&)>& progress) {
-  std::vector<MetricsReport> reports;
+  // Build every point configuration — including its seed — before anything
+  // runs: point i's seed depends only on (base.seed, i), never on which
+  // worker gets there first.
+  std::vector<EngineConfig> configs;
+  configs.reserve(sweep.algorithms.size() * sweep.mpls.size());
   for (const std::string& algorithm : sweep.algorithms) {
     for (int mpl : sweep.mpls) {
       EngineConfig config = sweep.base;
       config.algorithm = algorithm;
       config.workload.mpl = mpl;
-      reports.push_back(RunOnePoint(config, sweep.lengths));
-      if (progress) progress(reports.back());
+      configs.push_back(config);
     }
   }
-  return reports;
+  std::vector<uint64_t> seeds = DeriveSeeds(sweep.base.seed, configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) configs[i].seed = seeds[i];
+  std::function<void(size_t, const MetricsReport&)> indexed_progress;
+  if (progress) {
+    indexed_progress = [&progress](size_t, const MetricsReport& report) {
+      progress(report);
+    };
+  }
+  return RunPoints(configs, sweep.lengths, sweep.jobs, indexed_progress);
+}
+
+ReplicatedEstimate RunReplications(const EngineConfig& config,
+                                   const RunLengths& lengths,
+                                   int replications, int jobs) {
+  CCSIM_CHECK_GE(replications, 2) << "need >= 2 replications for an interval";
+  std::vector<uint64_t> seeds =
+      DeriveSeeds(config.seed, static_cast<size_t>(replications));
+  std::vector<EngineConfig> configs(static_cast<size_t>(replications), config);
+  for (int r = 0; r < replications; ++r) {
+    configs[static_cast<size_t>(r)].seed = seeds[static_cast<size_t>(r)];
+  }
+  ReplicatedEstimate estimate;
+  estimate.replications = RunPoints(configs, lengths, jobs);
+  // Combine in replication order (the order is part of the estimate's
+  // definition, though Student-t statistics are order-invariant anyway).
+  BatchMeans throughput, response;
+  for (const MetricsReport& report : estimate.replications) {
+    throughput.AddBatch(report.throughput.mean);
+    response.AddBatch(report.response_mean.mean);
+  }
+  estimate.throughput = throughput.Estimate();
+  estimate.response_mean = response.Estimate();
+  return estimate;
 }
 
 }  // namespace ccsim

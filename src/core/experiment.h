@@ -1,8 +1,17 @@
 // Experiment orchestration: run one configuration, or sweep algorithms ×
 // multiprogramming levels the way every figure in the paper does.
+//
+// Sweeps and replications run their points concurrently across CCSIM_JOBS
+// worker threads (default: hardware concurrency; see docs/EXECUTION.md).
+// Every point owns a private Simulator and gets its seed derived *up front*
+// from the master seed, so results are bit-identical regardless of the job
+// count or the order in which workers finish. CCSIM_JOBS=1 runs the points
+// inline on the calling thread — the plain serial path.
 #ifndef CCSIM_CORE_EXPERIMENT_H_
 #define CCSIM_CORE_EXPERIMENT_H_
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -25,21 +34,45 @@ struct RunLengths {
 
 /// One full sweep: every algorithm at every mpl, a fresh simulator per point.
 struct SweepConfig {
-  EngineConfig base;  ///< mpl and algorithm fields are overridden per point.
+  EngineConfig base;  ///< mpl, algorithm, and seed fields are overridden per point.
   std::vector<std::string> algorithms;
   std::vector<int> mpls;
   RunLengths lengths;
+  /// Worker threads for the sweep: 0 defers to CCSIM_JOBS / hardware
+  /// concurrency (exec/jobs.h); 1 forces the serial path. The job count
+  /// never changes the results, only the wall-clock time.
+  int jobs = 0;
 };
 
 /// The paper's mpl sweep: 5, 10, 25, 50, 75, 100, 200. CCSIM_MPLS (a
-/// comma-separated list) overrides it.
+/// comma-separated list of positive integers) overrides it.
 std::vector<int> PaperMplLevels();
+
+/// The first `count` outputs of a SplitMix64 walk seeded with `master_seed`:
+/// the per-point seeds used by RunSweep and RunReplications. Computed up
+/// front, so seeds depend only on (master_seed, point index) — never on
+/// execution order or job count.
+std::vector<uint64_t> DeriveSeeds(uint64_t master_seed, size_t count);
 
 /// Runs a single configuration to completion and returns its report.
 MetricsReport RunOnePoint(const EngineConfig& config, const RunLengths& lengths);
 
+/// Runs every config through its own Simulator (configs are taken verbatim —
+/// no seed derivation here) across up to `jobs` worker threads (0 = the
+/// CCSIM_JOBS policy). Results come back in input order. `progress`
+/// (optional) receives (input index, report) as each point completes;
+/// completion order is unspecified under jobs > 1, but calls are serialized
+/// (never concurrent with each other).
+std::vector<MetricsReport> RunPoints(
+    const std::vector<EngineConfig>& configs, const RunLengths& lengths,
+    int jobs = 0,
+    const std::function<void(size_t, const MetricsReport&)>& progress = nullptr);
+
 /// Runs the full sweep; reports are ordered algorithm-major, mpl-minor.
-/// `progress` (optional) receives each report as it completes.
+/// Point i of that ordering runs with DeriveSeeds(base.seed, n)[i], so every
+/// point is an independent sample and the sweep is reproducible point-by-
+/// point at any job count. `progress` (optional) receives each report as it
+/// completes (serialized; order unspecified under sweep.jobs > 1).
 std::vector<MetricsReport> RunSweep(
     const SweepConfig& sweep,
     const std::function<void(const MetricsReport&)>& progress = nullptr);
@@ -56,13 +89,14 @@ struct ReplicatedEstimate {
   std::vector<MetricsReport> replications;
 };
 
-/// Runs `replications` independent copies of `config` (seeds derived from
-/// config.seed via SplitMix64) and combines them. Each replication uses the
-/// given lengths; its internal batching only affects its own point
-/// estimates.
+/// Runs `replications` independent copies of `config` (replication r's seed
+/// is DeriveSeeds(config.seed, n)[r]) and combines them. Each replication
+/// uses the given lengths; its internal batching only affects its own point
+/// estimates. `jobs` as in RunPoints; the estimate is identical at any job
+/// count.
 ReplicatedEstimate RunReplications(const EngineConfig& config,
                                    const RunLengths& lengths,
-                                   int replications);
+                                   int replications, int jobs = 0);
 
 }  // namespace ccsim
 

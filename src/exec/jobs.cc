@@ -1,0 +1,29 @@
+#include "exec/jobs.h"
+
+#include <thread>
+
+#include "util/check.h"
+#include "util/env.h"
+
+namespace ccsim {
+
+int HardwareJobs() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ExperimentJobs() {
+  if (!GetEnv("CCSIM_JOBS").has_value()) return HardwareJobs();
+  int64_t jobs = GetEnvInt("CCSIM_JOBS", 1);  // Aborts on a malformed value.
+  CCSIM_CHECK_GE(jobs, 1) << "CCSIM_JOBS must be >= 1, got " << jobs;
+  CCSIM_CHECK_LE(jobs, 4096) << "CCSIM_JOBS implausibly large: " << jobs;
+  return static_cast<int>(jobs);
+}
+
+int ResolveJobs(int requested) {
+  if (requested == 0) return ExperimentJobs();
+  CCSIM_CHECK_GE(requested, 1) << "job count must be >= 1";
+  return requested;
+}
+
+}  // namespace ccsim

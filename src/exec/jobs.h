@@ -1,0 +1,23 @@
+// Worker-count policy for the parallel experiment runner: how many
+// simulation points run concurrently (docs/EXECUTION.md).
+#ifndef CCSIM_EXEC_JOBS_H_
+#define CCSIM_EXEC_JOBS_H_
+
+namespace ccsim {
+
+/// The machine's hardware concurrency, never less than 1.
+int HardwareJobs();
+
+/// Worker count for experiment runs: CCSIM_JOBS when set (must be >= 1;
+/// aborts on zero/negative — a silently clamped knob invalidates a run),
+/// otherwise HardwareJobs(). CCSIM_JOBS=1 forces the serial path.
+int ExperimentJobs();
+
+/// Resolves an explicit request against the policy: `requested` >= 1 is
+/// taken as-is; 0 (the "default" sentinel in SweepConfig etc.) defers to
+/// ExperimentJobs(). Negative requests abort.
+int ResolveJobs(int requested);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_EXEC_JOBS_H_

@@ -1,0 +1,63 @@
+// A small fixed-size thread pool for running independent simulation points
+// concurrently (docs/EXECUTION.md).
+//
+// The simulator itself is single-threaded by design — determinism comes from
+// the event kernel's total ordering — so parallelism lives strictly *above*
+// it: each (algorithm, mpl) point or replication owns a private Simulator and
+// shares nothing with its siblings. The pool only schedules those independent
+// runs; it never touches simulation state.
+#ifndef CCSIM_EXEC_THREAD_POOL_H_
+#define CCSIM_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccsim {
+
+/// Fixed set of worker threads draining a FIFO task queue. Tasks must not
+/// throw (simulation failures go through CCSIM_CHECK, which aborts).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. Requires threads >= 1.
+  explicit ThreadPool(int threads);
+
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker, in FIFO dispatch order.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished running.
+  void Wait();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;  // Signals workers: queue or stop.
+  std::condition_variable all_idle_;    // Signals Wait(): pending_ hit zero.
+  int64_t pending_ = 0;                 // Queued + currently running tasks.
+  bool stopping_ = false;
+};
+
+/// Runs body(0) .. body(n-1), each exactly once, using up to `jobs` worker
+/// threads. With jobs <= 1 (or n <= 1) the loop runs inline on the calling
+/// thread with no pool at all — the exact serial path. Iterations must be
+/// independent; completion order across workers is unspecified.
+void ParallelFor(int64_t n, int jobs, const std::function<void(int64_t)>& body);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_EXEC_THREAD_POOL_H_

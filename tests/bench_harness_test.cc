@@ -1,0 +1,112 @@
+// Regression tests for the bench harness scaffolding: CCSIM_SEED parsing,
+// EmitFigure's CSV/gnuplot coupling, and the labeled-point parallel runner.
+#include <cstdlib>
+#include <fstream>
+#include <sys/stat.h>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+
+namespace ccsim {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+TEST(PaperBaseConfigTest, DefaultSeedIs42) {
+  unsetenv("CCSIM_SEED");
+  EXPECT_EQ(bench::PaperBaseConfig().seed, 42u);
+}
+
+TEST(PaperBaseConfigTest, EnvSeedIsHonored) {
+  setenv("CCSIM_SEED", "7", 1);
+  EXPECT_EQ(bench::PaperBaseConfig().seed, 7u);
+  setenv("CCSIM_SEED", "0", 1);
+  EXPECT_EQ(bench::PaperBaseConfig().seed, 0u);
+  unsetenv("CCSIM_SEED");
+}
+
+TEST(PaperBaseConfigDeathTest, RejectsNegativeSeed) {
+  // Regression: a negative CCSIM_SEED used to wrap silently to 2^64-1.
+  setenv("CCSIM_SEED", "-1", 1);
+  EXPECT_DEATH(bench::PaperBaseConfig(), "CCSIM_SEED must be non-negative");
+  unsetenv("CCSIM_SEED");
+}
+
+std::vector<MetricsReport> TwoRowReports() {
+  std::vector<MetricsReport> reports(2);
+  reports[0].algorithm = "blocking";
+  reports[0].mpl = 5;
+  reports[0].throughput.mean = 10.0;
+  reports[1].algorithm = "blocking";
+  reports[1].mpl = 10;
+  reports[1].throughput.mean = 9.0;
+  return reports;
+}
+
+TEST(EmitFigureTest, WritesCsvAndGnuplotScriptOnSuccess) {
+  std::string dir = testing::TempDir() + "/emit_ok";
+  mkdir(dir.c_str(), 0755);
+  setenv("CCSIM_CSV_DIR", dir.c_str(), 1);
+  bench::EmitFigure("t", "figx", TwoRowReports(), ReportColumns());
+  unsetenv("CCSIM_CSV_DIR");
+  EXPECT_TRUE(FileExists(dir + "/figx.csv"));
+  EXPECT_TRUE(FileExists(dir + "/figx.gp"));
+}
+
+TEST(EmitFigureTest, SkipsGnuplotScriptWhenCsvFails) {
+  // Regression: a failed CSV write used to still emit a .gp pointing at the
+  // missing CSV. Make the CSV unopenable by squatting on its path with a
+  // directory.
+  std::string dir = testing::TempDir() + "/emit_fail";
+  mkdir(dir.c_str(), 0755);
+  std::string squatter = dir + "/figy.csv";
+  mkdir(squatter.c_str(), 0755);  // open-for-write on a directory fails.
+  setenv("CCSIM_CSV_DIR", dir.c_str(), 1);
+  bench::EmitFigure("t", "figy", TwoRowReports(), ReportColumns());
+  unsetenv("CCSIM_CSV_DIR");
+  EXPECT_FALSE(FileExists(dir + "/figy.gp"));
+}
+
+TEST(EmitFigureTest, NoCsvDirMeansNoFiles) {
+  unsetenv("CCSIM_CSV_DIR");
+  bench::EmitFigure("t", "figz", TwoRowReports(), ReportColumns());
+  SUCCEED();  // Table printed to stdout; nothing else to observe.
+}
+
+TEST(RunLabeledPointsTest, StampsLabelsInInputOrder) {
+  RunLengths lengths;
+  lengths.batches = 2;
+  lengths.batch_length = 2 * kSecond;
+  lengths.warmup = kSecond;
+
+  EngineConfig config;
+  config.workload.db_size = 200;
+  config.workload.num_terms = 6;
+  config.workload.obj_io = FromMillis(5);
+  config.workload.obj_cpu = FromMillis(2);
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  config.seed = 11;
+
+  std::vector<bench::LabeledPoint> points;
+  for (int mpl : {2, 4, 6}) {
+    EngineConfig point = config;
+    point.workload.mpl = mpl;
+    points.push_back({"mpl " + std::to_string(mpl), point});
+  }
+  auto reports = bench::RunLabeledPoints(points, lengths);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_EQ(reports[0].algorithm, "mpl 2");
+  EXPECT_EQ(reports[1].algorithm, "mpl 4");
+  EXPECT_EQ(reports[2].algorithm, "mpl 6");
+  EXPECT_EQ(reports[0].mpl, 2);
+  EXPECT_EQ(reports[2].mpl, 6);
+  for (const MetricsReport& r : reports) EXPECT_GT(r.commits, 0);
+}
+
+}  // namespace
+}  // namespace ccsim

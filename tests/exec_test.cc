@@ -1,0 +1,123 @@
+// Tests for the execution layer: thread pool, ParallelFor, and the
+// CCSIM_JOBS worker-count policy.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/jobs.h"
+#include "exec/thread_pool.h"
+
+namespace ccsim {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);  // Wait() returned only after all ran.
+}
+
+TEST(ThreadPoolTest, WaitIsReusableAcrossSubmissionRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1);
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain before joining.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+class ParallelForTest : public testing::TestWithParam<int> {};
+
+TEST_P(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  const int jobs = GetParam();
+  const int64_t n = 57;
+  std::mutex mu;
+  std::multiset<int64_t> seen;
+  ParallelFor(n, jobs, [&](int64_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.insert(i);
+  });
+  ASSERT_EQ(seen.size(), static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) EXPECT_EQ(seen.count(i), 1u) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(JobCounts, ParallelForTest,
+                         testing::Values(1, 2, 8, 64));
+
+TEST(ParallelForTest, SerialPathPreservesOrder) {
+  std::vector<int64_t> order;
+  ParallelFor(10, /*jobs=*/1, [&order](int64_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (int64_t i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoOp) {
+  int calls = 0;
+  ParallelFor(0, 4, [&calls](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(JobsTest, HardwareJobsIsPositive) { EXPECT_GE(HardwareJobs(), 1); }
+
+TEST(JobsTest, EnvOverridesDefault) {
+  setenv("CCSIM_JOBS", "3", 1);
+  EXPECT_EQ(ExperimentJobs(), 3);
+  unsetenv("CCSIM_JOBS");
+  EXPECT_EQ(ExperimentJobs(), HardwareJobs());
+}
+
+TEST(JobsTest, ResolveJobsHonorsExplicitRequest) {
+  EXPECT_EQ(ResolveJobs(7), 7);
+  setenv("CCSIM_JOBS", "2", 1);
+  EXPECT_EQ(ResolveJobs(0), 2);  // 0 defers to the environment policy.
+  unsetenv("CCSIM_JOBS");
+}
+
+TEST(JobsDeathTest, RejectsNonPositiveJobCounts) {
+  setenv("CCSIM_JOBS", "0", 1);
+  EXPECT_DEATH(ExperimentJobs(), "CCSIM_JOBS");
+  setenv("CCSIM_JOBS", "-4", 1);
+  EXPECT_DEATH(ExperimentJobs(), "CCSIM_JOBS");
+  unsetenv("CCSIM_JOBS");
+  EXPECT_DEATH(ResolveJobs(-1), ">= 1");
+}
+
+}  // namespace
+}  // namespace ccsim

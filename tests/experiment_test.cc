@@ -70,6 +70,16 @@ TEST(PaperMplLevelsTest, EnvOverride) {
   unsetenv("CCSIM_MPLS");
 }
 
+TEST(PaperMplLevelsDeathTest, RejectsNonPositiveLevels) {
+  // Regression: zero/negative CCSIM_MPLS entries used to flow straight into
+  // the engine and misconfigure it downstream.
+  setenv("CCSIM_MPLS", "5,0,25", 1);
+  EXPECT_DEATH(PaperMplLevels(), "must be a positive multiprogramming level");
+  setenv("CCSIM_MPLS", "-10", 1);
+  EXPECT_DEATH(PaperMplLevels(), "must be a positive multiprogramming level");
+  unsetenv("CCSIM_MPLS");
+}
+
 TEST(RunSweepTest, OrderingAndOverrides) {
   SweepConfig sweep;
   sweep.base = FastBase();
