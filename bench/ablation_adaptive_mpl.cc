@@ -82,5 +82,5 @@ int main() {
   bench::EmitFigure(
       "Adaptive mpl control (controller rows started at mpl=200)",
       "ablation_adaptive_mpl", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

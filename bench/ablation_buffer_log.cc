@@ -63,5 +63,5 @@ int main() {
       bench::RunLabeledPoints(log_points, lengths);
   bench::EmitFigure("Commit-log cost sweep", "ablation_log", log_reports,
                     columns);
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -77,5 +77,5 @@ int main() {
         "Granularity sweep, scan workload (coarse wins on overhead)",
         "ablation_granularity_scans", reports, columns);
   }
-  return 0;
+  return bench::BenchExitCode();
 }

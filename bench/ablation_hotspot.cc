@@ -49,5 +49,5 @@ int main() {
   columns.disk_util = true;
   bench::EmitFigure("Skew sweep (conflict ratios climb as skew sharpens)",
                     "ablation_hotspot", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

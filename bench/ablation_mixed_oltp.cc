@@ -44,5 +44,5 @@ int main() {
   bench::EmitFigure("Mixed OLTP + reports (aggregate)", "ablation_mixed_oltp",
                     reports, columns);
   PrintPerClassTable(std::cout, "Mixed OLTP + reports", reports);
-  return 0;
+  return bench::BenchExitCode();
 }

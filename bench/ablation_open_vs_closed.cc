@@ -54,5 +54,5 @@ int main() {
   bench::EmitFigure(
       "Closed vs open source (watch response times explode near capacity)",
       "ablation_open_vs_closed", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

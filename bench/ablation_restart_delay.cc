@@ -50,5 +50,5 @@ int main() {
   bench::EmitFigure(
       "Restart-delay sensitivity (expect a knee near ~1 transaction time)",
       "ablation_restart_delay", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

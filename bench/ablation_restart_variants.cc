@@ -29,5 +29,5 @@ int main() {
   columns.cpu_util = false;
   bench::EmitFigure("All algorithms (paper three + six extensions)",
                     "ablation_restart_variants", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -36,5 +36,5 @@ int main() {
         x_on_read ? "ablation_upgrade_static" : "ablation_upgrade_paper",
         reports, columns);
   }
-  return 0;
+  return bench::BenchExitCode();
 }

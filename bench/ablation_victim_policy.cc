@@ -52,5 +52,5 @@ int main() {
   columns.response = true;
   bench::EmitFigure("Victim policy comparison (blocking)",
                     "ablation_victim_policy", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

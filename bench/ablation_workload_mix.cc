@@ -38,5 +38,5 @@ int main() {
   columns.disk_util = true;
   bench::EmitFigure("Read-only mix sweep (algorithms converge as writers thin)",
                     "ablation_workload_mix", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -27,5 +27,5 @@ int main() {
   auto fig4 = bench::RunPaperSweep(finite, lengths);
   bench::EmitFigure("Figure 4: Throughput (1 CPU, 2 Disks, low conflict)",
                     "fig04", fig4, ReportColumns());
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -33,5 +33,5 @@ int main() {
   response.response = true;
   bench::EmitFigure("Figure 7: Response Time (Infinite Resources)", "fig07",
                     reports, response);
-  return 0;
+  return bench::BenchExitCode();
 }

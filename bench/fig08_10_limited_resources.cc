@@ -34,5 +34,5 @@ int main() {
   response.response = true;
   bench::EmitFigure("Figure 10: Response Time (1 CPU, 2 Disks)", "fig10",
                     reports, response);
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -26,5 +26,5 @@ int main() {
   columns.avg_mpl = true;   // Shows the delay limiting the actual mpl.
   bench::EmitFigure("Figure 11: Throughput (Adaptive Delays, 1 CPU, 2 Disks)",
                     "fig11", reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

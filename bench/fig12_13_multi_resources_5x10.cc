@@ -26,5 +26,5 @@ int main() {
   utils.disk_util = true;
   bench::EmitFigure("Figure 13: Disk Utilization (5 CPUs, 10 Disks)", "fig13",
                     reports, utils);
-  return 0;
+  return bench::BenchExitCode();
 }

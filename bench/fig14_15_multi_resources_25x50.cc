@@ -26,5 +26,5 @@ int main() {
   utils.disk_util = true;
   bench::EmitFigure("Figure 15: Disk Utilization (25 CPUs, 50 Disks)", "fig15",
                     reports, utils);
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -50,5 +50,5 @@ int main() {
             s.util_figure, s.int_think_s),
         StringPrintf("fig%02d", s.util_figure), reports, utils);
   }
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -9,6 +9,27 @@
 
 namespace ccsim {
 namespace bench {
+namespace {
+
+/// Failed points and failed output writes accumulated by this process
+/// (progress callbacks are serialized, and benches are single-threaded
+/// outside the runner, so a plain counter suffices).
+int g_failures = 0;
+
+void PrintPointProgress(const PointResult& point, const std::string& label) {
+  if (point.ok()) {
+    std::fprintf(stderr, "  %-18s mpl=%-4d thruput=%7.2f (%lld commits)%s\n",
+                 label.c_str(), point.config.workload.mpl,
+                 point.report.throughput.mean,
+                 static_cast<long long>(point.report.commits),
+                 point.from_journal ? " [journal]" : "");
+  } else {
+    std::fprintf(stderr, "  %-18s mpl=%-4d FAILED: %s\n", label.c_str(),
+                 point.config.workload.mpl, point.status.ToString().c_str());
+  }
+}
+
+}  // namespace
 
 RunLengths BenchLengths(double batch_seconds, double warmup_seconds) {
   RunLengths defaults;
@@ -37,11 +58,15 @@ std::vector<MetricsReport> RunPaperSweep(
   sweep.algorithms = algorithms;
   sweep.mpls = PaperMplLevels();
   sweep.lengths = lengths;
-  return RunSweep(sweep, [](const MetricsReport& r) {
-    std::fprintf(stderr, "  %-18s mpl=%-4d thruput=%7.2f (%lld commits)\n",
-                 r.algorithm.c_str(), r.mpl, r.throughput.mean,
-                 static_cast<long long>(r.commits));
+  SweepOutcome outcome = RunSweepChecked(sweep, [](const PointResult& point) {
+    PrintPointProgress(point, point.config.algorithm);
   });
+  if (!outcome.ok()) {
+    g_failures += static_cast<int>(outcome.failures().size());
+    std::fprintf(stderr, "sweep completed with failures:\n%s",
+                 outcome.FailureSummary().c_str());
+  }
+  return outcome.SuccessfulReports();
 }
 
 std::vector<MetricsReport> RunLabeledPoints(
@@ -49,17 +74,32 @@ std::vector<MetricsReport> RunLabeledPoints(
   std::vector<EngineConfig> configs;
   configs.reserve(points.size());
   for (const LabeledPoint& point : points) configs.push_back(point.config);
-  std::vector<MetricsReport> reports = RunPoints(
-      configs, lengths, /*jobs=*/0,
-      [&points](size_t index, const MetricsReport& r) {
-        std::fprintf(stderr, "  %-28s thruput=%7.2f (%lld commits)\n",
-                     points[index].label.c_str(), r.throughput.mean,
-                     static_cast<long long>(r.commits));
+  SweepOutcome outcome = RunPointsChecked(
+      configs, lengths, /*jobs=*/0, [&points](const PointResult& point) {
+        PrintPointProgress(point, points[point.index].label);
       });
-  for (size_t i = 0; i < reports.size(); ++i) {
-    reports[i].algorithm = points[i].label;
+  if (!outcome.ok()) {
+    g_failures += static_cast<int>(outcome.failures().size());
+    std::fprintf(stderr, "labeled points completed with failures:\n%s",
+                 outcome.FailureSummary().c_str());
+  }
+  std::vector<MetricsReport> reports;
+  reports.reserve(outcome.points.size());
+  for (const PointResult& point : outcome.points) {
+    if (!point.ok()) continue;
+    MetricsReport report = point.report;
+    report.algorithm = points[point.index].label;
+    reports.push_back(std::move(report));
   }
   return reports;
+}
+
+int BenchExitCode() {
+  if (g_failures > 0) {
+    std::fprintf(stderr, "bench finished with %d failure(s)\n", g_failures);
+    return 1;
+  }
+  return 0;
 }
 
 void EmitFigure(const std::string& title, const std::string& csv_name,
@@ -69,7 +109,9 @@ void EmitFigure(const std::string& title, const std::string& csv_name,
   std::string path = CsvPathFor(csv_name);
   if (path.empty()) return;
   if (!WriteReportCsv(path, reports)) {
-    std::cerr << "failed to write " << path << "\n";
+    std::cerr << "failed to write " << path
+              << " (disk full, or CCSIM_CSV_DIR missing/unwritable?)\n";
+    ++g_failures;
     return;  // No companion script for a CSV that does not exist.
   }
   std::cout << "(csv: " << path << ")\n";
@@ -82,7 +124,11 @@ void EmitFigure(const std::string& title, const std::string& csv_name,
                    kCsvSuffix) == 0) {
     stem.resize(stem.size() - kCsvSuffix.size());
   }
-  WriteThroughputGnuplot(stem + ".gp", csv_name + ".csv", title, reports);
+  if (!WriteThroughputGnuplot(stem + ".gp", csv_name + ".csv", title,
+                              reports)) {
+    std::cerr << "failed to write " << stem << ".gp\n";
+    ++g_failures;
+  }
 }
 
 void PrintBanner(const std::string& what, const RunLengths& lengths) {

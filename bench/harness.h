@@ -6,7 +6,8 @@
 // Environment knobs (see core/experiment.h and docs/EXECUTION.md):
 // CCSIM_BATCHES, CCSIM_BATCH_SECONDS, CCSIM_WARMUP_SECONDS, CCSIM_MPLS,
 // CCSIM_SEED, CCSIM_JOBS (worker threads for the sweep; results are
-// identical at any job count).
+// identical at any job count), CCSIM_MAX_EVENTS / CCSIM_POINT_TIMEOUT_SECONDS
+// (per-point watchdog budgets), CCSIM_JOURNAL (crash-safe resume).
 #ifndef CCSIM_BENCH_HARNESS_H_
 #define CCSIM_BENCH_HARNESS_H_
 
@@ -32,6 +33,11 @@ EngineConfig PaperBaseConfig();
 /// paper's mpl levels with progress lines on stderr. Points run across
 /// CCSIM_JOBS worker threads; progress lines arrive in completion order but
 /// the returned reports are always in sweep order.
+///
+/// Runs through the checked runner: a failed point (check trip, watchdog
+/// budget, audit violation) prints a FAILED line plus its diagnostics, is
+/// dropped from the returned reports, and makes BenchExitCode() nonzero —
+/// the sweep's healthy points still complete and print.
 std::vector<MetricsReport> RunPaperSweep(
     const EngineConfig& base, const RunLengths& lengths,
     const std::vector<std::string>& algorithms = PaperAlgorithms());
@@ -46,8 +52,16 @@ struct LabeledPoint {
 /// Runs the points through the parallel runner (CCSIM_JOBS workers, one
 /// private Simulator per point, progress lines on stderr) and stamps each
 /// report with its label. Results are in input order at any job count.
+/// Failure semantics as in RunPaperSweep: failed points are reported,
+/// dropped, and reflected in BenchExitCode().
 std::vector<MetricsReport> RunLabeledPoints(
     const std::vector<LabeledPoint>& points, const RunLengths& lengths);
+
+/// Exit code for a bench main(): 0 when every point of every sweep run by
+/// this process succeeded and every requested output file was written, 1
+/// otherwise. Each bench ends with `return ccsim::bench::BenchExitCode();`
+/// so scripted reproductions (scripts/, CI) notice partial figures.
+int BenchExitCode();
 
 /// Prints the table and, when CCSIM_CSV_DIR is set, writes `csv_name`.csv
 /// plus a companion gnuplot script (the script is only written when the CSV

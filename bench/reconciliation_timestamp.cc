@@ -53,5 +53,5 @@ int main() {
   bench::EmitFigure(
       "Infinite resources + adaptive restart delay: T/O thrash arrested",
       "reconciliation_delayed", delayed_reports, columns);
-  return 0;
+  return bench::BenchExitCode();
 }

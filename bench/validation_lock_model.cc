@@ -60,5 +60,5 @@ int main() {
   std::printf(
       "\n'B' is blocks per commit; 'knee?' flags the analytic thrashing\n"
       "criterion (expected waiting >= expected execution).\n");
-  return 0;
+  return bench::BenchExitCode();
 }

@@ -57,5 +57,5 @@ int main() {
       "\nBottleneck law check (1 CPU, 2 disks): disks saturate at %.2f tps\n",
       BuildPaperNetwork(WorkloadParams{}, ResourceConfig::Finite(1, 2))
           .BottleneckThroughput());
-  return 0;
+  return bench::BenchExitCode();
 }

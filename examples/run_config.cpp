@@ -26,6 +26,7 @@
 //   seed, batches, batch_seconds, warmup_seconds, csv=<path>, title=<text>
 #include <fstream>
 #include <iostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +37,43 @@
 #include "util/str.h"
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: run_config [<config-file> | key=value ...] [--audit] [--help]\n"
+    "\n"
+    "Runs the sweep described by a config file, or by inline key=value\n"
+    "overrides. Recognized keys:\n"
+    "  workload:   db_size tran_size min_size max_size write_prob num_terms\n"
+    "              mpl ext_think_time int_think_time obj_io_ms obj_cpu_ms\n"
+    "              cc_cpu_ms buffer_hit_prob log_io_ms hot_fraction_db\n"
+    "              hot_access_prob read_only_fraction\n"
+    "  resources:  num_cpus num_disks infinite\n"
+    "  algorithm:  algorithms mpls restart_delay fixed_delay_s victim\n"
+    "              source arrival_rate x_lock_on_read_intent audit\n"
+    "  run:        seed batches batch_seconds warmup_seconds csv title\n"
+    "              percentiles\n"
+    "\n"
+    "Flags: --audit (same as audit=true), --help.\n"
+    "Environment: CCSIM_JOBS, CCSIM_JOURNAL, CCSIM_MAX_EVENTS,\n"
+    "CCSIM_POINT_TIMEOUT_SECONDS and friends (docs/EXECUTION.md).\n";
+
+/// Every key this driver or WorkloadParams::ApplyConfig understands; any
+/// other key is a spelling mistake that would otherwise silently change the
+/// experiment being run.
+const std::set<std::string>& KnownKeys() {
+  static const std::set<std::string> keys = {
+      "db_size", "tran_size", "min_size", "max_size", "write_prob",
+      "num_terms", "mpl", "ext_think_time", "int_think_time", "obj_io_ms",
+      "obj_cpu_ms", "cc_cpu_ms", "buffer_hit_prob", "log_io_ms",
+      "hot_fraction_db", "hot_access_prob", "read_only_fraction",
+      "num_cpus", "num_disks", "infinite",
+      "algorithms", "mpls", "restart_delay", "fixed_delay_s", "victim",
+      "source", "arrival_rate", "x_lock_on_read_intent", "audit",
+      "seed", "batches", "batch_seconds", "warmup_seconds", "csv", "title",
+      "percentiles",
+  };
+  return keys;
+}
 
 std::vector<int> ParseIntList(const std::string& text) {
   std::vector<int> values;
@@ -57,7 +95,16 @@ int main(int argc, char** argv) {
   std::string error;
   std::vector<std::string> args(argv + 1, argv + argc);
   for (std::string& arg : args) {
-    if (arg == "--audit") arg = "audit=true";
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--audit") {
+      arg = "audit=true";
+    } else if (ccsim::StartsWith(arg, "--")) {
+      std::cerr << "unknown flag: " << arg << "\n\n" << kUsage;
+      return 2;
+    }
   }
 
   // A single non-key=value argument is a config file path.
@@ -74,8 +121,15 @@ int main(int argc, char** argv) {
       return 1;
     }
   } else if (!config.ParseArgs(args, &error)) {
-    std::cerr << error << "\n";
-    return 1;
+    std::cerr << error << "\n\n" << kUsage;
+    return 2;
+  }
+
+  for (const auto& [key, value] : config.entries()) {
+    if (KnownKeys().count(key) == 0) {
+      std::cerr << "unknown key: " << key << "=" << value << "\n\n" << kUsage;
+      return 2;
+    }
   }
 
   ccsim::SweepConfig sweep;
@@ -141,10 +195,23 @@ int main(int argc, char** argv) {
       ccsim::FromSeconds(config.GetDoubleOr("warmup_seconds", 30.0));
   sweep.lengths = ccsim::RunLengths::FromEnv(sweep.lengths);
 
-  auto reports = ccsim::RunSweep(sweep, [](const ccsim::MetricsReport& r) {
-    std::cerr << "  " << r.algorithm << " mpl=" << r.mpl << ": "
-              << r.throughput.mean << " tps\n";
-  });
+  // The checked runner: a failed point (bad parameter combination, check
+  // trip, watchdog budget) is reported and skipped while the rest of the
+  // sweep still completes and prints.
+  ccsim::SweepOutcome outcome =
+      ccsim::RunSweepChecked(sweep, [](const ccsim::PointResult& point) {
+        if (point.ok()) {
+          std::cerr << "  " << point.report.algorithm
+                    << " mpl=" << point.report.mpl << ": "
+                    << point.report.throughput.mean << " tps"
+                    << (point.from_journal ? " [journal]" : "") << "\n";
+        } else {
+          std::cerr << "  " << point.config.algorithm
+                    << " mpl=" << point.config.workload.mpl
+                    << ": FAILED: " << point.status.ToString() << "\n";
+        }
+      });
+  auto reports = outcome.SuccessfulReports();
 
   int64_t audit_violations = 0;
   for (const ccsim::MetricsReport& r : reports) {
@@ -173,6 +240,10 @@ int main(int argc, char** argv) {
   if (audit_violations > 0) {
     std::cerr << "audit: " << audit_violations << " invariant violation(s)\n";
     return 2;
+  }
+  if (!outcome.ok()) {
+    std::cerr << "sweep completed with failures:\n" << outcome.FailureSummary();
+    return 1;
   }
   return 0;
 }

@@ -5,7 +5,9 @@
 #   3. TSan build + full ctest suite, plus the parallel-runner tests re-run
 #      under CCSIM_JOBS=8 (the threaded sweep path under TSan)
 #   4. bench smoke: one figure binary, short batches, CCSIM_JOBS=4
-#   5. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
+#   5. crash-resume smoke: SIGKILL a journaled sweep mid-run, resume it from
+#      the journal, diff the CSVs against an uninterrupted reference run
+#   6. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
 #      the local toolchain may be gcc-only; CI still enforces it)
 #
 # Usage: scripts/check.sh [--fast]
@@ -37,6 +39,9 @@ fi
 echo "=== bench smoke (fig03_04, short batches, CCSIM_JOBS=4) ==="
 CCSIM_JOBS=4 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 CCSIM_WARMUP_SECONDS=1 \
   ./build-plain/bench/fig03_04_low_conflict >/dev/null
+
+echo "=== crash-resume smoke (SIGKILL mid-sweep, journal resume, CSV diff) ==="
+scripts/crash_resume_smoke.sh ./build-plain/bench/fig03_04_low_conflict
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="

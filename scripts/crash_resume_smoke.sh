@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for the sweep journal (docs/EXECUTION.md).
+#
+# Runs a journaled bench sweep, SIGKILLs it mid-run (simulating a crash or
+# OOM-kill), resumes it from the journal, and requires the resumed run to
+# produce byte-identical CSVs to an uninterrupted reference run. Exercises:
+#   * the journal survives an unclean death (including a torn final line),
+#   * CCSIM_JOURNAL resume skips completed points and recomputes the rest,
+#   * journaled and recomputed points are indistinguishable in the output.
+#
+# Usage: scripts/crash_resume_smoke.sh <bench-binary> [workdir]
+# Exits nonzero on any mismatch; prints the offending diff.
+set -euo pipefail
+
+BIN="${1:?usage: crash_resume_smoke.sh <bench-binary> [workdir]}"
+WORK="${2:-$(mktemp -d /tmp/ccsim_crash_resume.XXXXXX)}"
+JOURNAL="${WORK}/journal.jsonl"
+mkdir -p "${WORK}/ref" "${WORK}/crash"
+
+# Sized so one full sweep takes seconds, not milliseconds — long enough for
+# the kill below to land while points are still outstanding, short enough
+# for CI. Results are job-count independent, so CCSIM_JOBS only changes how
+# the wall clock is spent.
+SMOKE_ENV=(CCSIM_JOBS=2 CCSIM_BATCHES=10 CCSIM_BATCH_SECONDS=100
+           CCSIM_WARMUP_SECONDS=5 CCSIM_MPLS=10,50,200)
+
+echo "=== reference run (uninterrupted, no journal) ==="
+env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/ref" \
+  "${BIN}" > "${WORK}/ref.log" 2>&1
+
+echo "=== journaled run, SIGKILL mid-sweep ==="
+env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/crash" \
+  CCSIM_JOURNAL="${JOURNAL}" "${BIN}" > "${WORK}/crash.log" 2>&1 &
+PID=$!
+# Kill as soon as at least two points have been journaled: late enough that
+# the resume has something to reuse, early enough that work remains.
+for _ in $(seq 1 400); do
+  if [[ -s "${JOURNAL}" ]] && (( $(wc -l < "${JOURNAL}") >= 2 )); then break; fi
+  kill -0 "${PID}" 2>/dev/null || break
+  sleep 0.05
+done
+if ! kill -0 "${PID}" 2>/dev/null; then
+  wait "${PID}" || true
+  echo "FAIL: sweep finished before it could be killed mid-run;" \
+       "enlarge the smoke sizing in $0" >&2
+  exit 1
+fi
+kill -KILL "${PID}"
+wait "${PID}" 2>/dev/null || true
+POINTS_BEFORE_KILL=$(wc -l < "${JOURNAL}")
+echo "killed pid ${PID} with ${POINTS_BEFORE_KILL} point(s) journaled"
+
+echo "=== resumed run (same journal, same CSV dir) ==="
+env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/crash" \
+  CCSIM_JOURNAL="${JOURNAL}" "${BIN}" > "${WORK}/resume.log" 2>&1
+
+if ! grep -q ' \[journal\]' "${WORK}/resume.log"; then
+  echo "FAIL: resumed run reports no journal hits (expected at least" \
+       "${POINTS_BEFORE_KILL}); see ${WORK}/resume.log" >&2
+  exit 1
+fi
+echo "resumed run reused $(grep -c ' \[journal\]' "${WORK}/resume.log")" \
+     "journaled point(s)"
+
+echo "=== diff: reference vs crash-resumed CSVs ==="
+if ! diff -r "${WORK}/ref" "${WORK}/crash"; then
+  echo "FAIL: resumed CSVs differ from the uninterrupted reference run" >&2
+  exit 1
+fi
+echo "crash-resume smoke passed (workdir: ${WORK})"

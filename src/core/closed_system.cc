@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/str.h"
 
 namespace ccsim {
 
@@ -297,6 +298,14 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
           (write_intent ? txn.write_granules : txn.read_granules)
               .insert(granule);
         }
+        // History records the read at the grant, not after the read I/O
+        // lands: the grant is the instant the cc algorithm fixes which
+        // version this read observes. Recording after the I/O would let a
+        // newer writer commit (and record its writes) inside the lag, and
+        // the conflict checker would misorder the pair.
+        if (config_.record_history) {
+          history_.RecordRead(id, txn.incarnation, granule, sim_->Now());
+        }
         StartAccess(id);
         return;
       case CCDecision::kBlocked:
@@ -396,12 +405,8 @@ void ClosedSystem::StartAccess(TxnId id) {
 
 void ClosedSystem::AfterReadAccess(TxnId id, int incarnation) {
   CCSIM_CHECK(IsCurrent(id, incarnation));
-  Txn& txn = GetTxn(id);
-  if (config_.record_history) {
-    ObjectId obj = txn.spec.reads[static_cast<size_t>(txn.read_index)];
-    history_.RecordRead(id, txn.incarnation, GranuleOf(obj), sim_->Now());
-  }
-  ++txn.read_index;
+  // The logical read was already recorded at its cc grant (HandleCcRequest).
+  ++GetTxn(id).read_index;
   NextStep(id);
 }
 
@@ -484,14 +489,9 @@ void ClosedSystem::NextUpdate(TxnId id) {
   }
   const WorkloadParams& w = config_.workload;
   int incarnation = txn.incarnation;
-  ObjectId obj = txn.write_set[static_cast<size_t>(txn.update_index)];
-  auto applied = [this, id, incarnation, obj] {
+  auto applied = [this, id, incarnation] {
     CCSIM_CHECK(IsCurrent(id, incarnation));
-    Txn& t = GetTxn(id);
-    if (config_.record_history) {
-      history_.RecordWrite(id, t.incarnation, GranuleOf(obj), sim_->Now());
-    }
-    ++t.update_index;
+    ++GetTxn(id).update_index;
     NextUpdate(id);
   };
   if (w.obj_io > 0) {
@@ -525,6 +525,20 @@ void ClosedSystem::Complete(TxnId id) {
   batch_useful_cpu_ += txn.cpu_used;
   batch_useful_disk_ += txn.disk_used;
 
+  // History records deferred writes at commit, when they become visible, not
+  // when the update I/O physically lands. Algorithms that let an *older*
+  // reader proceed past a newer transaction's pending write (e.g. basic T/O,
+  // where such a read legitimately returns the still-committed value) would
+  // otherwise produce apply-before-read op sequences that the single-version
+  // conflict checker misreads as writer-before-reader edges — false cycles in
+  // a perfectly serializable execution. Writes must land before cc_->Commit:
+  // publishing wakes waiting readers synchronously, and their reads of the
+  // new value have to sequence after the writes they observe.
+  if (config_.record_history) {
+    for (ObjectId obj : txn.write_set) {
+      history_.RecordWrite(id, txn.incarnation, GranuleOf(obj), sim_->Now());
+    }
+  }
   cc_->Commit(id);
   if (config_.record_history) history_.RecordCommit(id, txn.incarnation);
   Trace(txn, TxnEvent::kCommitted);
@@ -568,24 +582,24 @@ void ClosedSystem::Restart(TxnId id) {
   }
   Deactivate();
 
+  // Re-entry always goes through an event, even at zero delay. A synchronous
+  // re-entry could recurse Restart -> Activate -> conflict -> Restart inside
+  // a single event: a zero-delay restart spin (e.g. immediate restart with a
+  // conflicting replay and no delay) would then livelock *inside* one event,
+  // where neither the event budget nor the wall-clock watchdog (both checked
+  // between events, sim/simulator.h RunGuard) could ever interrupt it.
   SimTime delay = restart_policy_.NextDelay(&delay_rng_);
-  if (delay > 0) {
-    txn.state = TxnState::kRestartDelay;
-    int incarnation = txn.incarnation;
-    txn.pending_event = sim_->Schedule(delay, [this, id, incarnation] {
-      CCSIM_CHECK(IsCurrent(id, incarnation));
-      Txn& t = GetTxn(id);
-      CCSIM_CHECK(t.state == TxnState::kRestartDelay);
-      t.pending_event = kInvalidEventId;
-      t.state = TxnState::kReady;
-      ready_queue_.push_back(id);
-      TryActivate();
-    });
-  } else {
-    txn.state = TxnState::kReady;
+  txn.state = TxnState::kRestartDelay;
+  int incarnation = txn.incarnation;
+  txn.pending_event = sim_->Schedule(delay, [this, id, incarnation] {
+    CCSIM_CHECK(IsCurrent(id, incarnation));
+    Txn& t = GetTxn(id);
+    CCSIM_CHECK(t.state == TxnState::kRestartDelay);
+    t.pending_event = kInvalidEventId;
+    t.state = TxnState::kReady;
     ready_queue_.push_back(id);
     TryActivate();
-  }
+  });
   AuditTransition();
 }
 
@@ -843,6 +857,28 @@ MetricsReport ClosedSystem::RunExperiment(int batches, SimTime batch_length,
     report.per_class.push_back(std::move(metrics));
   }
   return report;
+}
+
+std::string ClosedSystem::DescribeCensus() const {
+  int64_t ready = 0, running = 0, blocked = 0, thinking = 0, delayed = 0;
+  for (const auto& [id, txn] : txns_) {
+    switch (txn.state) {
+      case TxnState::kReady: ++ready; break;
+      case TxnState::kRunning: ++running; break;
+      case TxnState::kBlocked: ++blocked; break;
+      case TxnState::kIntThink: ++thinking; break;
+      case TxnState::kRestartDelay: ++delayed; break;
+    }
+  }
+  return StringPrintf(
+      "census: %lld running, %lld blocked, %lld in internal think, "
+      "%lld in restart delay, %lld ready (active=%d, lifetime commits=%lld, "
+      "restarts=%lld)",
+      static_cast<long long>(running), static_cast<long long>(blocked),
+      static_cast<long long>(thinking), static_cast<long long>(delayed),
+      static_cast<long long>(ready), active_count_,
+      static_cast<long long>(lifetime_commits_),
+      static_cast<long long>(lifetime_restarts_));
 }
 
 }  // namespace ccsim

@@ -135,6 +135,10 @@ class ClosedSystem {
   /// The runtime invariant auditor; nullptr unless config.audit is set.
   const Auditor* auditor() const { return auditor_.get(); }
 
+  /// One-line transaction census ("census: 3 running, 44 blocked, ...") for
+  /// watchdog diagnostics: where the population was when a budget tripped.
+  std::string DescribeCensus() const;
+
   /// Committed-response-time running mean in seconds (drives the adaptive
   /// restart delay; exposed for tests and the adaptive-mpl controller).
   double MeanResponseSeconds() const { return restart_policy_.AdaptiveMeanSeconds(); }

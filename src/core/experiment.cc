@@ -1,7 +1,11 @@
 #include "core/experiment.h"
 
+#include <cstdio>
+#include <memory>
 #include <mutex>
+#include <utility>
 
+#include "core/journal.h"
 #include "exec/jobs.h"
 #include "exec/thread_pool.h"
 #include "util/check.h"
@@ -57,30 +61,174 @@ MetricsReport RunOnePoint(const EngineConfig& config, const RunLengths& lengths)
                               lengths.warmup);
 }
 
+StatusOr<MetricsReport> TryRunOnePoint(const EngineConfig& config,
+                                       const RunLengths& lengths,
+                                       const PointBudget& budget) {
+  // Any CCSIM_CHECK that trips below here — in the config validation, the
+  // engine, or the cc algorithm — throws instead of aborting, but only on
+  // this thread inside this call.
+  ScopedCheckTrap trap;
+  try {
+    Simulator sim;
+    ClosedSystem system(&sim, config);
+    WatchdogTimer timer(budget.wall_timeout_seconds);
+    if (!budget.unlimited()) {
+      RunGuard guard;
+      guard.max_events = budget.max_events;
+      guard.interrupt = timer.expired_flag();
+      guard.on_violation = [&sim, &system](const char* reason) {
+        throw PointTimeout(StringPrintf(
+            "%s at simulated time %.3f s after %llu events; %s", reason,
+            ToSeconds(sim.Now()),
+            static_cast<unsigned long long>(sim.events_fired()),
+            system.DescribeCensus().c_str()));
+      };
+      sim.SetRunGuard(std::move(guard));
+    }
+    MetricsReport report = system.RunExperiment(
+        lengths.batches, lengths.batch_length, lengths.warmup);
+    if (report.audited && report.audit_violations > 0) {
+      return Status::Internal(StringPrintf(
+          "audit detected %lld violation(s) in %lld checks: %s",
+          static_cast<long long>(report.audit_violations),
+          static_cast<long long>(report.audit_checks),
+          system.auditor()->Summary().c_str()));
+    }
+    return report;
+  } catch (const PointTimeout& timeout) {
+    return Status::DeadlineExceeded(timeout.what());
+  } catch (const CheckFailure& failure) {
+    return Status::Internal(failure.what());
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("unexpected exception: ") + e.what());
+  }
+}
+
+bool SweepOutcome::ok() const {
+  for (const PointResult& point : points) {
+    if (!point.ok()) return false;
+  }
+  return true;
+}
+
+std::vector<const PointResult*> SweepOutcome::failures() const {
+  std::vector<const PointResult*> failed;
+  for (const PointResult& point : points) {
+    if (!point.ok()) failed.push_back(&point);
+  }
+  return failed;
+}
+
+std::vector<MetricsReport> SweepOutcome::SuccessfulReports() const {
+  std::vector<MetricsReport> reports;
+  for (const PointResult& point : points) {
+    if (point.ok()) reports.push_back(point.report);
+  }
+  return reports;
+}
+
+std::string SweepOutcome::FailureSummary() const {
+  std::string summary;
+  for (const PointResult* point : failures()) {
+    summary += StringPrintf(
+        "point %zu (%s mpl=%d seed=%llu): %s\n", point->index,
+        point->config.algorithm.c_str(), point->config.workload.mpl,
+        static_cast<unsigned long long>(point->config.seed),
+        point->status.ToString().c_str());
+  }
+  return summary;
+}
+
+SweepOutcome RunPointsChecked(
+    const std::vector<EngineConfig>& configs, const RunLengths& lengths,
+    int jobs, const std::function<void(const PointResult&)>& progress) {
+  // Environment-dependent policy is read once, on the calling thread —
+  // getenv from pool workers would race with setenv in tests.
+  const PointBudget budget = PointBudget::FromEnv();
+  std::unique_ptr<SweepJournal> journal = SweepJournal::FromEnv();
+
+  SweepOutcome outcome;
+  outcome.points.resize(configs.size());
+  std::vector<size_t> to_run;
+  to_run.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    PointResult& point = outcome.points[i];
+    point.index = i;
+    point.config = configs[i];
+    if (journal != nullptr) {
+      const MetricsReport* journaled =
+          journal->Find(HashPointKey(point.config, lengths), point.config.seed);
+      if (journaled != nullptr) {
+        point.report = *journaled;
+        point.from_journal = true;
+        if (progress) progress(point);
+        continue;
+      }
+    }
+    to_run.push_back(i);
+  }
+
+  std::mutex progress_mu;
+  ParallelFor(
+      static_cast<int64_t>(to_run.size()), ResolveJobs(jobs), [&](int64_t t) {
+        PointResult& point = outcome.points[to_run[static_cast<size_t>(t)]];
+        StatusOr<MetricsReport> result =
+            TryRunOnePoint(point.config, lengths, budget);
+        if (result.ok()) {
+          point.report = std::move(result).value();
+          if (journal != nullptr) {
+            Status appended =
+                journal->Append(HashPointKey(point.config, lengths),
+                                point.config.seed, point.report);
+            // A journal write failure costs resumability, not this result;
+            // warn rather than fail the point.
+            if (!appended.ok()) {
+              std::fprintf(stderr, "warning: %s\n",
+                           appended.ToString().c_str());
+            }
+          }
+        } else {
+          point.status = result.status();
+        }
+        if (progress) {
+          std::lock_guard<std::mutex> lock(progress_mu);
+          progress(point);
+        }
+      });
+  return outcome;
+}
+
 std::vector<MetricsReport> RunPoints(
     const std::vector<EngineConfig>& configs, const RunLengths& lengths,
     int jobs,
     const std::function<void(size_t, const MetricsReport&)>& progress) {
-  std::vector<MetricsReport> reports(configs.size());
-  std::mutex progress_mu;
-  ParallelFor(static_cast<int64_t>(configs.size()), ResolveJobs(jobs),
-              [&](int64_t i) {
-                size_t index = static_cast<size_t>(i);
-                reports[index] = RunOnePoint(configs[index], lengths);
-                if (progress) {
-                  std::lock_guard<std::mutex> lock(progress_mu);
-                  progress(index, reports[index]);
-                }
-              });
+  // The unchecked entry point keeps its fail-stop contract by running the
+  // checked path and treating any failed point as fatal (it still gains
+  // journal resume and watchdog diagnostics from the environment knobs).
+  std::function<void(const PointResult&)> checked_progress;
+  if (progress) {
+    checked_progress = [&progress](const PointResult& point) {
+      if (point.ok()) progress(point.index, point.report);
+    };
+  }
+  SweepOutcome outcome =
+      RunPointsChecked(configs, lengths, jobs, checked_progress);
+  CCSIM_CHECK(outcome.ok()) << "point failure in an unchecked run:\n"
+                            << outcome.FailureSummary();
+  std::vector<MetricsReport> reports;
+  reports.reserve(outcome.points.size());
+  for (PointResult& point : outcome.points) {
+    reports.push_back(std::move(point.report));
+  }
   return reports;
 }
 
-std::vector<MetricsReport> RunSweep(
-    const SweepConfig& sweep,
-    const std::function<void(const MetricsReport&)>& progress) {
-  // Build every point configuration — including its seed — before anything
-  // runs: point i's seed depends only on (base.seed, i), never on which
-  // worker gets there first.
+namespace {
+
+// Every point configuration — including its seed — is built before anything
+// runs: point i's seed depends only on (base.seed, i), never on which worker
+// gets there first.
+std::vector<EngineConfig> BuildSweepConfigs(const SweepConfig& sweep) {
   std::vector<EngineConfig> configs;
   configs.reserve(sweep.algorithms.size() * sweep.mpls.size());
   for (const std::string& algorithm : sweep.algorithms) {
@@ -93,13 +241,29 @@ std::vector<MetricsReport> RunSweep(
   }
   std::vector<uint64_t> seeds = DeriveSeeds(sweep.base.seed, configs.size());
   for (size_t i = 0; i < configs.size(); ++i) configs[i].seed = seeds[i];
+  return configs;
+}
+
+}  // namespace
+
+std::vector<MetricsReport> RunSweep(
+    const SweepConfig& sweep,
+    const std::function<void(const MetricsReport&)>& progress) {
   std::function<void(size_t, const MetricsReport&)> indexed_progress;
   if (progress) {
     indexed_progress = [&progress](size_t, const MetricsReport& report) {
       progress(report);
     };
   }
-  return RunPoints(configs, sweep.lengths, sweep.jobs, indexed_progress);
+  return RunPoints(BuildSweepConfigs(sweep), sweep.lengths, sweep.jobs,
+                   indexed_progress);
+}
+
+SweepOutcome RunSweepChecked(
+    const SweepConfig& sweep,
+    const std::function<void(const PointResult&)>& progress) {
+  return RunPointsChecked(BuildSweepConfigs(sweep), sweep.lengths, sweep.jobs,
+                          progress);
 }
 
 ReplicatedEstimate RunReplications(const EngineConfig& config,

@@ -17,6 +17,8 @@
 
 #include "core/closed_system.h"
 #include "core/metrics.h"
+#include "exec/watchdog.h"
+#include "util/status.h"
 
 namespace ccsim {
 
@@ -55,7 +57,49 @@ std::vector<int> PaperMplLevels();
 std::vector<uint64_t> DeriveSeeds(uint64_t master_seed, size_t count);
 
 /// Runs a single configuration to completion and returns its report.
+/// Engine-internal invariant failures abort the process (fail-stop); use
+/// TryRunOnePoint when a failure should be recoverable.
 MetricsReport RunOnePoint(const EngineConfig& config, const RunLengths& lengths);
+
+/// Recoverable variant of RunOnePoint: the point runs under a check trap and
+/// the given budgets, and every failure mode becomes a Status instead of a
+/// process abort —
+///   * a CCSIM_CHECK trip (invalid config, engine invariant) → kInternal;
+///   * a tripped event budget or wall-clock deadline → kDeadlineExceeded,
+///     with diagnostics (simulated time, events fired, transaction census);
+///   * audit violations in a completed run (config.audit) → kInternal.
+/// The trap only covers this call on this thread; nested engine code keeps
+/// its fail-stop semantics when called any other way.
+StatusOr<MetricsReport> TryRunOnePoint(const EngineConfig& config,
+                                       const RunLengths& lengths,
+                                       const PointBudget& budget = {});
+
+/// Outcome of one point of a checked run (RunPointsChecked / RunSweepChecked).
+struct PointResult {
+  size_t index = 0;       ///< Position in the input config vector.
+  EngineConfig config;    ///< The exact config the point ran with.
+  Status status;          ///< Ok => `report` is valid.
+  MetricsReport report;   ///< Default-constructed when !status.ok().
+  bool from_journal = false;  ///< Reused from CCSIM_JOURNAL, not re-run.
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Outcome of a whole checked run: one PointResult per input config, in
+/// input order, successes and failures side by side.
+struct SweepOutcome {
+  std::vector<PointResult> points;
+
+  /// True when every point succeeded.
+  bool ok() const;
+  /// The failed points, in input order.
+  std::vector<const PointResult*> failures() const;
+  /// Reports of the successful points only, in input order.
+  std::vector<MetricsReport> SuccessfulReports() const;
+  /// Human-readable digest of every failure ("" when ok()): one line per
+  /// failed point with its algorithm, mpl, seed, and status.
+  std::string FailureSummary() const;
+};
 
 /// Runs every config through its own Simulator (configs are taken verbatim —
 /// no seed derivation here) across up to `jobs` worker threads (0 = the
@@ -67,6 +111,25 @@ std::vector<MetricsReport> RunPoints(
     const std::vector<EngineConfig>& configs, const RunLengths& lengths,
     int jobs = 0,
     const std::function<void(size_t, const MetricsReport&)>& progress = nullptr);
+
+/// Fault-tolerant RunPoints: each point runs via TryRunOnePoint under the
+/// environment budgets (PointBudget::FromEnv), so one poisoned or livelocked
+/// config fails its own point while every other point still completes. With
+/// CCSIM_JOURNAL set, completed points are appended to the crash-safe journal
+/// and journaled points are reused instead of re-run (core/journal.h), making
+/// interrupted sweeps resumable with bit-identical results. `progress`
+/// (optional) receives each PointResult as it settles (serialized; order
+/// unspecified under jobs > 1 — journal hits are delivered first).
+SweepOutcome RunPointsChecked(
+    const std::vector<EngineConfig>& configs, const RunLengths& lengths,
+    int jobs = 0,
+    const std::function<void(const PointResult&)>& progress = nullptr);
+
+/// Fault-tolerant RunSweep: same point construction and seed derivation as
+/// RunSweep, run through RunPointsChecked.
+SweepOutcome RunSweepChecked(
+    const SweepConfig& sweep,
+    const std::function<void(const PointResult&)>& progress = nullptr);
 
 /// Runs the full sweep; reports are ordered algorithm-major, mpl-minor.
 /// Point i of that ordering runs with DeriveSeeds(base.seed, n)[i], so every

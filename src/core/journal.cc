@@ -1,0 +1,611 @@
+#include "core/journal.h"
+
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "audit/digest.h"
+#include "util/env.h"
+#include "util/str.h"
+
+namespace ccsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Point-key hashing. Every semantically meaningful field of the config and
+// run lengths folds in, in a fixed order (append new fields at the end of
+// their group; reordering silently invalidates existing journals).
+
+void FoldU64(FnvDigest* digest, uint64_t value) { digest->Fold(value); }
+
+void FoldI64(FnvDigest* digest, int64_t value) {
+  digest->Fold(static_cast<uint64_t>(value));
+}
+
+void FoldDouble(FnvDigest* digest, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  digest->Fold(bits);
+}
+
+void FoldString(FnvDigest* digest, const std::string& value) {
+  FoldU64(digest, value.size());
+  for (char c : value) FoldU64(digest, static_cast<unsigned char>(c));
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing. Minimal: objects, arrays, strings, numbers, booleans.
+// Doubles print with %.17g so they round-trip bit-exactly through strtod;
+// 64-bit integers print as *strings* because JSON numbers are doubles and
+// lose precision past 2^53 (seeds and digests use the full range).
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          *out += StringPrintf("\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendField(std::string* out, const char* name, const std::string& value) {
+  AppendEscaped(out, name);
+  out->push_back(':');
+  AppendEscaped(out, value);
+  out->push_back(',');
+}
+
+void AppendField(std::string* out, const char* name, double value) {
+  AppendEscaped(out, name);
+  *out += StringPrintf(":%.17g,", value);
+}
+
+void AppendField(std::string* out, const char* name, int64_t value) {
+  AppendEscaped(out, name);
+  *out += StringPrintf(":%lld,", static_cast<long long>(value));
+}
+
+void AppendField(std::string* out, const char* name, bool value) {
+  AppendEscaped(out, name);
+  *out += value ? ":true," : ":false,";
+}
+
+void AppendU64Field(std::string* out, const char* name, uint64_t value) {
+  AppendEscaped(out, name);
+  *out += StringPrintf(":\"%llu\",", static_cast<unsigned long long>(value));
+}
+
+void CloseObject(std::string* out) {
+  if (out->back() == ',') out->back() = '}';
+  else out->push_back('}');
+}
+
+void AppendInterval(std::string* out, const char* name,
+                    const IntervalEstimate& estimate) {
+  AppendEscaped(out, name);
+  *out += ":{";
+  AppendField(out, "mean", estimate.mean);
+  AppendField(out, "half_width", estimate.half_width);
+  AppendField(out, "batches", static_cast<int64_t>(estimate.batches));
+  AppendField(out, "lag1", estimate.lag1_autocorrelation);
+  CloseObject(out);
+  out->push_back(',');
+}
+
+std::string SerializeReport(const MetricsReport& r) {
+  std::string out = "{";
+  AppendField(&out, "algorithm", r.algorithm);
+  AppendField(&out, "mpl", static_cast<int64_t>(r.mpl));
+  AppendInterval(&out, "throughput", r.throughput);
+  AppendInterval(&out, "response_mean", r.response_mean);
+  AppendField(&out, "response_stddev", r.response_stddev);
+  AppendField(&out, "response_p50", r.response_p50);
+  AppendField(&out, "response_p90", r.response_p90);
+  AppendField(&out, "response_p99", r.response_p99);
+  AppendField(&out, "response_max", r.response_max);
+  AppendInterval(&out, "block_ratio", r.block_ratio);
+  AppendInterval(&out, "restart_ratio", r.restart_ratio);
+  AppendInterval(&out, "disk_util_total", r.disk_util_total);
+  AppendInterval(&out, "disk_util_useful", r.disk_util_useful);
+  AppendInterval(&out, "cpu_util_total", r.cpu_util_total);
+  AppendInterval(&out, "cpu_util_useful", r.cpu_util_useful);
+  AppendInterval(&out, "log_util", r.log_util);
+  AppendField(&out, "avg_active_mpl", r.avg_active_mpl);
+  AppendField(&out, "commits", r.commits);
+  AppendField(&out, "restarts", r.restarts);
+  AppendField(&out, "blocks", r.blocks);
+  AppendField(&out, "measured_seconds", r.measured_seconds);
+  AppendField(&out, "batches", static_cast<int64_t>(r.batches));
+  out += "\"cc_stats\":{";
+  AppendField(&out, "deadlocks_detected", r.cc_stats.deadlocks_detected);
+  AppendField(&out, "deadlock_victims", r.cc_stats.deadlock_victims);
+  AppendField(&out, "lock_conflicts", r.cc_stats.lock_conflicts);
+  AppendField(&out, "validation_failures", r.cc_stats.validation_failures);
+  AppendField(&out, "wounds", r.cc_stats.wounds);
+  AppendField(&out, "timestamp_rejections", r.cc_stats.timestamp_rejections);
+  CloseObject(&out);
+  out.push_back(',');
+  AppendField(&out, "audited", r.audited);
+  AppendField(&out, "audit_violations", r.audit_violations);
+  AppendField(&out, "audit_checks", r.audit_checks);
+  AppendU64Field(&out, "replay_digest", r.replay_digest);
+  out += "\"per_class\":[";
+  for (const ClassMetrics& cls : r.per_class) {
+    out.push_back('{');
+    AppendField(&out, "name", cls.name);
+    AppendField(&out, "commits", cls.commits);
+    AppendField(&out, "restarts", cls.restarts);
+    AppendField(&out, "response_mean", cls.response_mean);
+    AppendField(&out, "response_stddev", cls.response_stddev);
+    AppendField(&out, "response_max", cls.response_max);
+    CloseObject(&out);
+    out.push_back(',');
+  }
+  if (out.back() == ',') out.back() = ']';
+  else out.push_back(']');
+  CloseObject(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing. Just enough for the lines this file writes; any deviation
+// (including a line truncated by a mid-append kill) fails the line, which
+// the loader treats as "re-run that point".
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  // Raw number text, or string contents.
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view input) : input_(input) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == input_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < input_.size() && input_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= input_.size()) return false;
+    char c = input_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(out);
+    if (c == 't' || c == 'f') return ParseBoolLiteral(out);
+    if (c == 'n') return ParseNullLiteral(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return false;
+    if (Consume('}')) return true;
+    for (;;) {
+      JsonValue key;
+      if (!ParseString(&key)) return false;
+      if (!Consume(':')) return false;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key.text), std::move(value));
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return false;
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString(JsonValue* out) {
+    if (!Consume('"')) return false;
+    out->kind = JsonValue::Kind::kString;
+    out->text.clear();
+    while (pos_ < input_.size()) {
+      char c = input_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->text.push_back(c);
+        continue;
+      }
+      if (pos_ >= input_.size()) return false;
+      char escaped = input_[pos_++];
+      switch (escaped) {
+        case '"': out->text.push_back('"'); break;
+        case '\\': out->text.push_back('\\'); break;
+        case '/': out->text.push_back('/'); break;
+        case 'n': out->text.push_back('\n'); break;
+        case 'r': out->text.push_back('\r'); break;
+        case 't': out->text.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > input_.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = input_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          if (code > 0x7f) return false;  // Writer only escapes ASCII controls.
+          out->text.push_back(static_cast<char>(code));
+          break;
+        }
+        default: return false;
+      }
+    }
+    return false;  // Unterminated.
+  }
+
+  bool ParseBoolLiteral(JsonValue* out) {
+    SkipSpace();
+    out->kind = JsonValue::Kind::kBool;
+    if (input_.substr(pos_, 4) == "true") {
+      out->boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (input_.substr(pos_, 5) == "false") {
+      out->boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseNullLiteral(JsonValue* out) {
+    SkipSpace();
+    out->kind = JsonValue::Kind::kNull;
+    if (input_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    SkipSpace();
+    out->kind = JsonValue::Kind::kNumber;
+    size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            std::strchr("+-.eE", input_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->text = std::string(input_.substr(start, pos_ - start));
+    return true;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+// --- Typed extraction (each returns false on a missing/mistyped field) ---
+
+bool GetDouble(const JsonValue& object, const char* name, double* out) {
+  auto it = object.object.find(name);
+  if (it == object.object.end() ||
+      it->second.kind != JsonValue::Kind::kNumber) {
+    return false;
+  }
+  auto parsed = ParseDouble(it->second.text);
+  if (!parsed.has_value()) return false;
+  *out = *parsed;
+  return true;
+}
+
+bool GetI64(const JsonValue& object, const char* name, int64_t* out) {
+  auto it = object.object.find(name);
+  if (it == object.object.end() ||
+      it->second.kind != JsonValue::Kind::kNumber) {
+    return false;
+  }
+  auto parsed = ParseInt(it->second.text);
+  if (!parsed.has_value()) return false;
+  *out = *parsed;
+  return true;
+}
+
+bool GetInt(const JsonValue& object, const char* name, int* out) {
+  int64_t wide = 0;
+  if (!GetI64(object, name, &wide)) return false;
+  *out = static_cast<int>(wide);
+  return true;
+}
+
+bool GetBool(const JsonValue& object, const char* name, bool* out) {
+  auto it = object.object.find(name);
+  if (it == object.object.end() || it->second.kind != JsonValue::Kind::kBool) {
+    return false;
+  }
+  *out = it->second.boolean;
+  return true;
+}
+
+bool GetString(const JsonValue& object, const char* name, std::string* out) {
+  auto it = object.object.find(name);
+  if (it == object.object.end() ||
+      it->second.kind != JsonValue::Kind::kString) {
+    return false;
+  }
+  *out = it->second.text;
+  return true;
+}
+
+/// Full-range u64 carried as a decimal string.
+bool GetU64String(const JsonValue& object, const char* name, uint64_t* out) {
+  std::string text;
+  if (!GetString(object, name, &text)) return false;
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+bool GetInterval(const JsonValue& object, const char* name,
+                 IntervalEstimate* out) {
+  auto it = object.object.find(name);
+  if (it == object.object.end() ||
+      it->second.kind != JsonValue::Kind::kObject) {
+    return false;
+  }
+  const JsonValue& interval = it->second;
+  return GetDouble(interval, "mean", &out->mean) &&
+         GetDouble(interval, "half_width", &out->half_width) &&
+         GetInt(interval, "batches", &out->batches) &&
+         GetDouble(interval, "lag1", &out->lag1_autocorrelation);
+}
+
+bool DeserializeReport(const JsonValue& object, MetricsReport* r) {
+  if (object.kind != JsonValue::Kind::kObject) return false;
+  bool ok = GetString(object, "algorithm", &r->algorithm) &&
+            GetInt(object, "mpl", &r->mpl) &&
+            GetInterval(object, "throughput", &r->throughput) &&
+            GetInterval(object, "response_mean", &r->response_mean) &&
+            GetDouble(object, "response_stddev", &r->response_stddev) &&
+            GetDouble(object, "response_p50", &r->response_p50) &&
+            GetDouble(object, "response_p90", &r->response_p90) &&
+            GetDouble(object, "response_p99", &r->response_p99) &&
+            GetDouble(object, "response_max", &r->response_max) &&
+            GetInterval(object, "block_ratio", &r->block_ratio) &&
+            GetInterval(object, "restart_ratio", &r->restart_ratio) &&
+            GetInterval(object, "disk_util_total", &r->disk_util_total) &&
+            GetInterval(object, "disk_util_useful", &r->disk_util_useful) &&
+            GetInterval(object, "cpu_util_total", &r->cpu_util_total) &&
+            GetInterval(object, "cpu_util_useful", &r->cpu_util_useful) &&
+            GetInterval(object, "log_util", &r->log_util) &&
+            GetDouble(object, "avg_active_mpl", &r->avg_active_mpl) &&
+            GetI64(object, "commits", &r->commits) &&
+            GetI64(object, "restarts", &r->restarts) &&
+            GetI64(object, "blocks", &r->blocks) &&
+            GetDouble(object, "measured_seconds", &r->measured_seconds) &&
+            GetInt(object, "batches", &r->batches) &&
+            GetBool(object, "audited", &r->audited) &&
+            GetI64(object, "audit_violations", &r->audit_violations) &&
+            GetI64(object, "audit_checks", &r->audit_checks) &&
+            GetU64String(object, "replay_digest", &r->replay_digest);
+  if (!ok) return false;
+
+  auto stats_it = object.object.find("cc_stats");
+  if (stats_it == object.object.end() ||
+      stats_it->second.kind != JsonValue::Kind::kObject) {
+    return false;
+  }
+  const JsonValue& stats = stats_it->second;
+  ok = GetI64(stats, "deadlocks_detected", &r->cc_stats.deadlocks_detected) &&
+       GetI64(stats, "deadlock_victims", &r->cc_stats.deadlock_victims) &&
+       GetI64(stats, "lock_conflicts", &r->cc_stats.lock_conflicts) &&
+       GetI64(stats, "validation_failures", &r->cc_stats.validation_failures) &&
+       GetI64(stats, "wounds", &r->cc_stats.wounds) &&
+       GetI64(stats, "timestamp_rejections",
+              &r->cc_stats.timestamp_rejections);
+  if (!ok) return false;
+
+  auto classes_it = object.object.find("per_class");
+  if (classes_it == object.object.end() ||
+      classes_it->second.kind != JsonValue::Kind::kArray) {
+    return false;
+  }
+  for (const JsonValue& entry : classes_it->second.array) {
+    if (entry.kind != JsonValue::Kind::kObject) return false;
+    ClassMetrics cls;
+    if (!(GetString(entry, "name", &cls.name) &&
+          GetI64(entry, "commits", &cls.commits) &&
+          GetI64(entry, "restarts", &cls.restarts) &&
+          GetDouble(entry, "response_mean", &cls.response_mean) &&
+          GetDouble(entry, "response_stddev", &cls.response_stddev) &&
+          GetDouble(entry, "response_max", &cls.response_max))) {
+      return false;
+    }
+    r->per_class.push_back(std::move(cls));
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t HashPointKey(const EngineConfig& config, const RunLengths& lengths) {
+  FnvDigest digest;
+  const WorkloadParams& w = config.workload;
+  FoldI64(&digest, w.db_size);
+  FoldI64(&digest, w.tran_size);
+  FoldI64(&digest, w.min_size);
+  FoldI64(&digest, w.max_size);
+  FoldDouble(&digest, w.write_prob);
+  FoldI64(&digest, w.num_terms);
+  FoldI64(&digest, w.mpl);
+  FoldI64(&digest, w.ext_think_time);
+  FoldI64(&digest, w.int_think_time);
+  FoldI64(&digest, w.obj_io);
+  FoldI64(&digest, w.obj_cpu);
+  FoldI64(&digest, w.cc_cpu);
+  FoldDouble(&digest, w.buffer_hit_prob);
+  FoldI64(&digest, w.log_io);
+  FoldDouble(&digest, w.hot_fraction_db);
+  FoldDouble(&digest, w.hot_access_prob);
+  FoldDouble(&digest, w.read_only_fraction);
+  FoldU64(&digest, w.classes.size());
+  for (const TxnClass& cls : w.classes) {
+    FoldString(&digest, cls.name);
+    FoldDouble(&digest, cls.fraction);
+    FoldI64(&digest, cls.tran_size);
+    FoldI64(&digest, cls.min_size);
+    FoldI64(&digest, cls.max_size);
+    FoldDouble(&digest, cls.write_prob);
+  }
+  FoldU64(&digest, config.resources.infinite ? 1 : 0);
+  FoldI64(&digest, config.resources.num_cpus);
+  FoldI64(&digest, config.resources.num_disks);
+  FoldString(&digest, config.algorithm);
+  FoldU64(&digest, static_cast<uint64_t>(config.source_mode));
+  FoldDouble(&digest, config.arrival_rate);
+  FoldU64(&digest, config.x_lock_on_read_intent ? 1 : 0);
+  FoldI64(&digest, config.group_commit_window);
+  FoldI64(&digest, config.lock_granule_size);
+  FoldU64(&digest, config.restart_delay_mode.has_value() ? 1 : 0);
+  FoldU64(&digest, config.restart_delay_mode.has_value()
+                       ? static_cast<uint64_t>(*config.restart_delay_mode)
+                       : 0);
+  FoldI64(&digest, config.fixed_restart_delay);
+  FoldU64(&digest, static_cast<uint64_t>(config.victim_policy));
+  FoldU64(&digest, config.record_history ? 1 : 0);
+  FoldU64(&digest, config.audit ? 1 : 0);
+  FoldI64(&digest, lengths.batches);
+  FoldI64(&digest, lengths.batch_length);
+  FoldI64(&digest, lengths.warmup);
+  return digest.value();
+}
+
+std::unique_ptr<SweepJournal> SweepJournal::FromEnv() {
+  auto path = GetEnv("CCSIM_JOURNAL");
+  if (!path.has_value()) return nullptr;
+  return std::make_unique<SweepJournal>(*path);
+}
+
+SweepJournal::SweepJournal(const std::string& path) : path_(path) {
+  // Only regular files are loadable history; a pipe or device (e.g. the
+  // /dev/full write-failure tests) is append-only from our point of view.
+  struct stat file_info;
+  bool loadable = ::stat(path_.c_str(), &file_info) == 0 &&
+                  S_ISREG(file_info.st_mode);
+  std::ifstream in;
+  if (loadable) in.open(path_);
+  if (loadable && in.good()) {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (StripWhitespace(line).empty()) continue;
+      JsonValue root;
+      uint64_t key = 0;
+      uint64_t seed = 0;
+      MetricsReport report;
+      bool ok = JsonParser(line).Parse(&root) &&
+                root.kind == JsonValue::Kind::kObject &&
+                GetU64String(root, "key", &key) &&
+                GetU64String(root, "seed", &seed);
+      if (ok) {
+        auto it = root.object.find("report");
+        ok = it != root.object.end() &&
+             DeserializeReport(it->second, &report);
+      }
+      if (!ok) {
+        ++skipped_lines_;
+        continue;
+      }
+      entries_[{key, seed}] = std::move(report);
+    }
+  }
+  if (skipped_lines_ > 0) {
+    std::fprintf(stderr,
+                 "journal %s: skipped %zu unparsable line(s) (likely a "
+                 "truncated append from an interrupted run); the affected "
+                 "points will re-run\n",
+                 path_.c_str(), skipped_lines_);
+  }
+  out_.open(path_, std::ios::app);
+  CCSIM_CHECK(out_.good()) << "cannot open journal " << path_
+                           << " for appending (CCSIM_JOURNAL)";
+}
+
+const MetricsReport* SweepJournal::Find(uint64_t key, uint64_t seed) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find({key, seed});
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+Status SweepJournal::Append(uint64_t key, uint64_t seed,
+                            const MetricsReport& report) {
+  std::string line = "{";
+  AppendU64Field(&line, "key", key);
+  AppendU64Field(&line, "seed", seed);
+  line += "\"report\":";
+  line += SerializeReport(report);
+  line += "}\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line;
+  out_.flush();  // One flushed line per point: kill-safe from here on.
+  if (!out_.good()) {
+    return Status::DataLoss("journal append to " + path_ +
+                            " failed (disk full or file closed)");
+  }
+  entries_[{key, seed}] = report;
+  return Status::Ok();
+}
+
+size_t SweepJournal::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace ccsim

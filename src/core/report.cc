@@ -111,7 +111,10 @@ bool WriteReportCsv(const std::string& path,
                   CsvWriter::Field(r.blocks),
                   CsvWriter::Field(r.measured_seconds)});
   }
-  return true;
+  // Finish() flushes and reports stream health, so a write that hit a full
+  // disk or a vanished directory fails the call instead of silently
+  // producing a truncated CSV.
+  return csv.Finish();
 }
 
 bool WriteThroughputGnuplot(const std::string& gp_path,
@@ -148,6 +151,7 @@ bool WriteThroughputGnuplot(const std::string& gp_path,
         << algorithms[i] << "\"";
     out << (i + 1 < algorithms.size() ? ", \\\n" : "\n");
   }
+  out.flush();
   return out.good();
 }
 

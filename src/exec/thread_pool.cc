@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "util/check.h"
@@ -16,10 +17,18 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 ThreadPool::~ThreadPool() {
-  Wait();
+  WaitIdle();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
+    if (first_exception_ != nullptr) {
+      // A task threw and nobody called Wait() to collect it; don't let the
+      // failure vanish silently, but a destructor must not throw.
+      std::fprintf(stderr,
+                   "ThreadPool: dropping an unobserved task exception "
+                   "(no Wait() after the failing task)\n");
+      first_exception_ = nullptr;
+    }
   }
   work_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
@@ -37,6 +46,16 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::Wait() {
+  std::exception_ptr pending_exception;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    all_idle_.wait(lock, [this] { return pending_ == 0; });
+    pending_exception = std::exchange(first_exception_, nullptr);
+  }
+  if (pending_exception != nullptr) std::rethrow_exception(pending_exception);
+}
+
+void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   all_idle_.wait(lock, [this] { return pending_ == 0; });
 }
@@ -51,7 +70,14 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_exception_ == nullptr) {
+        first_exception_ = std::current_exception();
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --pending_;

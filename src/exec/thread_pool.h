@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -19,14 +20,17 @@
 
 namespace ccsim {
 
-/// Fixed set of worker threads draining a FIFO task queue. Tasks must not
-/// throw (simulation failures go through CCSIM_CHECK, which aborts).
+/// Fixed set of worker threads draining a FIFO task queue. A task that
+/// throws does not take the process down: the first exception is captured
+/// and rethrown to the caller from Wait() (remaining tasks still run).
 class ThreadPool {
  public:
   /// Spawns `threads` workers. Requires threads >= 1.
   explicit ThreadPool(int threads);
 
-  /// Waits for all submitted tasks, then joins the workers.
+  /// Waits for all submitted tasks, then joins the workers. Unlike Wait(),
+  /// the destructor never throws; a captured task exception nobody waited
+  /// for is reported to stderr and dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -35,13 +39,17 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker, in FIFO dispatch order.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished running.
+  /// Blocks until every task submitted so far has finished running, then
+  /// rethrows the first exception any of them threw (if any; the captured
+  /// exception is cleared, so the pool stays usable afterwards).
   void Wait();
 
   int threads() const { return static_cast<int>(workers_.size()); }
 
  private:
   void WorkerLoop();
+  /// Blocks until pending_ == 0. Never throws.
+  void WaitIdle();
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
@@ -50,12 +58,16 @@ class ThreadPool {
   std::condition_variable all_idle_;    // Signals Wait(): pending_ hit zero.
   int64_t pending_ = 0;                 // Queued + currently running tasks.
   bool stopping_ = false;
+  std::exception_ptr first_exception_;  // First task throw since last Wait().
 };
 
 /// Runs body(0) .. body(n-1), each exactly once, using up to `jobs` worker
 /// threads. With jobs <= 1 (or n <= 1) the loop runs inline on the calling
 /// thread with no pool at all — the exact serial path. Iterations must be
-/// independent; completion order across workers is unspecified.
+/// independent; completion order across workers is unspecified. If any
+/// iteration throws, every iteration still runs, then the first exception is
+/// rethrown to the caller (on the serial path, the throwing iteration
+/// propagates immediately — standard loop semantics).
 void ParallelFor(int64_t n, int jobs, const std::function<void(int64_t)>& body);
 
 }  // namespace ccsim

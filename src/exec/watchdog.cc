@@ -1,0 +1,48 @@
+#include "exec/watchdog.h"
+
+#include <chrono>
+
+#include "util/check.h"
+#include "util/env.h"
+
+namespace ccsim {
+
+PointBudget PointBudget::FromEnv() {
+  PointBudget budget;
+  int64_t max_events = GetEnvInt("CCSIM_MAX_EVENTS", 0);
+  CCSIM_CHECK_GE(max_events, 0)
+      << "CCSIM_MAX_EVENTS must be >= 0 (0 = unlimited), got " << max_events;
+  budget.max_events = static_cast<uint64_t>(max_events);
+  budget.wall_timeout_seconds = GetEnvDouble("CCSIM_POINT_TIMEOUT_SECONDS", 0.0);
+  CCSIM_CHECK_GE(budget.wall_timeout_seconds, 0.0)
+      << "CCSIM_POINT_TIMEOUT_SECONDS must be >= 0 (0 = unlimited), got "
+      << budget.wall_timeout_seconds;
+  return budget;
+}
+
+WatchdogTimer::WatchdogTimer(double seconds) {
+  if (seconds <= 0.0) return;
+  armed_ = true;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+  thread_ = std::thread([this, deadline] {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Wakes early on cancellation; sets the flag only on a true deadline.
+    if (!cv_.wait_until(lock, deadline, [this] { return cancelled_; })) {
+      expired_.store(true, std::memory_order_relaxed);
+    }
+  });
+}
+
+WatchdogTimer::~WatchdogTimer() {
+  if (!armed_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+}  // namespace ccsim

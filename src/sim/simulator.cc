@@ -24,8 +24,35 @@ bool Simulator::Cancel(EventId id) {
   return actions_.erase(id) > 0;
 }
 
+void Simulator::SetRunGuard(RunGuard guard) {
+  guard_ = std::move(guard);
+  guard_armed_ =
+      guard_.max_events > 0 || guard_.interrupt != nullptr;
+}
+
+void Simulator::ClearRunGuard() {
+  guard_ = RunGuard{};
+  guard_armed_ = false;
+}
+
+void Simulator::EnforceGuard() {
+  const char* reason = nullptr;
+  if (guard_.max_events > 0 && events_fired_ >= guard_.max_events) {
+    reason = "simulated-event budget exhausted";
+  } else if (guard_.interrupt != nullptr &&
+             guard_.interrupt->load(std::memory_order_relaxed)) {
+    reason = "interrupted (wall-clock watchdog deadline)";
+  }
+  if (reason == nullptr) return;
+  if (guard_.on_violation) guard_.on_violation(reason);
+  CCSIM_CHECK(false) << "run guard tripped (" << reason << ") after "
+                     << events_fired_ << " events at sim time " << now_
+                     << " µs, and on_violation returned";
+}
+
 bool Simulator::Step() {
   while (!heap_.empty()) {
+    if (guard_armed_) EnforceGuard();
     HeapEntry entry = heap_.top();
     heap_.pop();
     auto it = actions_.find(entry.id);

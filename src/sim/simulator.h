@@ -6,6 +6,7 @@
 #ifndef CCSIM_SIM_SIMULATOR_H_
 #define CCSIM_SIM_SIMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -20,6 +21,23 @@ namespace ccsim {
 using EventId = uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
+
+/// Execution limits checked inside the event loop (the per-point watchdog,
+/// docs/EXECUTION.md). A livelocked model — e.g. a zero-delay restart chain
+/// re-requesting the same lock at one simulated instant forever — never
+/// leaves Step(), so budgets must be enforced between events, not by the
+/// code driving RunUntil().
+struct RunGuard {
+  /// Ceiling on events_fired(); 0 = unlimited.
+  uint64_t max_events = 0;
+  /// External interrupt (set by a watchdog thread at a wall-clock deadline);
+  /// polled with relaxed loads before each event. nullptr = none.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Called once when a limit trips, with a short reason ("event budget
+  /// exhausted" / "interrupted"). Expected to throw a diagnostic exception;
+  /// if it returns, the simulator falls back to a CCSIM_CHECK failure.
+  std::function<void(const char* reason)> on_violation;
+};
 
 /// The event scheduler and simulation clock.
 class Simulator {
@@ -61,7 +79,17 @@ class Simulator {
   /// Number of pending (non-cancelled) events.
   size_t pending_events() const { return actions_.size(); }
 
+  /// Installs execution limits checked before every event fires; replaces
+  /// any previous guard. An inert guard (no limits) costs one branch per
+  /// event.
+  void SetRunGuard(RunGuard guard);
+
+  /// Removes the guard.
+  void ClearRunGuard();
+
  private:
+  /// Enforces the guard; calls guard_.on_violation (which throws) on a trip.
+  void EnforceGuard();
   struct HeapEntry {
     SimTime time;
     EventId id;
@@ -76,6 +104,8 @@ class Simulator {
   EventId next_id_ = 1;
   uint64_t events_fired_ = 0;
   bool stop_requested_ = false;
+  bool guard_armed_ = false;
+  RunGuard guard_;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>
       heap_;
   // Pending actions; entries are erased when fired or cancelled. A heap entry

@@ -5,13 +5,35 @@
 
 namespace ccsim {
 
+namespace {
+
+/// Trap nesting depth for the current thread; > 0 makes check failures
+/// throw. Thread-local because sweep points run on pool worker threads, and
+/// a trap on one point must not soften checks on its siblings.
+thread_local int trap_depth = 0;
+
+}  // namespace
+
+ScopedCheckTrap::ScopedCheckTrap() { ++trap_depth; }
+
+ScopedCheckTrap::~ScopedCheckTrap() { --trap_depth; }
+
+bool ScopedCheckTrap::Active() { return trap_depth > 0; }
+
 void CheckFailed(const char* condition, const char* file, int line,
                  const std::string& message) {
-  std::fprintf(stderr, "CCSIM_CHECK failed: %s at %s:%d", condition, file, line);
+  std::string text = "CCSIM_CHECK failed: ";
+  text += condition;
+  text += " at ";
+  text += file;
+  text += ":";
+  text += std::to_string(line);
   if (!message.empty()) {
-    std::fprintf(stderr, " — %s", message.c_str());
+    text += " — ";
+    text += message;
   }
-  std::fprintf(stderr, "\n");
+  if (trap_depth > 0) throw CheckFailure(text);
+  std::fprintf(stderr, "%s\n", text.c_str());
   std::fflush(stderr);
   std::abort();
 }

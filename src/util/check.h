@@ -2,16 +2,46 @@
 //
 // Simulation results are only as trustworthy as the model's internal
 // consistency, so invariant checks stay enabled in release builds. A failed
-// check prints the condition, location, and an optional message, then aborts.
+// check prints the condition, location, and an optional message, then aborts
+// — unless the current thread is inside a ScopedCheckTrap, in which case the
+// failure is thrown as a CheckFailure so a point boundary (TryRunOnePoint)
+// can record it and let the rest of the sweep proceed.
 #ifndef CCSIM_UTIL_CHECK_H_
 #define CCSIM_UTIL_CHECK_H_
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace ccsim {
 
-/// Prints a fatal check failure and aborts the process. Never returns.
+/// A CCSIM_CHECK failure converted to an exception by an active
+/// ScopedCheckTrap. what() carries the full "condition at file:line — msg"
+/// diagnostic.
+class CheckFailure : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// While an instance lives, CCSIM_CHECK failures on *this thread* throw
+/// CheckFailure instead of aborting. Intended for point boundaries in the
+/// experiment runner: engine-internal checks keep their fail-stop meaning,
+/// but one poisoned simulation point must not kill a whole sweep. Traps
+/// nest; the failure throws as long as at least one trap is active.
+class ScopedCheckTrap {
+ public:
+  ScopedCheckTrap();
+  ~ScopedCheckTrap();
+
+  ScopedCheckTrap(const ScopedCheckTrap&) = delete;
+  ScopedCheckTrap& operator=(const ScopedCheckTrap&) = delete;
+
+  /// True if a trap is active on the calling thread.
+  static bool Active();
+};
+
+/// Reports a fatal check failure: throws CheckFailure under an active
+/// ScopedCheckTrap, otherwise prints and aborts. Never returns normally.
 [[noreturn]] void CheckFailed(const char* condition, const char* file, int line,
                               const std::string& message);
 
@@ -27,7 +57,8 @@ class CheckMessageBuilder {
   CheckMessageBuilder(const CheckMessageBuilder&) = delete;
   CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
 
-  [[noreturn]] ~CheckMessageBuilder() {
+  // noexcept(false): CheckFailed throws under a ScopedCheckTrap.
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
     CheckFailed(condition_, file_, line_, stream_.str());
   }
 

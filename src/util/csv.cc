@@ -31,6 +31,11 @@ void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
   out_ << '\n';
 }
 
+bool CsvWriter::Finish() {
+  out_.flush();
+  return out_.good();
+}
+
 std::string CsvWriter::Field(double value) {
   return StringPrintf("%.6g", value);
 }

@@ -16,9 +16,15 @@ class CsvWriter {
   /// Opens `path` for writing (truncates). Check ok() before use.
   explicit CsvWriter(const std::string& path);
 
+  /// False once the open or any write has failed (ENOSPC, closed pipe, ...).
+  /// A caller that ignores this emits a silently truncated file.
   bool ok() const { return out_.good(); }
 
   void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and reports whether every write (including this flush) reached
+  /// the stream. Call once after the last row; the destructor does not check.
+  bool Finish();
 
   /// Convenience: formats doubles with 6 significant digits.
   static std::string Field(double value);

@@ -18,7 +18,9 @@ int64_t GetEnvInt(const std::string& name, int64_t fallback) {
   if (!raw.has_value()) return fallback;
   auto parsed = ParseInt(*raw);
   CCSIM_CHECK(parsed.has_value())
-      << "environment variable " << name << " = \"" << *raw << "\" is not an integer";
+      << "malformed environment variable " << name << "=\"" << *raw
+      << "\": not an integer; fix the value or unset it to use the default ("
+      << fallback << ")";
   return *parsed;
 }
 
@@ -27,7 +29,9 @@ double GetEnvDouble(const std::string& name, double fallback) {
   if (!raw.has_value()) return fallback;
   auto parsed = ParseDouble(*raw);
   CCSIM_CHECK(parsed.has_value())
-      << "environment variable " << name << " = \"" << *raw << "\" is not a number";
+      << "malformed environment variable " << name << "=\"" << *raw
+      << "\": not a number; fix the value or unset it to use the default ("
+      << fallback << ")";
   return *parsed;
 }
 

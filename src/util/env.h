@@ -13,11 +13,13 @@ namespace ccsim {
 /// Returns the value of `name` or nullopt if unset/empty.
 std::optional<std::string> GetEnv(const std::string& name);
 
-/// Returns `name` parsed as an integer, or `fallback` when unset. Aborts on a
-/// set-but-malformed value (a silently ignored knob invalidates a run).
+/// Returns `name` parsed as an integer, or `fallback` when unset. A
+/// set-but-malformed value (e.g. CCSIM_BATCHES=12abc) is a hard error via
+/// CCSIM_CHECK — a silently ignored knob invalidates a run.
 int64_t GetEnvInt(const std::string& name, int64_t fallback);
 
-/// Returns `name` parsed as a double, or `fallback` when unset.
+/// Returns `name` parsed as a double, or `fallback` when unset. Malformed
+/// values are a hard error, as with GetEnvInt.
 double GetEnvDouble(const std::string& name, double fallback);
 
 }  // namespace ccsim

@@ -1,0 +1,310 @@
+// Tests for the crash-safe sweep journal: keying, exact round-trips,
+// truncated-line tolerance, and journal-backed resume through the checked
+// point runner (docs/EXECUTION.md, "Crash-safe resume").
+#include "core/journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace ccsim {
+namespace {
+
+EngineConfig FastBase() {
+  EngineConfig config;
+  config.workload.db_size = 200;
+  config.workload.tran_size = 4;
+  config.workload.min_size = 2;
+  config.workload.max_size = 6;
+  config.workload.num_terms = 10;
+  config.workload.mpl = 5;
+  config.workload.obj_io = FromMillis(5);
+  config.workload.obj_cpu = FromMillis(2);
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.seed = 3;
+  return config;
+}
+
+RunLengths FastLengths() {
+  RunLengths lengths;
+  lengths.batches = 3;
+  lengths.batch_length = 4 * kSecond;
+  lengths.warmup = 2 * kSecond;
+  return lengths;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+bool ReportsBitIdentical(const MetricsReport& a, const MetricsReport& b) {
+  auto same_interval = [](const IntervalEstimate& x, const IntervalEstimate& y) {
+    return x.mean == y.mean && x.half_width == y.half_width &&
+           x.batches == y.batches &&
+           x.lag1_autocorrelation == y.lag1_autocorrelation;
+  };
+  if (!(a.algorithm == b.algorithm && a.mpl == b.mpl)) return false;
+  if (!same_interval(a.throughput, b.throughput)) return false;
+  if (!same_interval(a.response_mean, b.response_mean)) return false;
+  if (!(a.response_stddev == b.response_stddev &&
+        a.response_p50 == b.response_p50 && a.response_p90 == b.response_p90 &&
+        a.response_p99 == b.response_p99 && a.response_max == b.response_max)) {
+    return false;
+  }
+  if (!same_interval(a.block_ratio, b.block_ratio)) return false;
+  if (!same_interval(a.restart_ratio, b.restart_ratio)) return false;
+  if (!same_interval(a.disk_util_total, b.disk_util_total)) return false;
+  if (!same_interval(a.disk_util_useful, b.disk_util_useful)) return false;
+  if (!same_interval(a.cpu_util_total, b.cpu_util_total)) return false;
+  if (!same_interval(a.cpu_util_useful, b.cpu_util_useful)) return false;
+  if (!same_interval(a.log_util, b.log_util)) return false;
+  if (!(a.avg_active_mpl == b.avg_active_mpl && a.commits == b.commits &&
+        a.restarts == b.restarts && a.blocks == b.blocks &&
+        a.measured_seconds == b.measured_seconds && a.batches == b.batches)) {
+    return false;
+  }
+  if (!(a.cc_stats.deadlocks_detected == b.cc_stats.deadlocks_detected &&
+        a.cc_stats.deadlock_victims == b.cc_stats.deadlock_victims &&
+        a.cc_stats.lock_conflicts == b.cc_stats.lock_conflicts &&
+        a.cc_stats.validation_failures == b.cc_stats.validation_failures &&
+        a.cc_stats.wounds == b.cc_stats.wounds &&
+        a.cc_stats.timestamp_rejections == b.cc_stats.timestamp_rejections)) {
+    return false;
+  }
+  if (!(a.audited == b.audited && a.audit_violations == b.audit_violations &&
+        a.audit_checks == b.audit_checks &&
+        a.replay_digest == b.replay_digest)) {
+    return false;
+  }
+  if (a.per_class.size() != b.per_class.size()) return false;
+  for (size_t i = 0; i < a.per_class.size(); ++i) {
+    const ClassMetrics& x = a.per_class[i];
+    const ClassMetrics& y = b.per_class[i];
+    if (!(x.name == y.name && x.commits == y.commits &&
+          x.restarts == y.restarts && x.response_mean == y.response_mean &&
+          x.response_stddev == y.response_stddev &&
+          x.response_max == y.response_max)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(HashPointKeyTest, StableForSameInputs) {
+  EXPECT_EQ(HashPointKey(FastBase(), FastLengths()),
+            HashPointKey(FastBase(), FastLengths()));
+}
+
+TEST(HashPointKeyTest, SensitiveToEveryInterestingKnob) {
+  const uint64_t base_key = HashPointKey(FastBase(), FastLengths());
+
+  EngineConfig config = FastBase();
+  config.workload.mpl = 6;
+  EXPECT_NE(HashPointKey(config, FastLengths()), base_key);
+
+  config = FastBase();
+  config.algorithm = "optimistic";
+  EXPECT_NE(HashPointKey(config, FastLengths()), base_key);
+
+  config = FastBase();
+  config.workload.write_prob = 0.5;
+  EXPECT_NE(HashPointKey(config, FastLengths()), base_key);
+
+  config = FastBase();
+  config.restart_delay_mode = RestartDelayMode::kNone;
+  EXPECT_NE(HashPointKey(config, FastLengths()), base_key);
+
+  config = FastBase();
+  config.audit = !config.audit;
+  EXPECT_NE(HashPointKey(config, FastLengths()), base_key);
+
+  RunLengths lengths = FastLengths();
+  lengths.batches = 4;
+  EXPECT_NE(HashPointKey(FastBase(), lengths), base_key);
+
+  lengths = FastLengths();
+  lengths.warmup = 3 * kSecond;
+  EXPECT_NE(HashPointKey(FastBase(), lengths), base_key);
+}
+
+TEST(HashPointKeyTest, SeedDoesNotParticipate) {
+  EngineConfig reseeded = FastBase();
+  reseeded.seed = 999;
+  EXPECT_EQ(HashPointKey(reseeded, FastLengths()),
+            HashPointKey(FastBase(), FastLengths()))
+      << "the seed keys journal entries separately from the config hash";
+}
+
+TEST(SweepJournalTest, RoundTripsAReportExactly) {
+  std::string path = TempPath("journal_roundtrip.jsonl");
+  std::remove(path.c_str());
+
+  EngineConfig config = FastBase();
+  config.audit = true;  // Exercise the digest fields too.
+  MetricsReport original = RunOnePoint(config, FastLengths());
+  uint64_t key = HashPointKey(config, FastLengths());
+  {
+    SweepJournal journal(path);
+    EXPECT_EQ(journal.entry_count(), 0u);
+    ASSERT_TRUE(journal.Append(key, config.seed, original).ok());
+    EXPECT_EQ(journal.entry_count(), 1u);
+    const MetricsReport* found = journal.Find(key, config.seed);
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(ReportsBitIdentical(*found, original));
+  }
+  // A fresh process (fresh journal object) sees the identical report.
+  SweepJournal reloaded(path);
+  EXPECT_EQ(reloaded.entry_count(), 1u);
+  EXPECT_EQ(reloaded.skipped_lines(), 0u);
+  const MetricsReport* found = reloaded.Find(key, config.seed);
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(ReportsBitIdentical(*found, original))
+      << "every field, doubles included, must round-trip bit-exactly";
+  EXPECT_EQ(reloaded.Find(key, config.seed + 1), nullptr);
+  EXPECT_EQ(reloaded.Find(key + 1, config.seed), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, ToleratesTruncatedTrailingLine) {
+  std::string path = TempPath("journal_truncated.jsonl");
+  std::remove(path.c_str());
+
+  EngineConfig config = FastBase();
+  MetricsReport report = RunOnePoint(config, FastLengths());
+  uint64_t key = HashPointKey(config, FastLengths());
+  {
+    SweepJournal journal(path);
+    ASSERT_TRUE(journal.Append(key, config.seed, report).ok());
+    ASSERT_TRUE(journal.Append(key, config.seed + 1, report).ok());
+  }
+  // Simulate a SIGKILL mid-append: chop the file mid-way into its last line.
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string contents = buffer.str();
+  ASSERT_GT(contents.size(), 40u);
+  std::ofstream out(path, std::ios::trunc);
+  out << contents.substr(0, contents.size() - 37);
+  out.close();
+
+  SweepJournal journal(path);
+  EXPECT_EQ(journal.entry_count(), 1u) << "the intact first line survives";
+  EXPECT_EQ(journal.skipped_lines(), 1u) << "the truncated line is skipped";
+  EXPECT_NE(journal.Find(key, config.seed), nullptr);
+  EXPECT_EQ(journal.Find(key, config.seed + 1), nullptr)
+      << "the truncated point must re-run";
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, GarbageLinesAreSkippedNotFatal) {
+  std::string path = TempPath("journal_garbage.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "this is not json\n"
+        << "{\"key\":\"1\",\"seed\":\"2\"}\n"  // Parses, but no report.
+        << "\n";                               // Blank lines are ignored.
+  }
+  SweepJournal journal(path);
+  EXPECT_EQ(journal.entry_count(), 0u);
+  EXPECT_EQ(journal.skipped_lines(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SweepJournalTest, AppendToFullDeviceReportsDataLoss) {
+  // /dev/full takes the open but fails every flush with ENOSPC.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  SweepJournal journal("/dev/full");
+  MetricsReport report = RunOnePoint(FastBase(), FastLengths());
+  Status status = journal.Append(1, 2, report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+}
+
+TEST(JournalResumeTest, SecondRunReusesEveryPoint) {
+  std::string path = TempPath("journal_resume_full.jsonl");
+  std::remove(path.c_str());
+  setenv("CCSIM_JOURNAL", path.c_str(), 1);
+
+  std::vector<EngineConfig> configs = {FastBase(), FastBase()};
+  configs[1].algorithm = "optimistic";
+  SweepOutcome first = RunPointsChecked(configs, FastLengths(), /*jobs=*/2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.points[0].from_journal);
+  EXPECT_FALSE(first.points[1].from_journal);
+
+  SweepOutcome second = RunPointsChecked(configs, FastLengths(), /*jobs=*/2);
+  unsetenv("CCSIM_JOURNAL");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.points[0].from_journal);
+  EXPECT_TRUE(second.points[1].from_journal);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_TRUE(ReportsBitIdentical(first.points[i].report,
+                                    second.points[i].report))
+        << "journaled point " << i << " must be byte-for-byte the original";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalResumeTest, InterruptedSweepResumesBitIdentical) {
+  // The kill-and-resume property, in miniature: run a 3-point sweep to
+  // completion (the reference), then replay it from a journal that holds
+  // only a *truncated* prefix — as if the process died mid-append on point 2
+  // — and require bit-identical results.
+  std::string path = TempPath("journal_resume_partial.jsonl");
+  std::remove(path.c_str());
+
+  SweepConfig sweep;
+  sweep.base = FastBase();
+  sweep.algorithms = {"blocking", "optimistic"};
+  sweep.mpls = {3, 5};
+  sweep.lengths = FastLengths();
+  sweep.jobs = 2;
+
+  SweepOutcome reference = RunSweepChecked(sweep);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(reference.points.size(), 4u);
+
+  // First (interrupted) run: journal everything, then chop the tail so the
+  // journal holds one intact line (whichever point completed first — lines
+  // append in completion order) plus a torn fragment.
+  setenv("CCSIM_JOURNAL", path.c_str(), 1);
+  RunSweepChecked(sweep);
+  {
+    std::ifstream in(path);
+    std::string first_line;
+    ASSERT_TRUE(std::getline(in, first_line));
+    in.close();
+    std::ofstream out(path, std::ios::trunc);
+    out << first_line << "\n"
+        << first_line.substr(0, first_line.size() / 2);  // Torn append.
+  }
+
+  // The resumed run: reuses the journaled point, re-runs the rest.
+  SweepOutcome resumed = RunSweepChecked(sweep);
+  unsetenv("CCSIM_JOURNAL");
+  ASSERT_TRUE(resumed.ok());
+  int journal_hits = 0;
+  for (const PointResult& point : resumed.points) {
+    if (point.from_journal) ++journal_hits;
+  }
+  EXPECT_EQ(journal_hits, 1);
+  for (size_t i = 0; i < reference.points.size(); ++i) {
+    EXPECT_TRUE(ReportsBitIdentical(reference.points[i].report,
+                                    resumed.points[i].report))
+        << "resumed point " << i
+        << " must match the uninterrupted reference exactly";
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ccsim

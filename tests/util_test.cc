@@ -1,4 +1,5 @@
 // Unit tests for util: string helpers, config parsing, CSV, env.
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -178,6 +179,50 @@ TEST(EnvTest, EmptyTreatedAsUnset) {
   setenv("CCSIM_TEST_EMPTY", "", 1);
   EXPECT_FALSE(GetEnv("CCSIM_TEST_EMPTY").has_value());
   unsetenv("CCSIM_TEST_EMPTY");
+}
+
+// A set-but-malformed knob is a hard, clearly worded error — a silently
+// ignored CCSIM_BATCHES=12abc would run a different experiment than asked.
+TEST(EnvDeathTest, MalformedIntegerIsAHardError) {
+  setenv("CCSIM_BATCHES", "12abc", 1);
+  EXPECT_DEATH(GetEnvInt("CCSIM_BATCHES", 20),
+               "malformed environment variable CCSIM_BATCHES=\"12abc\"");
+  unsetenv("CCSIM_BATCHES");
+}
+
+TEST(EnvDeathTest, MalformedDoubleIsAHardError) {
+  setenv("CCSIM_BATCH_SECONDS", "fifteen", 1);
+  EXPECT_DEATH(GetEnvDouble("CCSIM_BATCH_SECONDS", 15.0),
+               "malformed environment variable "
+               "CCSIM_BATCH_SECONDS=\"fifteen\"");
+  unsetenv("CCSIM_BATCH_SECONDS");
+}
+
+TEST(EnvDeathTest, ErrorNamesTheDefaultToFallBackTo) {
+  setenv("CCSIM_TEST_BAD", "1.5.2", 1);
+  EXPECT_DEATH(GetEnvDouble("CCSIM_TEST_BAD", 7.5),
+               "unset it to use the default \\(7.5\\)");
+  unsetenv("CCSIM_TEST_BAD");
+}
+
+TEST(CsvWriterTest, FinishReportsFullDevice) {
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  CsvWriter csv("/dev/full");
+  ASSERT_TRUE(csv.ok()) << "open succeeds; only the flush can fail";
+  for (int i = 0; i < 4096; ++i) {
+    csv.WriteRow({"spill", CsvWriter::Field(static_cast<int64_t>(i))});
+  }
+  EXPECT_FALSE(csv.Finish()) << "ENOSPC must surface, not vanish";
+}
+
+TEST(CsvWriterTest, FinishOkOnHealthyFile) {
+  std::string path = ::testing::TempDir() + "/csv_finish_ok.csv";
+  CsvWriter csv(path);
+  ASSERT_TRUE(csv.ok());
+  csv.WriteRow({"a", "b"});
+  EXPECT_TRUE(csv.Finish());
+  std::remove(path.c_str());
 }
 
 }  // namespace
