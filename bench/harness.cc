@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "exec/jobs.h"
+#include "obs/obs_config.h"
 #include "util/check.h"
 #include "util/env.h"
 
@@ -140,6 +141,16 @@ void PrintBanner(const std::string& what, const RunLengths& lengths) {
             << "  execution: " << ExperimentJobs()
             << " worker thread(s) (CCSIM_JOBS; results are job-count "
                "independent)\n";
+  ObsConfig obs = ObsConfig::FromEnv(ObsConfig{});
+  if (obs.enabled) {
+    std::cout << "  observability: on (phase breakdown";
+    if (obs.SamplingOn()) {
+      std::cout << "; time-series every " << ToSeconds(obs.sample_interval)
+                << "s -> " << obs.sample_dir;
+    }
+    if (obs.TracingOn()) std::cout << "; perfetto traces -> " << obs.trace_dir;
+    std::cout << ")\n";
+  }
 }
 
 }  // namespace bench

@@ -23,9 +23,20 @@
 //   audit            true|false (or --audit): runtime invariant auditing +
 //                    replay digest (docs/AUDIT.md); any detected violation
 //                    fails the run with a nonzero exit
+//   obs              true|false: per-phase response breakdown + stats
+//                    registry (docs/OBSERVABILITY.md)
+//   trace            directory for Perfetto trace.json files (implies obs)
+//   sample_interval  time-series sampling period in simulated seconds
+//                    (implies obs; CSVs land next to csv=, or in ".")
 //   seed, batches, batch_seconds, warmup_seconds, csv=<path>, title=<text>
+//
+// --trace[=path] streams the transaction lifecycle trace (one line per
+// submit/block/resume/restart/commit) to stderr or to `path` while the sweep
+// runs; it forces jobs=1 so lines from different points never interleave.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -33,6 +44,7 @@
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "obs/trace.h"
 #include "util/config.h"
 #include "util/str.h"
 
@@ -51,11 +63,15 @@ constexpr char kUsage[] =
     "  algorithm:  algorithms mpls restart_delay fixed_delay_s victim\n"
     "              source arrival_rate x_lock_on_read_intent audit\n"
     "  run:        seed batches batch_seconds warmup_seconds csv title\n"
-    "              percentiles\n"
+    "              percentiles obs trace sample_interval\n"
     "\n"
-    "Flags: --audit (same as audit=true), --help.\n"
+    "Flags: --audit (same as audit=true), --trace[=path] (stream the\n"
+    "transaction lifecycle trace to stderr or to <path>; forces jobs=1),\n"
+    "--help.\n"
     "Environment: CCSIM_JOBS, CCSIM_JOURNAL, CCSIM_MAX_EVENTS,\n"
-    "CCSIM_POINT_TIMEOUT_SECONDS and friends (docs/EXECUTION.md).\n";
+    "CCSIM_POINT_TIMEOUT_SECONDS, CCSIM_OBS, CCSIM_SAMPLE_SECONDS,\n"
+    "CCSIM_TRACE, CCSIM_HEARTBEAT_SECONDS, CCSIM_REPORT_COLUMNS and friends\n"
+    "(docs/EXECUTION.md, docs/OBSERVABILITY.md).\n";
 
 /// Every key this driver or WorkloadParams::ApplyConfig understands; any
 /// other key is a spelling mistake that would otherwise silently change the
@@ -70,7 +86,7 @@ const std::set<std::string>& KnownKeys() {
       "algorithms", "mpls", "restart_delay", "fixed_delay_s", "victim",
       "source", "arrival_rate", "x_lock_on_read_intent", "audit",
       "seed", "batches", "batch_seconds", "warmup_seconds", "csv", "title",
-      "percentiles",
+      "percentiles", "obs", "trace", "sample_interval",
   };
   return keys;
 }
@@ -93,7 +109,24 @@ std::vector<int> ParseIntList(const std::string& text) {
 int main(int argc, char** argv) {
   ccsim::Config config;
   std::string error;
+  bool lifecycle_trace = false;
+  std::string lifecycle_trace_path;
   std::vector<std::string> args(argv + 1, argv + argc);
+  args.erase(std::remove_if(args.begin(), args.end(),
+                            [&](const std::string& arg) {
+                              if (arg == "--trace") {
+                                lifecycle_trace = true;
+                                return true;
+                              }
+                              if (ccsim::StartsWith(arg, "--trace=")) {
+                                lifecycle_trace = true;
+                                lifecycle_trace_path =
+                                    arg.substr(std::string("--trace=").size());
+                                return true;
+                              }
+                              return false;
+                            }),
+             args.end());
   for (std::string& arg : args) {
     if (arg == "--help" || arg == "-h") {
       std::cout << kUsage;
@@ -182,6 +215,47 @@ int main(int argc, char** argv) {
   sweep.base.audit = config.GetBoolOr("audit", sweep.base.audit);
   sweep.base.seed = static_cast<uint64_t>(config.GetIntOr("seed", 42));
 
+  const std::string csv = config.GetStringOr("csv", "");
+  sweep.base.obs.enabled = config.GetBoolOr("obs", false);
+  std::string perfetto_dir = config.GetStringOr("trace", "");
+  if (!perfetto_dir.empty()) {
+    sweep.base.obs.enabled = true;
+    sweep.base.obs.trace_dir = perfetto_dir;
+  }
+  double sample_interval = config.GetDoubleOr("sample_interval", 0.0);
+  if (sample_interval < 0.0) {
+    std::cerr << "sample_interval must be >= 0\n";
+    return 1;
+  }
+  if (sample_interval > 0.0) {
+    sweep.base.obs.enabled = true;
+    sweep.base.obs.sample_interval = ccsim::FromSeconds(sample_interval);
+    // Time-series CSVs land next to the sweep CSV, or in the cwd.
+    auto slash = csv.find_last_of('/');
+    sweep.base.obs.sample_dir =
+        slash == std::string::npos ? "." : csv.substr(0, slash);
+  }
+
+  std::unique_ptr<std::ofstream> trace_file;
+  std::unique_ptr<ccsim::StreamTraceSink> trace_sink;
+  if (lifecycle_trace) {
+    std::ostream* out = &std::cerr;
+    if (!lifecycle_trace_path.empty()) {
+      trace_file = std::make_unique<std::ofstream>(lifecycle_trace_path,
+                                                   std::ios::trunc);
+      if (!trace_file->good()) {
+        std::cerr << "cannot open trace file " << lifecycle_trace_path << "\n";
+        return 1;
+      }
+      out = trace_file.get();
+    }
+    trace_sink = std::make_unique<ccsim::StreamTraceSink>(out);
+    sweep.base.lifecycle_sink = trace_sink.get();
+    // One worker: lifecycle lines from concurrent points would interleave
+    // into an unreadable (and nondeterministically ordered) stream.
+    sweep.jobs = 1;
+  }
+
   sweep.algorithms = ccsim::Split(
       config.GetStringOr("algorithms", "blocking,immediate_restart,optimistic"),
       ',');
@@ -229,7 +303,6 @@ int main(int argc, char** argv) {
                           config.GetStringOr("title", "run_config sweep"),
                           reports, columns);
 
-  std::string csv = config.GetStringOr("csv", "");
   if (!csv.empty()) {
     if (!ccsim::WriteReportCsv(csv, reports)) {
       std::cerr << "failed to write " << csv << "\n";

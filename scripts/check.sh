@@ -7,7 +7,10 @@
 #   4. bench smoke: one figure binary, short batches, CCSIM_JOBS=4
 #   5. crash-resume smoke: SIGKILL a journaled sweep mid-run, resume it from
 #      the journal, diff the CSVs against an uninterrupted reference run
-#   6. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
+#   6. observability smoke: one figure point with the sampler + Perfetto
+#      trace on; validates the trace parses and the time-series CSV is
+#      non-empty and time-monotone (docs/OBSERVABILITY.md)
+#   7. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
 #      the local toolchain may be gcc-only; CI still enforces it)
 #
 # Usage: scripts/check.sh [--fast]
@@ -42,6 +45,9 @@ CCSIM_JOBS=4 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 CCSIM_WARMUP_SECONDS=1 \
 
 echo "=== crash-resume smoke (SIGKILL mid-sweep, journal resume, CSV diff) ==="
 scripts/crash_resume_smoke.sh ./build-plain/bench/fig03_04_low_conflict
+
+echo "=== observability smoke (sampler + trace artifacts validated) ==="
+scripts/obs_smoke.sh ./build-plain/bench/fig03_04_low_conflict
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="

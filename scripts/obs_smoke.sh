@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Observability smoke test (docs/OBSERVABILITY.md).
+#
+# Runs one bench point with the full observability stack on — phase
+# breakdown, time-series sampler, Perfetto trace export — and validates
+# the artifacts:
+#   * the report table carries the ph_* phase columns,
+#   * every trace_*.json parses as JSON (structural check if python3 is
+#     absent) and is non-trivial,
+#   * every ts_*.csv is non-empty, rectangular, and time-monotone, with a
+#     companion .gp script.
+#
+# Usage: scripts/obs_smoke.sh <bench-binary>
+#   e.g.  scripts/obs_smoke.sh ./build/bench/fig03_04_low_conflict
+set -euo pipefail
+
+BENCH="${1:?usage: scripts/obs_smoke.sh <bench-binary>}"
+OUT="$(mktemp -d "${TMPDIR:-/tmp}/ccsim_obs_smoke.XXXXXX")"
+trap 'rm -rf "${OUT}"' EXIT
+
+echo "obs smoke: ${BENCH} -> ${OUT}"
+CCSIM_JOBS=2 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 CCSIM_WARMUP_SECONDS=1 \
+CCSIM_MPLS=25 CCSIM_CSV_DIR="${OUT}" CCSIM_SAMPLE_SECONDS=0.25 \
+CCSIM_TRACE="${OUT}" CCSIM_REPORT_COLUMNS=all \
+  "${BENCH}" > "${OUT}/table.txt"
+
+# 1. Phase columns made it into the table.
+grep -q 'ph_blk' "${OUT}/table.txt" || {
+  echo "FAIL: report table has no phase columns"; cat "${OUT}/table.txt"; exit 1; }
+
+# 2. Perfetto traces parse.
+TRACES=("${OUT}"/trace_*.json)
+[[ -e "${TRACES[0]}" ]] || { echo "FAIL: no trace_*.json produced"; exit 1; }
+for trace in "${TRACES[@]}"; do
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${trace}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert len(events) > 100, f"only {len(events)} trace events"
+assert any(e.get("ph") == "X" for e in events), "no slice events"
+assert any(e.get("ph") == "C" for e in events), "no counter events"
+EOF
+  else
+    # Structural fallback: object form, array present, balanced braces.
+    head -c 16 "${trace}" | grep -q '{"traceEvents":' || {
+      echo "FAIL: ${trace} is not trace-event JSON"; exit 1; }
+    tail -c 4 "${trace}" | grep -q ']}' || {
+      echo "FAIL: ${trace} is not closed"; exit 1; }
+  fi
+  echo "ok: ${trace}"
+done
+
+# 3. Time-series CSVs: non-empty, rectangular, strictly increasing time.
+SERIES=("${OUT}"/ts_*.csv)
+[[ -e "${SERIES[0]}" ]] || { echo "FAIL: no ts_*.csv produced"; exit 1; }
+for csv in "${SERIES[@]}"; do
+  awk -F, '
+    NR == 1 { cols = NF; if ($1 != "time_s") { print FILENAME ": bad header"; exit 1 } next }
+    NF != cols { print FILENAME ": ragged row " NR; exit 1 }
+    NR > 2 && $1 + 0 <= prev { print FILENAME ": time not monotone at row " NR; exit 1 }
+    { prev = $1 + 0; rows++ }
+    END { if (rows < 2) { print FILENAME ": too few samples (" rows ")"; exit 1 } }
+  ' "${csv}"
+  [[ -s "${csv%.csv}.gp" ]] || { echo "FAIL: missing ${csv%.csv}.gp"; exit 1; }
+  echo "ok: ${csv}"
+done
+
+echo "obs smoke passed."

@@ -34,8 +34,14 @@ CCDecision BlockingCC::HandleRequest(TxnId txn, ObjectId obj, LockMode mode) {
       [this](TxnId t) { return start_times_.at(t); },
       [this](TxnId t) { return locks_.NumHeld(t); },
   };
+  if (deadlock_searches_ != nullptr) deadlock_searches_->Inc();
   DeadlockResolution resolution = detector_.Resolve(txn, doomed_, context);
   stats_.deadlocks_detected += resolution.cycles_found;
+  if (cycle_length_hist_ != nullptr) {
+    for (int length : resolution.cycle_lengths) {
+      cycle_length_hist_->Add(static_cast<double>(length));
+    }
+  }
 
   for (TxnId victim : resolution.victims) {
     ++stats_.deadlock_victims;
@@ -67,6 +73,17 @@ void BlockingCC::ReleaseAndNotify(TxnId txn) {
   for (TxnId granted : locks_.ReleaseAll(txn)) {
     callbacks_.on_granted(granted);
   }
+}
+
+void BlockingCC::RegisterStats(StatsRegistry* registry) {
+  registry->AddGauge("lock_table_objects",
+                     [this] { return static_cast<double>(locks_.locked_objects()); });
+  registry->AddGauge("lock_waiters",
+                     [this] { return static_cast<double>(locks_.waiting_txns()); });
+  deadlock_searches_ = registry->AddCounter("deadlock_searches");
+  // Cycles of length 2 dominate (the upgrade deadlock); long cycles appear
+  // under high contention. Bins cover [2, 34).
+  cycle_length_hist_ = registry->AddHistogram("deadlock_cycle_len", 2.0, 34.0, 32);
 }
 
 }  // namespace ccsim

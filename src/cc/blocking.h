@@ -13,6 +13,7 @@
 #include "cc/concurrency_control.h"
 #include "cc/deadlock.h"
 #include "cc/lock_manager.h"
+#include "obs/registry.h"
 
 namespace ccsim {
 
@@ -39,6 +40,8 @@ class BlockingCC : public ConcurrencyControl {
   }
   void AuditCheck() const override { locks_.AuditCheck(auditor_, doomed_); }
 
+  void RegisterStats(StatsRegistry* registry) override;
+
   const LockManager& locks() const { return locks_; }
 
  private:
@@ -54,6 +57,10 @@ class BlockingCC : public ConcurrencyControl {
   /// Victims announced via on_wound whose Abort() has not arrived yet; the
   /// detector treats them as already gone.
   std::unordered_set<TxnId> doomed_;
+
+  // Observability (null unless RegisterStats was called).
+  ObsCounter* deadlock_searches_ = nullptr;
+  Histogram* cycle_length_hist_ = nullptr;
 };
 
 }  // namespace ccsim

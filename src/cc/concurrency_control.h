@@ -17,6 +17,7 @@
 namespace ccsim {
 
 class Auditor;
+class StatsRegistry;
 
 /// Algorithm-level counters (the engine keeps workload-level ones).
 struct CCStats {
@@ -88,6 +89,13 @@ class ConcurrencyControl {
   virtual void Abort(TxnId txn) = 0;
 
   const CCStats& stats() const { return stats_; }
+
+  /// Registers algorithm-specific observability instruments (lock-table
+  /// occupancy, deadlock search counts, cycle-length histograms, ...) into
+  /// the engine's stats registry. The engine separately registers generic
+  /// gauges over stats(), so the default registers nothing. Called once,
+  /// before any transaction activity, only when observability is enabled.
+  virtual void RegisterStats(StatsRegistry* registry) { (void)registry; }
 
   // --- Runtime invariant auditing (docs/AUDIT.md) ---
 

@@ -91,6 +91,7 @@ DeadlockResolution DeadlockDetector::Resolve(
     std::vector<TxnId> cycle = FindCycle(requester, excluded);
     if (cycle.empty()) break;
     ++resolution.cycles_found;
+    resolution.cycle_lengths.push_back(static_cast<int>(cycle.size()));
     TxnId victim = PickVictim(cycle, context);
     if (victim == requester) {
       resolution.requester_is_victim = true;

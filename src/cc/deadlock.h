@@ -43,6 +43,8 @@ struct DeadlockResolution {
   std::vector<TxnId> victims;
   /// Number of cycles encountered.
   int cycles_found = 0;
+  /// Length of each cycle found, in order (observability).
+  std::vector<int> cycle_lengths;
 };
 
 /// Stateless detector over a LockManager's waits-for relation.

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "cc/concurrency_control.h"
+#include "obs/registry.h"
 
 namespace ccsim {
 
@@ -51,6 +52,15 @@ class StaticLockingCC : public ConcurrencyControl {
 
   bool AuditTracksWaiter(TxnId txn) const override;
   void AuditCheck() const override;
+
+  void RegisterStats(StatsRegistry* registry) override {
+    registry->AddGauge("lock_table_objects", [this] {
+      return static_cast<double>(objects_.size());
+    });
+    registry->AddGauge("lock_waiters", [this] {
+      return static_cast<double>(waiters_.size());
+    });
+  }
 
   /// Waiting transactions (tests).
   size_t waiting_count() const { return waiters_.size(); }

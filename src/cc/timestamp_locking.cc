@@ -63,6 +63,7 @@ CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
       [this](TxnId t) { return incarnation_starts_.at(t); },
       [this](TxnId t) { return locks_.NumHeld(t); },
   };
+  if (deadlock_searches_ != nullptr) deadlock_searches_->Inc();
   DeadlockResolution resolution = detector_.Resolve(txn, doomed_, context);
   stats_.deadlocks_detected += resolution.cycles_found;
   for (TxnId victim : resolution.victims) {
@@ -96,6 +97,17 @@ void TimestampLockingCC::Abort(TxnId txn) {
 void TimestampLockingCC::ReleaseAndNotify(TxnId txn) {
   for (TxnId granted : locks_.ReleaseAll(txn)) {
     callbacks_.on_granted(granted);
+  }
+}
+
+void TimestampLockingCC::RegisterStats(StatsRegistry* registry) {
+  registry->AddGauge("lock_table_objects",
+                     [this] { return static_cast<double>(locks_.locked_objects()); });
+  registry->AddGauge("lock_waiters",
+                     [this] { return static_cast<double>(locks_.waiting_txns()); });
+  if (flavor_ == Flavor::kWoundWait) {
+    // Only wound-wait runs the safety-net cycle search (see header).
+    deadlock_searches_ = registry->AddCounter("deadlock_searches");
   }
 }
 

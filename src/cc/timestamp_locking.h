@@ -25,6 +25,7 @@
 #include "cc/concurrency_control.h"
 #include "cc/deadlock.h"
 #include "cc/lock_manager.h"
+#include "obs/registry.h"
 
 namespace ccsim {
 
@@ -55,6 +56,8 @@ class TimestampLockingCC : public ConcurrencyControl {
   }
   void AuditCheck() const override { locks_.AuditCheck(auditor_, doomed_); }
 
+  void RegisterStats(StatsRegistry* registry) override;
+
   const LockManager& locks() const { return locks_; }
 
  private:
@@ -70,6 +73,9 @@ class TimestampLockingCC : public ConcurrencyControl {
   std::unordered_map<TxnId, SimTime> first_starts_;
   std::unordered_map<TxnId, SimTime> incarnation_starts_;
   std::unordered_set<TxnId> doomed_;
+
+  // Observability (null unless RegisterStats was called).
+  ObsCounter* deadlock_searches_ = nullptr;
 };
 
 }  // namespace ccsim

@@ -81,6 +81,87 @@ ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
                                          [this] { return sim_->Now(); });
     cc_->SetAuditor(auditor_.get());
   }
+  if (config_.lifecycle_sink != nullptr) trace_ = config_.lifecycle_sink;
+  SetupObservability();
+}
+
+void ClosedSystem::SetupObservability() {
+  obs_on_ = config_.obs.enabled;
+  if (!obs_on_) return;
+  // Direct construction (tests, examples) may carry unresolved directory
+  // fields; the experiment runner resolves per-point paths up front, in
+  // which case this is a no-op.
+  ResolveObsPaths(&config_.obs, config_.algorithm, config_.workload.mpl,
+                  config_.seed);
+
+  registry_ = std::make_unique<StatsRegistry>();
+  // Engine gauges: the population split the paper's dynamics arguments are
+  // about. Gauges are evaluated only when the sampler fires.
+  registry_->AddGauge("ready_queue", [this] {
+    return static_cast<double>(ready_queue_.size());
+  });
+  registry_->AddGauge("active", [this] {
+    return static_cast<double>(active_count_);
+  });
+  auto count_state = [this](TxnState state) {
+    int64_t n = 0;
+    for (const auto& [id, txn] : txns_) {
+      (void)id;
+      if (txn.state == state) ++n;
+    }
+    return static_cast<double>(n);
+  };
+  registry_->AddGauge("blocked", [count_state] {
+    return count_state(TxnState::kBlocked);
+  });
+  registry_->AddGauge("thinking", [count_state] {
+    return count_state(TxnState::kIntThink);
+  });
+  registry_->AddGauge("restart_delay", [count_state] {
+    return count_state(TxnState::kRestartDelay);
+  });
+  // Engine counters (cumulative; the sampler records them per tick so the
+  // time series shows rates as slopes).
+  ctr_commits_ = registry_->AddCounter("commits");
+  ctr_restarts_wound_ = registry_->AddCounter("restarts_wound");
+  ctr_restarts_decision_ = registry_->AddCounter("restarts_decision");
+  ctr_restarts_validation_ = registry_->AddCounter("restarts_validation");
+  ctr_cc_granted_ = registry_->AddCounter("cc_granted");
+  ctr_cc_blocked_ = registry_->AddCounter("cc_blocked");
+  ctr_cc_denied_ = registry_->AddCounter("cc_denied");
+  ctr_wasted_cpu_us_ = registry_->AddCounter("wasted_cpu_us");
+  ctr_wasted_disk_us_ = registry_->AddCounter("wasted_disk_us");
+  // Generic cc-algorithm gauges over CCStats (every algorithm), then the
+  // algorithm's own instruments (lock-table occupancy, deadlock searches,
+  // cycle lengths, ...).
+  const CCStats* cc_stats = &cc_->stats();
+  registry_->AddGauge("cc_deadlocks", [cc_stats] {
+    return static_cast<double>(cc_stats->deadlocks_detected);
+  });
+  registry_->AddGauge("cc_lock_conflicts", [cc_stats] {
+    return static_cast<double>(cc_stats->lock_conflicts);
+  });
+  registry_->AddGauge("cc_validation_failures", [cc_stats] {
+    return static_cast<double>(cc_stats->validation_failures);
+  });
+  registry_->AddGauge("cc_wounds", [cc_stats] {
+    return static_cast<double>(cc_stats->wounds);
+  });
+  registry_->AddGauge("cc_ts_rejections", [cc_stats] {
+    return static_cast<double>(cc_stats->timestamp_rejections);
+  });
+  cc_->RegisterStats(registry_.get());
+  resources_.RegisterStats(registry_.get());
+
+  if (config_.obs.TracingOn()) {
+    CCSIM_CHECK(!config_.obs.trace_path.empty())
+        << "tracing requested but no trace_path/trace_dir configured";
+    trace_writer_ = std::make_unique<TraceEventWriter>(config_.obs.trace_path);
+    CCSIM_CHECK(trace_writer_->ok())
+        << "cannot open trace file " << config_.obs.trace_path;
+    perfetto_ = std::make_unique<EngineTracer>(trace_writer_.get());
+    resources_.AttachSpanSink(perfetto_.get());
+  }
 }
 
 double ClosedSystem::BootstrapResponseSeconds() const {
@@ -96,6 +177,16 @@ double ClosedSystem::BootstrapResponseSeconds() const {
 void ClosedSystem::Prime() {
   CCSIM_CHECK(!primed_) << "Prime() called twice";
   primed_ = true;
+  if (obs_on_ && config_.obs.SamplingOn()) {
+    CCSIM_CHECK(!config_.obs.sample_path.empty())
+        << "sampling requested but no sample_path/sample_dir configured";
+    sampler_ = std::make_unique<TimeSeriesSampler>(
+        sim_, registry_.get(), config_.obs.sample_path,
+        config_.obs.sample_interval);
+    CCSIM_CHECK(sampler_->ok())
+        << "cannot open time-series csv " << config_.obs.sample_path;
+    sampler_->Start();
+  }
   if (config_.source_mode == SourceMode::kOpen) {
     ScheduleNextArrival();
     return;
@@ -123,6 +214,7 @@ void ClosedSystem::SubmitFromTerminal(int terminal) {
   txn.write_set = txn.spec.WriteSet();
   txn.first_submit = sim_->Now();
   txn.state = TxnState::kReady;
+  if (obs_on_) txn.ready_since = sim_->Now();
   Trace(txn, TxnEvent::kSubmitted);
   txns_.emplace(id, std::move(txn));
   ready_queue_.push_back(id);
@@ -152,6 +244,14 @@ void ClosedSystem::Activate(TxnId id) {
   txn.disk_used = 0;
   txn.read_granules.clear();
   txn.write_granules.clear();
+  if (obs_on_) {
+    txn.ph_ready += sim_->Now() - txn.ready_since;
+    txn.ph_cc_block = 0;
+    txn.ph_cpu = 0;
+    txn.ph_disk = 0;
+    txn.ph_res_wait = 0;
+    txn.ph_think = 0;
+  }
   ++active_count_;
   active_mpl_.Add(sim_->Now(), +1.0);
   if (config_.record_history) history_.RecordActivation(id, txn.incarnation);
@@ -181,18 +281,20 @@ void ClosedSystem::Activate(TxnId id) {
     AuditFold(AuditOp::kPredeclare, id, static_cast<int64_t>(decision),
               static_cast<int64_t>(read_granules.size() +
                                    write_granules.size()));
+    CountDecision(decision);
     switch (decision) {
       case CCDecision::kGranted:
         break;
       case CCDecision::kBlocked:
         txn.state = TxnState::kBlocked;
+        if (obs_on_) txn.blocked_since = sim_->Now();
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
         AuditBlocked(id);
         return;
       case CCDecision::kRestart:
-        Restart(id);
+        Restart(id, RestartCause::kDecision);
         return;
     }
   }
@@ -204,7 +306,7 @@ void ClosedSystem::NextStep(TxnId id) {
   Txn& txn = GetTxn(id);
   CCSIM_CHECK(txn.state == TxnState::kRunning);
   if (txn.doomed) {
-    Restart(id);
+    Restart(id, RestartCause::kWound);
     return;
   }
   if (txn.read_index < txn.spec.num_reads()) {
@@ -261,10 +363,13 @@ void ClosedSystem::IssueCcRequest(TxnId id) {
   SimTime cc_cpu = config_.workload.cc_cpu;
   if (cc_cpu > 0) {
     int incarnation = txn.incarnation;
+    SimTime req_at = sim_->Now();
     resources_.RequestCpu(cc_cpu, ServicePriority::kConcurrencyControl,
-                          [this, id, incarnation, cc_cpu] {
+                          [this, id, incarnation, cc_cpu, req_at] {
                             CCSIM_CHECK(IsCurrent(id, incarnation));
                             GetTxn(id).cpu_used += cc_cpu;
+                            ChargePhase(GetTxn(id), &Txn::ph_cpu, cc_cpu,
+                                        req_at);
                             HandleCcRequest(id);
                           });
     return;
@@ -276,7 +381,7 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
   Txn& txn = GetTxn(id);
   CCSIM_CHECK(txn.state == TxnState::kRunning);
   if (txn.doomed) {
-    Restart(id);
+    Restart(id, RestartCause::kWound);
     return;
   }
 
@@ -292,6 +397,7 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
                                        : cc_->ReadRequest(id, granule);
     AuditFold(write_intent ? AuditOp::kWrite : AuditOp::kRead, id, granule,
               static_cast<int64_t>(decision));
+    CountDecision(decision);
     switch (decision) {
       case CCDecision::kGranted:
         if (config_.lock_granule_size > 1) {
@@ -310,13 +416,14 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
         return;
       case CCDecision::kBlocked:
         txn.state = TxnState::kBlocked;
+        if (obs_on_) txn.blocked_since = sim_->Now();
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
         AuditBlocked(id);
         return;
       case CCDecision::kRestart:
-        Restart(id);
+        Restart(id, RestartCause::kDecision);
         return;
     }
   }
@@ -326,6 +433,7 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
         GranuleOf(txn.write_set[static_cast<size_t>(txn.write_index)]);
     CCDecision decision = cc_->WriteRequest(id, granule);
     AuditFold(AuditOp::kWrite, id, granule, static_cast<int64_t>(decision));
+    CountDecision(decision);
     switch (decision) {
       case CCDecision::kGranted:
         if (config_.lock_granule_size > 1) txn.write_granules.insert(granule);
@@ -333,13 +441,14 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
         return;
       case CCDecision::kBlocked:
         txn.state = TxnState::kBlocked;
+        if (obs_on_) txn.blocked_since = sim_->Now();
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
         AuditBlocked(id);
         return;
       case CCDecision::kRestart:
-        Restart(id);
+        Restart(id, RestartCause::kDecision);
         return;
     }
   }
@@ -350,7 +459,7 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
   if (valid) {
     BeginUpdates(id);
   } else {
-    Restart(id);
+    Restart(id, RestartCause::kValidation);
   }
 }
 
@@ -365,10 +474,13 @@ void ClosedSystem::StartAccess(TxnId id) {
     auto after_cpu = [this, id, incarnation] { AfterReadAccess(id, incarnation); };
     auto do_cpu = [this, id, incarnation, w, after_cpu] {
       if (w.obj_cpu > 0) {
+        SimTime req_at = sim_->Now();
         resources_.RequestCpu(w.obj_cpu, ServicePriority::kNormal,
-                              [this, id, incarnation, w, after_cpu] {
+                              [this, id, incarnation, w, after_cpu, req_at] {
                                 CCSIM_CHECK(IsCurrent(id, incarnation));
                                 GetTxn(id).cpu_used += w.obj_cpu;
+                                ChargePhase(GetTxn(id), &Txn::ph_cpu,
+                                            w.obj_cpu, req_at);
                                 after_cpu();
                               });
       } else {
@@ -379,9 +491,12 @@ void ClosedSystem::StartAccess(TxnId id) {
     bool buffer_hit = w.buffer_hit_prob > 0.0 &&
                       buffer_rng_.Bernoulli(w.buffer_hit_prob);
     if (w.obj_io > 0 && !buffer_hit) {
-      resources_.RequestDisk(w.obj_io, [this, id, incarnation, w, do_cpu] {
+      SimTime req_at = sim_->Now();
+      resources_.RequestDisk(w.obj_io,
+                             [this, id, incarnation, w, do_cpu, req_at] {
         CCSIM_CHECK(IsCurrent(id, incarnation));
         GetTxn(id).disk_used += w.obj_io;
+        ChargePhase(GetTxn(id), &Txn::ph_disk, w.obj_io, req_at);
         do_cpu();
       });
     } else {
@@ -392,10 +507,13 @@ void ClosedSystem::StartAccess(TxnId id) {
 
   // Write request: obj_cpu only; the physical write is deferred to commit.
   if (w.obj_cpu > 0) {
+    SimTime req_at = sim_->Now();
     resources_.RequestCpu(w.obj_cpu, ServicePriority::kNormal,
-                          [this, id, incarnation, w] {
+                          [this, id, incarnation, w, req_at] {
                             CCSIM_CHECK(IsCurrent(id, incarnation));
                             GetTxn(id).cpu_used += w.obj_cpu;
+                            ChargePhase(GetTxn(id), &Txn::ph_cpu, w.obj_cpu,
+                                        req_at);
                             AfterWriteAccess(id, incarnation);
                           });
   } else {
@@ -423,13 +541,14 @@ void ClosedSystem::StartInternalThink(TxnId id) {
   Trace(txn, TxnEvent::kInternalThink);
   int incarnation = txn.incarnation;
   SimTime think = workload_.NextInternalThink();
-  txn.pending_event = sim_->Schedule(think, [this, id, incarnation] {
+  txn.pending_event = sim_->Schedule(think, [this, id, incarnation, think] {
     CCSIM_CHECK(IsCurrent(id, incarnation));
     Txn& t = GetTxn(id);
     CCSIM_CHECK(t.state == TxnState::kIntThink);
     t.pending_event = kInvalidEventId;
     t.think_done = true;
     t.state = TxnState::kRunning;
+    if (obs_on_) t.ph_think += think;
     NextStep(id);
   });
 }
@@ -452,8 +571,10 @@ void ClosedSystem::BeginUpdates(TxnId id) {
       }
       return;
     }
-    resources_.RequestLog(w.log_io, [this, id, incarnation] {
+    SimTime req_at = sim_->Now();
+    resources_.RequestLog(w.log_io, [this, id, incarnation, w, req_at] {
       CCSIM_CHECK(IsCurrent(id, incarnation));
+      ChargePhase(GetTxn(id), &Txn::ph_disk, w.log_io, req_at);
       NextUpdate(id);
     });
     return;
@@ -480,7 +601,7 @@ void ClosedSystem::NextUpdate(TxnId id) {
   Txn& txn = GetTxn(id);
   CCSIM_CHECK(txn.state == TxnState::kRunning);
   if (txn.doomed) {
-    Restart(id);
+    Restart(id, RestartCause::kWound);
     return;
   }
   if (txn.update_index >= static_cast<int>(txn.write_set.size())) {
@@ -495,9 +616,12 @@ void ClosedSystem::NextUpdate(TxnId id) {
     NextUpdate(id);
   };
   if (w.obj_io > 0) {
-    resources_.RequestDisk(w.obj_io, [this, id, incarnation, w, applied] {
+    SimTime req_at = sim_->Now();
+    resources_.RequestDisk(w.obj_io,
+                           [this, id, incarnation, w, applied, req_at] {
       CCSIM_CHECK(IsCurrent(id, incarnation));
       GetTxn(id).disk_used += w.obj_io;
+      ChargePhase(GetTxn(id), &Txn::ph_disk, w.obj_io, req_at);
       applied();
     });
   } else {
@@ -508,7 +632,7 @@ void ClosedSystem::NextUpdate(TxnId id) {
 void ClosedSystem::Complete(TxnId id) {
   Txn& txn = GetTxn(id);
   if (txn.doomed) {
-    Restart(id);
+    Restart(id, RestartCause::kWound);
     return;
   }
   double response = ToSeconds(sim_->Now() - txn.first_submit);
@@ -524,6 +648,31 @@ void ClosedSystem::Complete(TxnId id) {
   ++lifetime_commits_;
   batch_useful_cpu_ += txn.cpu_used;
   batch_useful_disk_ += txn.disk_used;
+  if (progress_ != nullptr) {
+    progress_->commits.store(lifetime_commits_, std::memory_order_relaxed);
+  }
+  if (obs_on_) {
+    ctr_commits_->Inc();
+    // Phase decomposition of the full response, folded at commit so the sums
+    // cover exactly the measured population. The final incarnation's active
+    // time that no bucket claims (group-commit window waits, zero-delay
+    // scheduling hops) lands in `other`, keeping the identity
+    //   response = ready + restart_delay + wasted + cc_block + cpu + disk
+    //            + res_wait + think + other
+    // exact in integer microseconds.
+    phase_sums_.ready += txn.ph_ready;
+    phase_sums_.restart_delay += txn.ph_restart_delay;
+    phase_sums_.wasted += txn.ph_wasted;
+    phase_sums_.cc_block += txn.ph_cc_block;
+    phase_sums_.cpu += txn.ph_cpu;
+    phase_sums_.disk += txn.ph_disk;
+    phase_sums_.res_wait += txn.ph_res_wait;
+    phase_sums_.think += txn.ph_think;
+    SimTime final_active = sim_->Now() - txn.incarnation_start;
+    phase_sums_.other += final_active -
+                         (txn.ph_cc_block + txn.ph_cpu + txn.ph_disk +
+                          txn.ph_res_wait + txn.ph_think);
+  }
 
   // History records deferred writes at commit, when they become visible, not
   // when the update I/O physically lands. Algorithms that let an *older*
@@ -559,7 +708,7 @@ void ClosedSystem::Complete(TxnId id) {
   AuditTransition();
 }
 
-void ClosedSystem::Restart(TxnId id) {
+void ClosedSystem::Restart(TxnId id, RestartCause cause) {
   Txn& txn = GetTxn(id);
   CCSIM_CHECK(txn.state == TxnState::kRunning ||
               txn.state == TxnState::kBlocked ||
@@ -572,6 +721,18 @@ void ClosedSystem::Restart(TxnId id) {
   ++measured_restarts_;
   ++lifetime_restarts_;
   ++class_restarts_[static_cast<size_t>(txn.spec.class_index)];
+  if (obs_on_) {
+    // The whole aborted incarnation is wasted work, wall-to-wall: service,
+    // waits, and thinks alike are repeated by the replay.
+    txn.ph_wasted += sim_->Now() - txn.incarnation_start;
+    switch (cause) {
+      case RestartCause::kWound: ctr_restarts_wound_->Inc(); break;
+      case RestartCause::kDecision: ctr_restarts_decision_->Inc(); break;
+      case RestartCause::kValidation: ctr_restarts_validation_->Inc(); break;
+    }
+    ctr_wasted_cpu_us_->Add(txn.cpu_used);
+    ctr_wasted_disk_us_->Add(txn.disk_used);
+  }
   Trace(txn, TxnEvent::kRestarted);
 
   cc_->Abort(id);
@@ -589,6 +750,7 @@ void ClosedSystem::Restart(TxnId id) {
   // where neither the event budget nor the wall-clock watchdog (both checked
   // between events, sim/simulator.h RunGuard) could ever interrupt it.
   SimTime delay = restart_policy_.NextDelay(&delay_rng_);
+  if (obs_on_) txn.ph_restart_delay += delay;
   txn.state = TxnState::kRestartDelay;
   int incarnation = txn.incarnation;
   txn.pending_event = sim_->Schedule(delay, [this, id, incarnation] {
@@ -597,6 +759,7 @@ void ClosedSystem::Restart(TxnId id) {
     CCSIM_CHECK(t.state == TxnState::kRestartDelay);
     t.pending_event = kInvalidEventId;
     t.state = TxnState::kReady;
+    if (obs_on_) t.ready_since = sim_->Now();
     ready_queue_.push_back(id);
     TryActivate();
   });
@@ -620,10 +783,11 @@ void ClosedSystem::OnGranted(TxnId id) {
     Txn& t = GetTxn(id);
     if (t.state != TxnState::kBlocked) return;  // Stale grant.
     t.state = TxnState::kRunning;
+    if (obs_on_) t.ph_cc_block += sim_->Now() - t.blocked_since;
     Trace(t, TxnEvent::kResumed);
     AuditTransition();
     if (t.doomed) {
-      Restart(id);
+      Restart(id, RestartCause::kWound);
       return;
     }
     // Re-issue the pending request rather than assume a grant: for lock
@@ -654,7 +818,7 @@ void ClosedSystem::OnWound(TxnId id) {
       if (t.state != TxnState::kBlocked && t.state != TxnState::kIntThink) {
         return;  // Resumed meanwhile; doom executes at the next step.
       }
-      Restart(id);
+      Restart(id, RestartCause::kWound);
     });
   }
 }
@@ -724,8 +888,45 @@ ClosedSystem::Txn& ClosedSystem::GetTxn(TxnId id) {
 
 
 void ClosedSystem::Trace(const Txn& txn, TxnEvent event) {
-  if (trace_ == nullptr) return;
-  trace_->Record(TraceRecord{sim_->Now(), txn.id, txn.incarnation, event});
+  if (trace_ == nullptr && perfetto_ == nullptr) return;
+  TraceRecord record{sim_->Now(), txn.id, txn.incarnation, event};
+  if (trace_ != nullptr) trace_->Record(record);
+  if (perfetto_ != nullptr) perfetto_->Record(record);
+}
+
+void ClosedSystem::CountDecision(CCDecision decision) {
+  if (ctr_cc_granted_ == nullptr) return;
+  switch (decision) {
+    case CCDecision::kGranted: ctr_cc_granted_->Inc(); break;
+    case CCDecision::kBlocked: ctr_cc_blocked_->Inc(); break;
+    case CCDecision::kRestart: ctr_cc_denied_->Inc(); break;
+  }
+}
+
+void ClosedSystem::ChargePhase(Txn& txn, SimTime Txn::* bucket,
+                               SimTime service, SimTime requested_at) {
+  if (!obs_on_) return;
+  txn.*bucket += service;
+  // Whatever elapsed beyond pure service time was spent queued for the
+  // resource (FCFS server pools, res/server_pool.h).
+  txn.ph_res_wait += (sim_->Now() - requested_at) - service;
+}
+
+void ClosedSystem::FinishObsArtifacts() {
+  if (!obs_on_) return;
+  if (sampler_ != nullptr) {
+    CCSIM_CHECK(sampler_->Finish())
+        << "failed writing time-series csv " << config_.obs.sample_path;
+    sampler_.reset();
+  }
+  if (perfetto_ != nullptr) {
+    perfetto_->FlushOpen(sim_->Now());
+    resources_.AttachSpanSink(nullptr);
+    perfetto_.reset();
+    CCSIM_CHECK(trace_writer_->Finish())
+        << "failed writing trace file " << config_.obs.trace_path;
+    trace_writer_.reset();
+  }
 }
 
 bool ClosedSystem::IsCurrent(TxnId id, int incarnation) const {
@@ -754,6 +955,7 @@ void ClosedSystem::ResetMeasurement() {
   for (Welford& response : class_response_) response.Reset();
   std::fill(class_commits_.begin(), class_commits_.end(), 0);
   std::fill(class_restarts_.begin(), class_restarts_.end(), 0);
+  phase_sums_ = PhaseSums{};
   // Fresh interval estimators: a second RunExperiment must not inherit the
   // previous measurement's batches.
   throughput_bm_ = BatchMeans();
@@ -839,6 +1041,21 @@ MetricsReport ClosedSystem::RunExperiment(int batches, SimTime batch_length,
   report.measured_seconds = ToSeconds(batch_length) * batches;
   report.batches = batches;
   report.cc_stats = cc_->stats();
+  if (obs_on_) {
+    report.phases.collected = true;
+    if (measured_commits_ > 0) {
+      double n = static_cast<double>(measured_commits_);
+      report.phases.ready = ToSeconds(phase_sums_.ready) / n;
+      report.phases.cc_block = ToSeconds(phase_sums_.cc_block) / n;
+      report.phases.cpu = ToSeconds(phase_sums_.cpu) / n;
+      report.phases.disk = ToSeconds(phase_sums_.disk) / n;
+      report.phases.resource_wait = ToSeconds(phase_sums_.res_wait) / n;
+      report.phases.think = ToSeconds(phase_sums_.think) / n;
+      report.phases.restart_delay = ToSeconds(phase_sums_.restart_delay) / n;
+      report.phases.wasted = ToSeconds(phase_sums_.wasted) / n;
+      report.phases.other = ToSeconds(phase_sums_.other) / n;
+    }
+  }
   AuditFinal();
   if (auditor_ != nullptr) {
     report.audited = true;
@@ -846,6 +1063,7 @@ MetricsReport ClosedSystem::RunExperiment(int batches, SimTime batch_length,
     report.audit_checks = auditor_->checks_performed();
     report.replay_digest = auditor_->digest();
   }
+  FinishObsArtifacts();
   for (size_t i = 0; i < class_response_.size(); ++i) {
     ClassMetrics metrics;
     metrics.name = config_.workload.ClassName(static_cast<int>(i));

@@ -28,7 +28,12 @@
 #include "cc/restart_policy.h"
 #include "core/history.h"
 #include "core/metrics.h"
-#include "core/trace.h"
+#include "obs/engine_tracer.h"
+#include "obs/obs_config.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "obs/trace_json.h"
 #include "res/resources.h"
 #include "sim/simulator.h"
 #include "stats/batch_means.h"
@@ -104,6 +109,16 @@ struct EngineConfig {
 #else
   bool audit = false;
 #endif
+  /// Observability (docs/OBSERVABILITY.md): stats registry + per-phase
+  /// response-time breakdown, optional time-series sampler and Perfetto
+  /// trace export. Fully disabled by default; the engine then pays one
+  /// branch per event. Excluded from the sweep-journal point key — the same
+  /// experiment with different observability is the same experiment.
+  ObsConfig obs;
+  /// Lifecycle trace sink attached at construction (run_config --trace).
+  /// Not owned; must outlive the simulation; nullptr = none. Equivalent to
+  /// calling SetTraceSink right after construction.
+  TraceSink* lifecycle_sink = nullptr;
 };
 
 /// The simulation engine. Owns the workload, resources, and the concurrency
@@ -153,6 +168,14 @@ class ClosedSystem {
   /// outlive the simulation.
   void SetTraceSink(TraceSink* sink) { trace_ = sink; }
 
+  /// The observability registry; nullptr unless config.obs.enabled.
+  const StatsRegistry* stats_registry() const { return registry_.get(); }
+
+  /// Attaches a heartbeat progress cell (nullptr detaches); the engine
+  /// stores lifetime commits into it with relaxed atomics so a reporter
+  /// thread can read them (exec/watchdog.h HeartbeatThread).
+  void SetProgressCell(ProgressCell* cell) { progress_ = cell; }
+
  private:
   enum class TxnState {
     kReady,         ///< In the ready queue (not active).
@@ -186,6 +209,27 @@ class ClosedSystem {
     SimTime disk_used = 0;
     /// Pending think / restart-delay event, cancellable on wound.
     EventId pending_event = kInvalidEventId;
+
+    // Phase accounting (maintained only when config.obs.enabled; all µs).
+    SimTime ready_since = 0;    ///< Entered the ready queue.
+    SimTime blocked_since = 0;  ///< Last cc block began.
+    // Whole-transaction accumulators (survive restarts).
+    SimTime ph_ready = 0;
+    SimTime ph_restart_delay = 0;
+    SimTime ph_wasted = 0;
+    // Current-incarnation buckets (reset at Activate).
+    SimTime ph_cc_block = 0;
+    SimTime ph_cpu = 0;
+    SimTime ph_disk = 0;
+    SimTime ph_res_wait = 0;
+    SimTime ph_think = 0;
+  };
+
+  /// Why an incarnation restarted (observability: restarts by cause).
+  enum class RestartCause {
+    kWound,       ///< Chosen as a victim (deadlock or wound-wait).
+    kDecision,    ///< The cc algorithm answered kRestart to a request.
+    kValidation,  ///< Commit-point validation failed.
   };
 
   // Lifecycle.
@@ -204,7 +248,7 @@ class ClosedSystem {
   void FlushGroupCommit();
   void NextUpdate(TxnId id);
   void Complete(TxnId id);
-  void Restart(TxnId id);
+  void Restart(TxnId id, RestartCause cause);
   void Deactivate();
 
   // Concurrency control callbacks.
@@ -231,6 +275,20 @@ class ClosedSystem {
   bool NeedsInternalThink(const Txn& txn) const;
   double BootstrapResponseSeconds() const;
   void Trace(const Txn& txn, TxnEvent event);
+
+  // Observability (no-ops / single branch unless config.obs.enabled).
+  /// Builds the registry, registers every layer's instruments, and opens
+  /// the Perfetto trace when configured. Called from the constructor.
+  void SetupObservability();
+  /// Counts one cc decision into the granted/blocked/denied counters.
+  void CountDecision(CCDecision decision);
+  /// Charges `service` µs of service to a phase bucket and the difference
+  /// to resource_wait; `requested_at` is when the request entered the pool.
+  void ChargePhase(Txn& txn, SimTime Txn::* bucket, SimTime service,
+                   SimTime requested_at);
+  /// Finishes the sampler CSV/.gp and the trace.json (hard error on a
+  /// failed write). Called at the end of RunExperiment; idempotent.
+  void FinishObsArtifacts();
 
   /// The cc granule covering `obj`.
   ObjectId GranuleOf(ObjectId obj) const {
@@ -302,6 +360,30 @@ class ClosedSystem {
   TraceSink* trace_ = nullptr;
   std::unique_ptr<Auditor> auditor_;
   int64_t audit_transitions_ = 0;
+
+  // Observability (all null / zero when config.obs.enabled is false).
+  bool obs_on_ = false;
+  std::unique_ptr<StatsRegistry> registry_;
+  std::unique_ptr<TraceEventWriter> trace_writer_;
+  std::unique_ptr<EngineTracer> perfetto_;
+  std::unique_ptr<TimeSeriesSampler> sampler_;
+  ObsCounter* ctr_commits_ = nullptr;
+  ObsCounter* ctr_restarts_wound_ = nullptr;
+  ObsCounter* ctr_restarts_decision_ = nullptr;
+  ObsCounter* ctr_restarts_validation_ = nullptr;
+  ObsCounter* ctr_cc_granted_ = nullptr;
+  ObsCounter* ctr_cc_blocked_ = nullptr;
+  ObsCounter* ctr_cc_denied_ = nullptr;
+  ObsCounter* ctr_wasted_cpu_us_ = nullptr;
+  ObsCounter* ctr_wasted_disk_us_ = nullptr;
+  /// Measurement-window phase sums (µs); reset with the other measurement
+  /// accumulators, folded per commit, reported as means over commits.
+  struct PhaseSums {
+    SimTime ready = 0, restart_delay = 0, wasted = 0;
+    SimTime cc_block = 0, cpu = 0, disk = 0, res_wait = 0, think = 0;
+    SimTime other = 0;
+  } phase_sums_;
+  ProgressCell* progress_ = nullptr;
 
   /// Transactions whose commit records await the next group-commit flush
   /// (id, incarnation); the window timer is pending_group_flush_.

@@ -8,6 +8,7 @@
 #include "core/journal.h"
 #include "exec/jobs.h"
 #include "exec/thread_pool.h"
+#include "obs/obs_config.h"
 #include "util/check.h"
 #include "util/env.h"
 #include "util/random.h"
@@ -71,6 +72,29 @@ StatusOr<MetricsReport> TryRunOnePoint(const EngineConfig& config,
   try {
     Simulator sim;
     ClosedSystem system(&sim, config);
+    // Opt-in progress heartbeat: the sim/engine thread publishes into the
+    // cell with relaxed stores; the reporter thread only reads, so the line
+    // below can tear across fields but never perturb the simulation.
+    ProgressCell progress;
+    std::unique_ptr<HeartbeatThread> heartbeat;
+    if (budget.heartbeat_seconds > 0.0) {
+      sim.SetProgressCell(&progress);
+      system.SetProgressCell(&progress);
+      const std::string label = StringPrintf(
+          "%s mpl=%d seed=%llu", config.algorithm.c_str(), config.workload.mpl,
+          static_cast<unsigned long long>(config.seed));
+      heartbeat = std::make_unique<HeartbeatThread>(
+          budget.heartbeat_seconds, [&progress, label] {
+            std::fprintf(
+                stderr, "[heartbeat] %s: sim=%.1fs events=%llu commits=%lld\n",
+                label.c_str(),
+                ToSeconds(progress.sim_time_us.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    progress.events.load(std::memory_order_relaxed)),
+                static_cast<long long>(
+                    progress.commits.load(std::memory_order_relaxed)));
+          });
+    }
     WatchdogTimer timer(budget.wall_timeout_seconds);
     if (!budget.unlimited()) {
       RunGuard guard;
@@ -155,6 +179,14 @@ SweepOutcome RunPointsChecked(
     PointResult& point = outcome.points[i];
     point.index = i;
     point.config = configs[i];
+    // Observability knobs and per-point artifact paths resolve here, on the
+    // calling thread (env discipline again), so pool workers never touch the
+    // environment and every point's csv/trace name is fixed up front. The
+    // obs fields are deliberately absent from HashPointKey: the same
+    // experiment with different observability is the same experiment.
+    point.config.obs = ObsConfig::FromEnv(point.config.obs);
+    ResolveObsPaths(&point.config.obs, point.config.algorithm,
+                    point.config.workload.mpl, point.config.seed);
     if (journal != nullptr) {
       const MetricsReport* journaled =
           journal->Find(HashPointKey(point.config, lengths), point.config.seed);

@@ -144,6 +144,19 @@ std::string SerializeReport(const MetricsReport& r) {
   AppendField(&out, "audit_violations", r.audit_violations);
   AppendField(&out, "audit_checks", r.audit_checks);
   AppendU64Field(&out, "replay_digest", r.replay_digest);
+  out += "\"phases\":{";
+  AppendField(&out, "collected", r.phases.collected);
+  AppendField(&out, "ready", r.phases.ready);
+  AppendField(&out, "cc_block", r.phases.cc_block);
+  AppendField(&out, "cpu", r.phases.cpu);
+  AppendField(&out, "disk", r.phases.disk);
+  AppendField(&out, "resource_wait", r.phases.resource_wait);
+  AppendField(&out, "think", r.phases.think);
+  AppendField(&out, "restart_delay", r.phases.restart_delay);
+  AppendField(&out, "wasted", r.phases.wasted);
+  AppendField(&out, "other", r.phases.other);
+  CloseObject(&out);
+  out.push_back(',');
   out += "\"per_class\":[";
   for (const ClassMetrics& cls : r.per_class) {
     out.push_back('{');
@@ -452,6 +465,25 @@ bool DeserializeReport(const JsonValue& object, MetricsReport* r) {
        GetI64(stats, "timestamp_rejections",
               &r->cc_stats.timestamp_rejections);
   if (!ok) return false;
+
+  // Tolerate journals written before the observability layer (no "phases"
+  // object): the breakdown just stays uncollected.
+  auto phases_it = object.object.find("phases");
+  if (phases_it != object.object.end()) {
+    if (phases_it->second.kind != JsonValue::Kind::kObject) return false;
+    const JsonValue& phases = phases_it->second;
+    ok = GetBool(phases, "collected", &r->phases.collected) &&
+         GetDouble(phases, "ready", &r->phases.ready) &&
+         GetDouble(phases, "cc_block", &r->phases.cc_block) &&
+         GetDouble(phases, "cpu", &r->phases.cpu) &&
+         GetDouble(phases, "disk", &r->phases.disk) &&
+         GetDouble(phases, "resource_wait", &r->phases.resource_wait) &&
+         GetDouble(phases, "think", &r->phases.think) &&
+         GetDouble(phases, "restart_delay", &r->phases.restart_delay) &&
+         GetDouble(phases, "wasted", &r->phases.wasted) &&
+         GetDouble(phases, "other", &r->phases.other);
+    if (!ok) return false;
+  }
 
   auto classes_it = object.object.find("per_class");
   if (classes_it == object.object.end() ||

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cc/concurrency_control.h"
+#include "obs/phase.h"
 #include "stats/batch_means.h"
 
 namespace ccsim {
@@ -75,6 +76,12 @@ struct MetricsReport {
   int64_t audit_violations = 0;
   int64_t audit_checks = 0;
   uint64_t replay_digest = 0;
+
+  /// Per-phase response-time breakdown (EngineConfig::obs;
+  /// docs/OBSERVABILITY.md). Means in seconds over measured commits;
+  /// `collected` is false — and every field zero — unless observability was
+  /// on. The fields sum to the measured response mean.
+  PhaseBreakdown phases;
 
   /// Per-class breakdown; one entry per TxnClass (a single entry named
   /// "default" for the paper's single-class workload).

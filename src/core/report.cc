@@ -2,15 +2,49 @@
 
 #include <algorithm>
 
+#include "util/check.h"
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/str.h"
 
 namespace ccsim {
 
+ReportColumns ReportColumns::FromEnv(const ReportColumns& defaults) {
+  auto spec = GetEnv("CCSIM_REPORT_COLUMNS");
+  if (!spec.has_value()) return defaults;
+  ReportColumns columns = ThroughputOnly();
+  for (const std::string& token : Split(*spec, ',')) {
+    if (token.empty()) continue;  // Tolerate "a,,b" / trailing commas.
+    if (token == "response") {
+      columns.response = true;
+    } else if (token == "percentiles") {
+      columns.percentiles = true;
+    } else if (token == "ratios") {
+      columns.ratios = true;
+    } else if (token == "disk") {
+      columns.disk_util = true;
+    } else if (token == "cpu") {
+      columns.cpu_util = true;
+    } else if (token == "mpl") {
+      columns.avg_mpl = true;
+    } else if (token == "phases") {
+      columns.phases = true;
+    } else if (token == "all") {
+      columns = ReportColumns{true, true, true, true, true, true, true};
+    } else {
+      CCSIM_CHECK(false) << "CCSIM_REPORT_COLUMNS: unknown column group '"
+                         << token
+                         << "' (expected response, percentiles, ratios, "
+                            "disk, cpu, mpl, phases, or all)";
+    }
+  }
+  return columns;
+}
+
 void PrintReportTable(std::ostream& out, const std::string& title,
                       const std::vector<MetricsReport>& reports,
-                      const ReportColumns& columns) {
+                      const ReportColumns& requested) {
+  ReportColumns columns = ReportColumns::FromEnv(requested);
   out << "\n== " << title << " ==\n";
   std::string header =
       StringPrintf("%-18s %5s %9s %7s", "algorithm", "mpl", "thruput", "+-90%");
@@ -22,6 +56,11 @@ void PrintReportTable(std::ostream& out, const std::string& title,
   if (columns.disk_util) header += StringPrintf(" %7s %7s", "d_util", "d_usefl");
   if (columns.cpu_util) header += StringPrintf(" %7s %7s", "c_util", "c_usefl");
   if (columns.avg_mpl) header += StringPrintf(" %8s", "avg_mpl");
+  if (columns.phases) {
+    header += StringPrintf(" %7s %7s %7s %7s %7s %7s %7s %7s %7s", "ph_rdy",
+                           "ph_blk", "ph_cpu", "ph_dsk", "ph_rwt", "ph_thk",
+                           "ph_rdl", "ph_wst", "ph_oth");
+  }
   out << header << "\n" << std::string(header.size(), '-') << "\n";
 
   const std::string* last_algorithm = nullptr;
@@ -50,6 +89,12 @@ void PrintReportTable(std::ostream& out, const std::string& title,
                           r.cpu_util_useful.mean);
     }
     if (columns.avg_mpl) row += StringPrintf(" %8.1f", r.avg_active_mpl);
+    if (columns.phases) {
+      const PhaseBreakdown& p = r.phases;
+      row += StringPrintf(" %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f",
+                          p.ready, p.cc_block, p.cpu, p.disk, p.resource_wait,
+                          p.think, p.restart_delay, p.wasted, p.other);
+    }
     out << row << "\n";
   }
   out.flush();
@@ -89,7 +134,9 @@ bool WriteReportCsv(const std::string& path,
                 "response_p99", "response_max", "block_ratio", "restart_ratio",
                 "disk_util_total", "disk_util_useful", "cpu_util_total",
                 "cpu_util_useful", "avg_active_mpl", "commits", "restarts",
-                "blocks", "measured_seconds"});
+                "blocks", "measured_seconds", "phase_ready", "phase_cc_block",
+                "phase_cpu", "phase_disk", "phase_res_wait", "phase_think",
+                "phase_restart_delay", "phase_wasted", "phase_other"});
   for (const MetricsReport& r : reports) {
     csv.WriteRow({r.algorithm, CsvWriter::Field(static_cast<int64_t>(r.mpl)),
                   CsvWriter::Field(r.throughput.mean),
@@ -109,7 +156,16 @@ bool WriteReportCsv(const std::string& path,
                   CsvWriter::Field(r.avg_active_mpl),
                   CsvWriter::Field(r.commits), CsvWriter::Field(r.restarts),
                   CsvWriter::Field(r.blocks),
-                  CsvWriter::Field(r.measured_seconds)});
+                  CsvWriter::Field(r.measured_seconds),
+                  CsvWriter::Field(r.phases.ready),
+                  CsvWriter::Field(r.phases.cc_block),
+                  CsvWriter::Field(r.phases.cpu),
+                  CsvWriter::Field(r.phases.disk),
+                  CsvWriter::Field(r.phases.resource_wait),
+                  CsvWriter::Field(r.phases.think),
+                  CsvWriter::Field(r.phases.restart_delay),
+                  CsvWriter::Field(r.phases.wasted),
+                  CsvWriter::Field(r.phases.other)});
   }
   // Finish() flushes and reports stream health, so a write that hit a full
   // disk or a vanished directory fails the call instead of silently

@@ -20,10 +20,18 @@ struct ReportColumns {
   bool cpu_util = false;
   bool avg_mpl = true;
   bool percentiles = false;  ///< Response-time p50/p90/p99.
+  bool phases = false;       ///< Per-phase response breakdown (obs runs).
 
   static ReportColumns ThroughputOnly() {
-    return ReportColumns{false, false, false, false, false, false};
+    return ReportColumns{false, false, false, false, false, false, false};
   }
+
+  /// Applies the CCSIM_REPORT_COLUMNS env knob: a comma-separated list of
+  /// column groups (response, percentiles, ratios, disk, cpu, mpl, phases,
+  /// or all) that *replaces* `defaults` when the variable is set. An unknown
+  /// token is a hard error — a typo must not silently drop a column. Unset,
+  /// returns `defaults` unchanged.
+  static ReportColumns FromEnv(const ReportColumns& defaults);
 };
 
 /// Prints a fixed-width table of the sweep, algorithm-major, with the

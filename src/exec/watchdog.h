@@ -24,6 +24,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
@@ -37,13 +38,19 @@ struct PointBudget {
   /// Wall-clock deadline per point in seconds (CCSIM_POINT_TIMEOUT_SECONDS;
   /// fractional values allowed).
   double wall_timeout_seconds = 0.0;
+  /// Opt-in progress heartbeat period in wall-clock seconds
+  /// (CCSIM_HEARTBEAT_SECONDS); 0 disables. Purely observational — the
+  /// reporter thread reads relaxed atomics the event loop publishes, so a
+  /// heartbeat can never change a result.
+  double heartbeat_seconds = 0.0;
 
   bool unlimited() const {
     return max_events == 0 && wall_timeout_seconds <= 0.0;
   }
 
-  /// Reads CCSIM_MAX_EVENTS and CCSIM_POINT_TIMEOUT_SECONDS; negative or
-  /// malformed values are a hard error (util/env.h semantics).
+  /// Reads CCSIM_MAX_EVENTS, CCSIM_POINT_TIMEOUT_SECONDS, and
+  /// CCSIM_HEARTBEAT_SECONDS; negative or malformed values are a hard error
+  /// (util/env.h semantics).
   static PointBudget FromEnv();
 };
 
@@ -75,6 +82,27 @@ class WatchdogTimer {
 
  private:
   std::atomic<bool> expired_{false};
+  bool armed_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool cancelled_ = false;
+  std::thread thread_;
+};
+
+/// A periodic wall-clock ticker: calls `tick` every `seconds` on a
+/// background thread until destruction (which cancels and joins without a
+/// final tick). With seconds <= 0 the ticker is inert and no thread is
+/// spawned. Drives the opt-in progress heartbeat (CCSIM_HEARTBEAT_SECONDS):
+/// the callback typically reads a ProgressCell and prints one status line.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(double seconds, std::function<void()> tick);
+  ~HeartbeatThread();
+
+  HeartbeatThread(const HeartbeatThread&) = delete;
+  HeartbeatThread& operator=(const HeartbeatThread&) = delete;
+
+ private:
   bool armed_ = false;
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,53 @@
+#include "obs/obs_config.h"
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/str.h"
+
+namespace ccsim {
+
+ObsConfig ObsConfig::FromEnv(const ObsConfig& defaults) {
+  ObsConfig obs = defaults;
+
+  const int64_t obs_flag = GetEnvInt("CCSIM_OBS", obs.enabled ? 1 : 0);
+  CCSIM_CHECK(obs_flag == 0 || obs_flag == 1)
+      << "CCSIM_OBS must be 0 or 1, got " << obs_flag;
+  obs.enabled = obs_flag != 0;
+
+  const double sample_seconds =
+      GetEnvDouble("CCSIM_SAMPLE_SECONDS", ToSeconds(obs.sample_interval));
+  CCSIM_CHECK_GE(sample_seconds, 0.0)
+      << "CCSIM_SAMPLE_SECONDS must be >= 0 (0 disables the sampler)";
+  obs.sample_interval = FromSeconds(sample_seconds);
+
+  obs.trace_dir = GetEnv("CCSIM_TRACE").value_or(obs.trace_dir);
+
+  if (obs.SamplingOn() && obs.sample_dir.empty() && obs.sample_path.empty()) {
+    // Time-series CSVs land next to the figure CSVs by default.
+    obs.sample_dir = GetEnv("CCSIM_CSV_DIR").value_or("");
+    CCSIM_CHECK(!obs.sample_dir.empty())
+        << "time-series sampling is on (CCSIM_SAMPLE_SECONDS="
+        << sample_seconds
+        << ") but no output directory is known — set CCSIM_CSV_DIR or "
+           "configure ObsConfig::sample_dir";
+  }
+
+  if (obs.SamplingOn() || obs.TracingOn()) obs.enabled = true;
+  return obs;
+}
+
+void ResolveObsPaths(ObsConfig* obs, const std::string& algorithm, int mpl,
+                     uint64_t seed) {
+  const std::string point = StringPrintf(
+      "%s_mpl%d_seed%llu", algorithm.c_str(), mpl,
+      static_cast<unsigned long long>(seed));
+  if (obs->SamplingOn() && obs->sample_path.empty() &&
+      !obs->sample_dir.empty()) {
+    obs->sample_path = obs->sample_dir + "/ts_" + point + ".csv";
+  }
+  if (obs->trace_path.empty() && !obs->trace_dir.empty()) {
+    obs->trace_path = obs->trace_dir + "/trace_" + point + ".json";
+  }
+}
+
+}  // namespace ccsim

@@ -1,0 +1,68 @@
+// Observability configuration, hung off EngineConfig.
+//
+// Everything here is *off* by default; a disabled configuration costs the
+// engine one branch per event. The three independent capabilities are:
+//
+//  * enabled          — build the stats registry and collect the per-phase
+//                       response-time breakdown (MetricsReport::phases).
+//  * sample_interval  — snapshot every registry instrument at a fixed
+//                       *simulated*-time interval into a per-point CSV
+//                       (plus a companion gnuplot script). Implies enabled.
+//  * trace_dir/path   — export a Chrome trace-event `trace.json` (one track
+//                       per transaction and per server) viewable in
+//                       ui.perfetto.dev. Implies enabled.
+//
+// Sampling and tracing are keyed to simulated time only, never wall clock,
+// so same-seed runs produce byte-identical artifacts.
+#ifndef CCSIM_OBS_OBS_CONFIG_H_
+#define CCSIM_OBS_OBS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ccsim {
+
+struct ObsConfig {
+  /// Master switch: stats registry + phase breakdown.
+  bool enabled = false;
+
+  /// Simulated-time sampling period; 0 disables the time-series sampler.
+  SimTime sample_interval = 0;
+
+  /// Directory for time-series CSVs when `sample_path` is not set
+  /// explicitly; per-point file names are derived by ResolveObsPaths.
+  std::string sample_dir;
+
+  /// Directory for Perfetto traces when `trace_path` is not set explicitly.
+  std::string trace_dir;
+
+  /// Resolved per-point artifact paths (set by ResolveObsPaths, or directly
+  /// by tests). Non-empty paths win over the directory fields.
+  std::string sample_path;
+  std::string trace_path;
+
+  bool SamplingOn() const { return sample_interval > 0; }
+  bool TracingOn() const { return !trace_path.empty() || !trace_dir.empty(); }
+
+  /// Overlays the observability environment knobs onto `defaults`:
+  /// CCSIM_OBS (0/1), CCSIM_SAMPLE_SECONDS (simulated seconds between
+  /// samples; > 0 enables the sampler, samples land in CCSIM_CSV_DIR unless
+  /// a sample_dir is already configured), CCSIM_TRACE (directory for
+  /// trace.json files). Any of sampling/tracing implies `enabled`.
+  /// Malformed values are hard errors, like every other ccsim knob.
+  static ObsConfig FromEnv(const ObsConfig& defaults);
+};
+
+/// Derives per-point artifact paths from the directory fields:
+///   <sample_dir>/ts_<algorithm>_mpl<mpl>_seed<seed>.csv
+///   <trace_dir>/trace_<algorithm>_mpl<mpl>_seed<seed>.json
+/// Explicitly-set paths are left alone, so single-point callers (tests,
+/// run_config with one point) can name artifacts directly.
+void ResolveObsPaths(ObsConfig* obs, const std::string& algorithm, int mpl,
+                     uint64_t seed);
+
+}  // namespace ccsim
+
+#endif  // CCSIM_OBS_OBS_CONFIG_H_

@@ -1,0 +1,65 @@
+#include "obs/registry.h"
+
+#include "util/check.h"
+
+namespace ccsim {
+
+void StatsRegistry::AddInstrument(const std::string& name,
+                                  std::function<double()> read) {
+  for (const Instrument& instrument : instruments_) {
+    CCSIM_CHECK(instrument.name != name)
+        << "duplicate observability instrument \"" << name << "\"";
+  }
+  instruments_.push_back(Instrument{name, std::move(read)});
+}
+
+ObsCounter* StatsRegistry::AddCounter(const std::string& name) {
+  counters_.emplace_back();
+  ObsCounter* counter = &counters_.back();
+  AddInstrument(name,
+                [counter] { return static_cast<double>(counter->value); });
+  return counter;
+}
+
+void StatsRegistry::AddGauge(const std::string& name,
+                             std::function<double()> read) {
+  AddInstrument(name, std::move(read));
+}
+
+Histogram* StatsRegistry::AddHistogram(const std::string& name, double lo,
+                                       double hi, int bins) {
+  histograms_.emplace_back(lo, hi, bins);
+  Histogram* histogram = &histograms_.back();
+  AddInstrument(name + "_count", [histogram] {
+    return static_cast<double>(histogram->total());
+  });
+  AddInstrument(name + "_p50", [histogram] {
+    return histogram->total() > 0 ? histogram->Quantile(0.5) : 0.0;
+  });
+  return histogram;
+}
+
+std::vector<std::string> StatsRegistry::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(instruments_.size());
+  for (const Instrument& instrument : instruments_) {
+    names.push_back(instrument.name);
+  }
+  return names;
+}
+
+void StatsRegistry::SampleRow(std::vector<double>* out) const {
+  for (const Instrument& instrument : instruments_) {
+    out->push_back(instrument.read());
+  }
+}
+
+double StatsRegistry::ValueOf(const std::string& name) const {
+  for (const Instrument& instrument : instruments_) {
+    if (instrument.name == name) return instrument.read();
+  }
+  CCSIM_CHECK(false) << "unknown observability instrument \"" << name << "\"";
+  return 0.0;
+}
+
+}  // namespace ccsim

@@ -1,0 +1,83 @@
+// Named-instrument registry for simulation observability.
+//
+// Every layer (engine, cc algorithm, resource model) registers its counters,
+// gauges, and histograms here once, at setup. After that the hot path only
+// touches pre-allocated storage: a counter increment is one integer add
+// through a stable pointer, a gauge is a closure evaluated only when the
+// time-series sampler fires, and a histogram add is one bin increment. No
+// per-event allocation, no string lookups during simulation.
+//
+// The registry is also the sampler's schema: `ColumnNames()` /
+// `SampleRow()` walk the instruments in registration order, so the
+// time-series CSV layout is a deterministic function of the configuration.
+#ifndef CCSIM_OBS_REGISTRY_H_
+#define CCSIM_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace ccsim {
+
+/// Monotone event count. Sampled cumulatively by the time-series sampler.
+struct ObsCounter {
+  int64_t value = 0;
+  void Inc() { ++value; }
+  void Add(int64_t delta) { value += delta; }
+};
+
+/// Owns all instruments registered for one simulation run. Registration
+/// happens during engine setup; duplicate names are a hard error (two layers
+/// silently sharing a column would corrupt the sampler schema).
+class StatsRegistry {
+ public:
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Registers a counter; the returned pointer is stable for the registry's
+  /// lifetime.
+  ObsCounter* AddCounter(const std::string& name);
+
+  /// Registers a gauge: `read` is evaluated only when a sample is taken.
+  void AddGauge(const std::string& name, std::function<double()> read);
+
+  /// Registers a histogram over [lo, hi) with `bins` equal-width bins. The
+  /// sampler emits two columns per histogram: `<name>_count` and
+  /// `<name>_p50`.
+  Histogram* AddHistogram(const std::string& name, double lo, double hi,
+                          int bins);
+
+  /// Sampler schema: one column per instrument, registration order.
+  std::vector<std::string> ColumnNames() const;
+
+  /// Appends the current value of every instrument, in ColumnNames() order.
+  void SampleRow(std::vector<double>* out) const;
+
+  /// Current value of the named column (tests and report plumbing). Hard
+  /// error on an unknown name.
+  double ValueOf(const std::string& name) const;
+
+  size_t num_columns() const { return instruments_.size(); }
+
+ private:
+  struct Instrument {
+    std::string name;
+    std::function<double()> read;
+  };
+
+  void AddInstrument(const std::string& name, std::function<double()> read);
+
+  // deques: pointers handed to registrants must survive later registrations.
+  std::deque<ObsCounter> counters_;
+  std::deque<Histogram> histograms_;
+  std::vector<Instrument> instruments_;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_OBS_REGISTRY_H_

@@ -1,0 +1,35 @@
+// Resource-model observability hooks.
+//
+// The resource layer (res/) sits below obs in the dependency order for its
+// implementation, but the *interface* it reports into lives here so that
+// obs can also sit below res. A ServerPool with a sink attached reports
+// every service span (at service start, when the duration is already known
+// — service times are drawn before scheduling) and every queue-depth change.
+// With no sink attached the cost is one null check per event.
+#ifndef CCSIM_OBS_SPAN_SINK_H_
+#define CCSIM_OBS_SPAN_SINK_H_
+
+#include <string>
+
+#include "sim/time.h"
+
+namespace ccsim {
+
+class ServiceSpanSink {
+ public:
+  virtual ~ServiceSpanSink() = default;
+
+  /// Announces a server track (one per pool: "cpu", "disk0", ..., "log").
+  /// The returned id is passed back in the per-event calls.
+  virtual int RegisterTrack(const std::string& name) = 0;
+
+  /// One server of `track` serves a request during [start, start+duration).
+  virtual void OnServiceSpan(int track, SimTime start, SimTime duration) = 0;
+
+  /// The wait queue of `track` changed length at `now`.
+  virtual void OnQueueDepth(int track, SimTime now, int depth) = 0;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_OBS_SPAN_SINK_H_

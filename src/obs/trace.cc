@@ -1,4 +1,4 @@
-#include "core/trace.h"
+#include "obs/trace.h"
 
 #include <unordered_map>
 

@@ -6,8 +6,8 @@
 // testing (MemoryTraceSink lets tests assert that every transaction's event
 // sequence is well-formed). Tracing is off by default and costs one null
 // check per event when disabled.
-#ifndef CCSIM_CORE_TRACE_H_
-#define CCSIM_CORE_TRACE_H_
+#ifndef CCSIM_OBS_TRACE_H_
+#define CCSIM_OBS_TRACE_H_
 
 #include <ostream>
 #include <string>
@@ -82,4 +82,4 @@ TraceValidation ValidateTrace(const std::vector<TraceRecord>& records);
 
 }  // namespace ccsim
 
-#endif  // CCSIM_CORE_TRACE_H_
+#endif  // CCSIM_OBS_TRACE_H_

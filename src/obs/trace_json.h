@@ -1,0 +1,62 @@
+// Chrome trace-event JSON writer (the format ui.perfetto.dev and
+// chrome://tracing load directly).
+//
+// Emits the JSON-object form {"traceEvents":[...]} with complete ("X"),
+// instant ("i"), counter ("C"), and metadata ("M") events. Timestamps and
+// durations are in microseconds — exactly ccsim's SimTime base, so simulated
+// times pass through unchanged. Events may be written in any order; the
+// viewer sorts by timestamp.
+#ifndef CCSIM_OBS_TRACE_JSON_H_
+#define CCSIM_OBS_TRACE_JSON_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ccsim {
+
+class TraceEventWriter {
+ public:
+  /// Opens `path` for writing; check ok() before use.
+  explicit TraceEventWriter(const std::string& path);
+
+  TraceEventWriter(const TraceEventWriter&) = delete;
+  TraceEventWriter& operator=(const TraceEventWriter&) = delete;
+
+  bool ok() const { return out_.good(); }
+
+  /// Metadata: names a process (track group) / a thread (track).
+  void NameProcess(int pid, const std::string& name);
+  void NameThread(int pid, int64_t tid, const std::string& name);
+
+  /// Complete event: a slice of `duration` starting at `start`.
+  void Complete(int pid, int64_t tid, const std::string& name, SimTime start,
+                SimTime duration);
+
+  /// Instant event: a point marker at `time` on one track.
+  void Instant(int pid, int64_t tid, const std::string& name, SimTime time);
+
+  /// Counter event: `name` takes `value` at `time` (rendered as a step
+  /// graph). Counters are per-process; tid is ignored by viewers.
+  void Counter(int pid, const std::string& name, SimTime time, double value);
+
+  /// Closes the JSON array and the file. Returns stream health; call exactly
+  /// once.
+  bool Finish();
+
+  int64_t events_written() const { return events_written_; }
+
+ private:
+  void BeginEvent(const char* ph, int pid, int64_t tid,
+                  const std::string& name, SimTime time);
+
+  std::ofstream out_;
+  int64_t events_written_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_OBS_TRACE_JSON_H_

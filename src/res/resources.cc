@@ -52,6 +52,7 @@ void ResourceManager::RequestDiskAt(int disk, SimTime service_time,
 void ResourceManager::RequestLog(SimTime service_time, ServiceCompletion done) {
   if (log_ == nullptr) {
     log_ = std::make_unique<ServerPool>(sim_, 1, config_.infinite, "log");
+    if (span_sink_ != nullptr) log_->AttachSpanSink(span_sink_);
   }
   log_->Request(service_time, ServicePriority::kNormal, std::move(done));
 }
@@ -79,6 +80,33 @@ void ResourceManager::ResetWindow(SimTime now) {
     disk->ResetWindow(now);
   }
   if (log_ != nullptr) log_->ResetWindow(now);
+}
+
+void ResourceManager::RegisterStats(StatsRegistry* registry) {
+  auto add_pool = [registry](const std::string& name, const ServerPool* pool) {
+    registry->AddGauge(name + "_busy", [pool] {
+      return static_cast<double>(pool->busy_servers());
+    });
+    registry->AddGauge(name + "_q", [pool] {
+      return static_cast<double>(pool->queue_length());
+    });
+  };
+  add_pool("cpu", cpu_.get());
+  for (auto& disk : disks_) add_pool(disk->name(), disk.get());
+  // The log pool is created lazily on first use; read through the owner.
+  registry->AddGauge("log_busy", [this] {
+    return log_ == nullptr ? 0.0 : static_cast<double>(log_->busy_servers());
+  });
+  registry->AddGauge("log_q", [this] {
+    return log_ == nullptr ? 0.0 : static_cast<double>(log_->queue_length());
+  });
+}
+
+void ResourceManager::AttachSpanSink(ServiceSpanSink* sink) {
+  span_sink_ = sink;
+  cpu_->AttachSpanSink(sink);
+  for (auto& disk : disks_) disk->AttachSpanSink(sink);
+  if (log_ != nullptr) log_->AttachSpanSink(sink);
 }
 
 }  // namespace ccsim

@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/span_sink.h"
 #include "res/server_pool.h"
 #include "sim/simulator.h"
 #include "util/random.h"
@@ -74,6 +76,15 @@ class ResourceManager {
   /// Starts a new measurement window on every pool.
   void ResetWindow(SimTime now);
 
+  /// Registers per-pool gauges (busy servers, queue depth) into the
+  /// observability registry. The log pool may not exist yet; its gauges read
+  /// 0 until first use.
+  void RegisterStats(StatsRegistry* registry);
+
+  /// Attaches an observability span sink to every pool (nullptr detaches);
+  /// a log pool created later attaches on creation.
+  void AttachSpanSink(ServiceSpanSink* sink);
+
  private:
   Simulator* sim_;
   ResourceConfig config_;
@@ -81,6 +92,7 @@ class ResourceManager {
   std::unique_ptr<ServerPool> cpu_;
   std::vector<std::unique_ptr<ServerPool>> disks_;
   std::unique_ptr<ServerPool> log_;
+  ServiceSpanSink* span_sink_ = nullptr;
 };
 
 }  // namespace ccsim

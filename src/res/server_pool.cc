@@ -31,11 +31,18 @@ void ServerPool::Request(SimTime service_time, ServicePriority priority,
                                                                  : normal_queue_;
   queue.push_back(std::move(pending));
   queue_len_.Set(sim_->Now(), static_cast<double>(queue_length()));
+  if (span_sink_ != nullptr) {
+    span_sink_->OnQueueDepth(span_track_, sim_->Now(),
+                             static_cast<int>(queue_length()));
+  }
 }
 
 void ServerPool::BeginService(Pending pending) {
   ++busy_servers_;
   busy_time_.Set(sim_->Now(), static_cast<double>(busy_servers_));
+  if (span_sink_ != nullptr) {
+    span_sink_->OnServiceSpan(span_track_, sim_->Now(), pending.service_time);
+  }
   ServiceCompletion done = std::move(pending.done);
   sim_->Schedule(pending.service_time,
                  [this, done = std::move(done)]() mutable {
@@ -62,6 +69,10 @@ void ServerPool::OnServiceComplete(ServiceCompletion done) {
       Pending next = std::move(queue->front());
       queue->pop_front();
       queue_len_.Set(sim_->Now(), static_cast<double>(queue_length()));
+      if (span_sink_ != nullptr) {
+        span_sink_->OnQueueDepth(span_track_, sim_->Now(),
+                                 static_cast<int>(queue_length()));
+      }
       wait_times_.Add(ToSeconds(sim_->Now() - next.enqueue_time));
       BeginService(std::move(next));
     }
@@ -73,6 +84,11 @@ void ServerPool::ResetWindow(SimTime now) {
   busy_time_.ResetWindow(now);
   queue_len_.ResetWindow(now);
   wait_times_.Reset();
+}
+
+void ServerPool::AttachSpanSink(ServiceSpanSink* sink) {
+  span_sink_ = sink;
+  span_track_ = sink != nullptr ? sink->RegisterTrack(name_) : -1;
 }
 
 }  // namespace ccsim

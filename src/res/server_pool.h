@@ -13,6 +13,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/span_sink.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 #include "stats/time_weighted.h"
@@ -77,6 +78,11 @@ class ServerPool {
   /// Starts a new measurement window (batch boundary).
   void ResetWindow(SimTime now);
 
+  /// Attaches an observability sink (nullptr detaches); the pool registers
+  /// itself as a track and reports every service span and queue-depth
+  /// change. Detached (the default), each hook is one null check.
+  void AttachSpanSink(ServiceSpanSink* sink);
+
  private:
   struct Pending {
     SimTime service_time;
@@ -100,6 +106,9 @@ class ServerPool {
   TimeWeightedValue busy_time_;
   TimeWeightedValue queue_len_;
   Welford wait_times_;
+
+  ServiceSpanSink* span_sink_ = nullptr;
+  int span_track_ = -1;
 };
 
 }  // namespace ccsim

@@ -62,6 +62,10 @@ bool Simulator::Step() {
     CCSIM_CHECK_GE(entry.time, now_);
     now_ = entry.time;
     ++events_fired_;
+    if (progress_ != nullptr) {
+      progress_->sim_time_us.store(now_, std::memory_order_relaxed);
+      progress_->events.store(events_fired_, std::memory_order_relaxed);
+    }
     action();
     return true;
   }

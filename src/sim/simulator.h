@@ -39,6 +39,16 @@ struct RunGuard {
   std::function<void(const char* reason)> on_violation;
 };
 
+/// Progress snapshot shared with a reporter thread (the opt-in heartbeat,
+/// exec/watchdog.h). The simulator and engine store into it with relaxed
+/// atomics on their own thread; the heartbeat thread only reads. Purely
+/// observational — it can never influence the simulation.
+struct ProgressCell {
+  std::atomic<int64_t> sim_time_us{0};
+  std::atomic<uint64_t> events{0};
+  std::atomic<int64_t> commits{0};
+};
+
 /// The event scheduler and simulation clock.
 class Simulator {
  public:
@@ -87,6 +97,11 @@ class Simulator {
   /// Removes the guard.
   void ClearRunGuard();
 
+  /// Attaches a heartbeat progress cell (nullptr detaches). When attached,
+  /// every fired event stores the clock and event count into the cell;
+  /// detached (the default) the cost is one branch per event.
+  void SetProgressCell(ProgressCell* cell) { progress_ = cell; }
+
  private:
   /// Enforces the guard; calls guard_.on_violation (which throws) on a trip.
   void EnforceGuard();
@@ -106,6 +121,7 @@ class Simulator {
   bool stop_requested_ = false;
   bool guard_armed_ = false;
   RunGuard guard_;
+  ProgressCell* progress_ = nullptr;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>>
       heap_;
   // Pending actions; entries are erased when fired or cancelled. A heap entry

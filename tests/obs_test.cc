@@ -1,0 +1,446 @@
+// Tests for the observability layer (src/obs/): stats registry units, the
+// Chrome trace-event writer, the time-series sampler, the phase breakdown
+// identity, report column selection, the heartbeat thread, and — most
+// importantly — that observability is a pure observer: enabling it changes
+// no simulation metric, and same-seed runs produce byte-identical artifacts.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/closed_system.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "exec/watchdog.h"
+#include "obs/obs_config.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "obs/trace_json.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace ccsim {
+namespace {
+
+/// Sets an environment variable for one scope; restores (unsets) on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    setenv(name, value.c_str(), /*overwrite=*/1);
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// A contended configuration: blocks, deadlocks, and restarts all occur.
+EngineConfig ContendedConfig() {
+  EngineConfig config;
+  config.workload.db_size = 100;
+  config.workload.tran_size = 5;
+  config.workload.min_size = 2;
+  config.workload.max_size = 8;
+  config.workload.write_prob = 0.4;
+  config.workload.num_terms = 20;
+  config.workload.mpl = 10;
+  config.workload.obj_io = FromMillis(10);
+  config.workload.obj_cpu = FromMillis(3);
+  config.resources = ResourceConfig::Finite(1, 2);
+  config.algorithm = "blocking";
+  config.seed = 71;
+  return config;
+}
+
+// --- StatsRegistry units -------------------------------------------------
+
+TEST(StatsRegistryTest, CountersGaugesHistogramsSampleInOrder) {
+  StatsRegistry registry;
+  ObsCounter* counter = registry.AddCounter("commits");
+  double gauge_value = 3.5;
+  registry.AddGauge("queue", [&gauge_value] { return gauge_value; });
+  Histogram* hist = registry.AddHistogram("cycle_len", 0.0, 10.0, 10);
+
+  counter->Inc();
+  counter->Add(4);
+  hist->Add(2.0);
+  hist->Add(3.0);
+
+  EXPECT_EQ(registry.ColumnNames(),
+            (std::vector<std::string>{"commits", "queue", "cycle_len_count",
+                                      "cycle_len_p50"}));
+  std::vector<double> row;
+  registry.SampleRow(&row);
+  ASSERT_EQ(row.size(), 4u);
+  EXPECT_DOUBLE_EQ(row[0], 5.0);
+  EXPECT_DOUBLE_EQ(row[1], 3.5);
+  EXPECT_DOUBLE_EQ(row[2], 2.0);
+  EXPECT_EQ(registry.ValueOf("commits"), 5.0);
+  gauge_value = -1.0;
+  EXPECT_EQ(registry.ValueOf("queue"), -1.0);
+}
+
+TEST(StatsRegistryTest, DuplicateNameIsHardError) {
+  StatsRegistry registry;
+  registry.AddCounter("x");
+  ScopedCheckTrap trap;
+  EXPECT_THROW(registry.AddGauge("x", [] { return 0.0; }), CheckFailure);
+}
+
+TEST(StatsRegistryTest, UnknownColumnIsHardError) {
+  StatsRegistry registry;
+  registry.AddCounter("x");
+  ScopedCheckTrap trap;
+  EXPECT_THROW(registry.ValueOf("y"), CheckFailure);
+}
+
+// --- TraceEventWriter ----------------------------------------------------
+
+TEST(TraceEventWriterTest, WritesStructurallyValidJson) {
+  std::string path = testing::TempDir() + "obs_trace_writer_test.json";
+  {
+    TraceEventWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.NameProcess(1, "transactions");
+    writer.NameThread(1, 42, "txn 42");
+    writer.Complete(1, 42, "inc 1", 1000, 2500);
+    writer.Instant(1, 42, "submitted", 900);
+    writer.Counter(2, "disk queue", 1500, 3.0);
+    EXPECT_EQ(writer.events_written(), 5);
+    EXPECT_TRUE(writer.Finish());
+  }
+  std::string text = ReadFile(path);
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u) << text.substr(0, 40);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"M\""), std::string::npos);
+  // Balanced object: every '{' has a '}' and the file closes the array.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+            std::count(text.begin(), text.end(), '}'));
+  EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+            std::count(text.begin(), text.end(), ']'));
+  std::remove(path.c_str());
+}
+
+// --- Observability is a pure observer ------------------------------------
+
+TEST(ObsPurityTest, EnablingObservabilityChangesNoMetric) {
+  RunLengths lengths;
+  lengths.batches = 3;
+  lengths.batch_length = 5 * kSecond;
+  lengths.warmup = 2 * kSecond;
+
+  EngineConfig off = ContendedConfig();
+  off.audit = true;  // Replay digest: the strongest identity check we have.
+  Simulator sim_off;
+  ClosedSystem system_off(&sim_off, off);
+  MetricsReport report_off = system_off.RunExperiment(
+      lengths.batches, lengths.batch_length, lengths.warmup);
+
+  EngineConfig on = off;
+  on.obs.enabled = true;
+  on.obs.sample_interval = kSecond / 2;
+  on.obs.sample_dir = testing::TempDir();
+  on.obs.trace_dir = testing::TempDir();
+  Simulator sim_on;
+  ClosedSystem system_on(&sim_on, on);
+  MetricsReport report_on = system_on.RunExperiment(
+      lengths.batches, lengths.batch_length, lengths.warmup);
+
+  EXPECT_EQ(report_off.replay_digest, report_on.replay_digest);
+  EXPECT_EQ(report_off.commits, report_on.commits);
+  EXPECT_EQ(report_off.restarts, report_on.restarts);
+  EXPECT_EQ(report_off.blocks, report_on.blocks);
+  EXPECT_DOUBLE_EQ(report_off.throughput.mean, report_on.throughput.mean);
+  EXPECT_DOUBLE_EQ(report_off.response_mean.mean, report_on.response_mean.mean);
+  EXPECT_DOUBLE_EQ(report_off.block_ratio.mean, report_on.block_ratio.mean);
+
+  EXPECT_FALSE(report_off.phases.collected);
+  EXPECT_TRUE(report_on.phases.collected);
+}
+
+TEST(ObsPurityTest, SameSeedRunsProduceByteIdenticalArtifacts) {
+  RunLengths lengths;
+  lengths.batches = 2;
+  lengths.batch_length = 4 * kSecond;
+  lengths.warmup = kSecond;
+
+  auto run_into = [&](const std::string& tag) {
+    EngineConfig config = ContendedConfig();
+    config.obs.enabled = true;
+    config.obs.sample_interval = kSecond / 2;
+    config.obs.sample_path = testing::TempDir() + "obs_ts_" + tag + ".csv";
+    config.obs.trace_path = testing::TempDir() + "obs_tr_" + tag + ".json";
+    Simulator sim;
+    ClosedSystem system(&sim, config);
+    system.RunExperiment(lengths.batches, lengths.batch_length,
+                         lengths.warmup);
+    return std::pair<std::string, std::string>{
+        ReadFile(config.obs.sample_path), ReadFile(config.obs.trace_path)};
+  };
+  auto [csv_a, trace_a] = run_into("a");
+  auto [csv_b, trace_b] = run_into("b");
+  EXPECT_FALSE(csv_a.empty());
+  EXPECT_FALSE(trace_a.empty());
+  EXPECT_EQ(csv_a, csv_b);
+  EXPECT_EQ(trace_a, trace_b);
+}
+
+// --- Phase breakdown -----------------------------------------------------
+
+TEST(PhaseBreakdownTest, BucketsSumToPopulationResponseMean) {
+  // With warmup = 0 every commit is measured, so the measured population is
+  // exactly the set of committed transactions the lifecycle trace shows —
+  // and the phase identity (obs/phase.h) must hold at the population level.
+  EngineConfig config = ContendedConfig();
+  config.obs.enabled = true;
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  MemoryTraceSink sink;
+  system.SetTraceSink(&sink);
+  MetricsReport report =
+      system.RunExperiment(/*batches=*/2, /*batch_length=*/6 * kSecond,
+                           /*warmup=*/0);
+  ASSERT_GT(report.commits, 0);
+  ASSERT_TRUE(report.phases.collected);
+
+  std::map<TxnId, SimTime> submitted;
+  double total_response = 0.0;
+  int64_t commits = 0;
+  for (const TraceRecord& r : sink.records()) {
+    if (r.event == TxnEvent::kSubmitted) submitted[r.txn] = r.time;
+    if (r.event == TxnEvent::kCommitted) {
+      ASSERT_TRUE(submitted.count(r.txn));
+      total_response += ToSeconds(r.time - submitted[r.txn]);
+      ++commits;
+    }
+  }
+  ASSERT_EQ(commits, report.commits);
+  double population_mean = total_response / static_cast<double>(commits);
+  EXPECT_NEAR(report.phases.Sum(), population_mean, 1e-9);
+  // The interesting buckets are populated under contention.
+  EXPECT_GT(report.phases.cpu, 0.0);
+  EXPECT_GT(report.phases.disk, 0.0);
+  EXPECT_GT(report.phases.cc_block, 0.0);
+  EXPECT_GT(report.phases.wasted, 0.0);
+}
+
+// --- Engine registry signals ---------------------------------------------
+
+TEST(EngineRegistryTest, CountersMatchEngineTotals) {
+  EngineConfig config = ContendedConfig();
+  config.obs.enabled = true;
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  system.RunExperiment(/*batches=*/2, /*batch_length=*/5 * kSecond,
+                       /*warmup=*/0);
+  const StatsRegistry* registry = system.stats_registry();
+  ASSERT_NE(registry, nullptr);
+  EXPECT_EQ(registry->ValueOf("commits"),
+            static_cast<double>(system.total_commits()));
+  double restarts = registry->ValueOf("restarts_wound") +
+                    registry->ValueOf("restarts_decision") +
+                    registry->ValueOf("restarts_validation");
+  EXPECT_EQ(restarts, static_cast<double>(system.total_restarts()));
+  // Blocking restarts only through deadlock resolution: either the requester
+  // is the victim (a cc kRestart decision) or another holder is wounded —
+  // never through validation.
+  EXPECT_EQ(registry->ValueOf("restarts_validation"), 0.0);
+  EXPECT_GT(restarts, 0.0);
+  EXPECT_GT(registry->ValueOf("cc_granted"), 0.0);
+  EXPECT_GT(registry->ValueOf("cc_blocked"), 0.0);
+  EXPECT_GT(registry->ValueOf("deadlock_searches"), 0.0);
+  EXPECT_GT(registry->ValueOf("lock_table_objects"), 0.0);
+  EXPECT_GT(registry->ValueOf("wasted_cpu_us"), 0.0);
+}
+
+TEST(EngineRegistryTest, ValidationRestartsCountedForOptimistic) {
+  EngineConfig config = ContendedConfig();
+  config.algorithm = "optimistic";
+  config.obs.enabled = true;
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  system.RunExperiment(/*batches=*/2, /*batch_length=*/5 * kSecond,
+                       /*warmup=*/0);
+  const StatsRegistry* registry = system.stats_registry();
+  EXPECT_GT(registry->ValueOf("restarts_validation"), 0.0);
+  EXPECT_EQ(registry->ValueOf("restarts_wound"), 0.0);
+}
+
+// --- Time-series sampler -------------------------------------------------
+
+TEST(SamplerTest, CsvHasMonotoneTimeAndFullSchema) {
+  EngineConfig config = ContendedConfig();
+  config.obs.enabled = true;
+  config.obs.sample_interval = kSecond / 4;
+  config.obs.sample_path = testing::TempDir() + "obs_sampler_test.csv";
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  system.RunExperiment(/*batches=*/2, /*batch_length=*/4 * kSecond,
+                       /*warmup=*/kSecond);
+
+  std::istringstream csv(ReadFile(config.obs.sample_path));
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  std::vector<std::string> header = Split(line, ',');
+  ASSERT_GT(header.size(), 1u);
+  EXPECT_EQ(header[0], "time_s");
+  size_t columns = header.size();
+  EXPECT_EQ(columns, 1 + system.stats_registry()->num_columns());
+
+  double last_time = -1.0;
+  int rows = 0;
+  while (std::getline(csv, line)) {
+    std::vector<std::string> fields = Split(line, ',');
+    EXPECT_EQ(fields.size(), columns);
+    double time = std::stod(fields[0]);
+    EXPECT_GT(time, last_time);
+    last_time = time;
+    ++rows;
+  }
+  // 9 simulated seconds at 4 samples/second.
+  EXPECT_GE(rows, 30);
+  // The companion gnuplot script plots every column.
+  std::string gp = ReadFile(testing::TempDir() + "obs_sampler_test.gp");
+  EXPECT_NE(gp.find("obs_sampler_test.csv"), std::string::npos);
+  EXPECT_NE(gp.find("columnheader"), std::string::npos);
+  std::remove(config.obs.sample_path.c_str());
+}
+
+// --- Report columns ------------------------------------------------------
+
+TEST(ReportColumnsTest, EnvListReplacesDefaults) {
+  ScopedEnv env("CCSIM_REPORT_COLUMNS", "percentiles,phases");
+  ReportColumns columns = ReportColumns::FromEnv(ReportColumns());
+  EXPECT_TRUE(columns.percentiles);
+  EXPECT_TRUE(columns.phases);
+  EXPECT_FALSE(columns.response);
+  EXPECT_FALSE(columns.ratios);
+  EXPECT_FALSE(columns.disk_util);
+}
+
+TEST(ReportColumnsTest, AllEnablesEverything) {
+  ScopedEnv env("CCSIM_REPORT_COLUMNS", "all");
+  ReportColumns columns = ReportColumns::FromEnv(ReportColumns());
+  EXPECT_TRUE(columns.response && columns.percentiles && columns.ratios &&
+              columns.disk_util && columns.cpu_util && columns.avg_mpl &&
+              columns.phases);
+}
+
+TEST(ReportColumnsTest, UnsetEnvKeepsDefaults) {
+  unsetenv("CCSIM_REPORT_COLUMNS");
+  ReportColumns defaults;
+  defaults.percentiles = true;
+  ReportColumns columns = ReportColumns::FromEnv(defaults);
+  EXPECT_TRUE(columns.response);
+  EXPECT_TRUE(columns.percentiles);
+  EXPECT_FALSE(columns.phases);
+}
+
+TEST(ReportColumnsTest, TypoIsHardError) {
+  ScopedEnv env("CCSIM_REPORT_COLUMNS", "phasez");
+  ScopedCheckTrap trap;
+  EXPECT_THROW(ReportColumns::FromEnv(ReportColumns()), CheckFailure);
+}
+
+TEST(ReportColumnsTest, PhasesColumnsRenderInTable) {
+  ScopedEnv env("CCSIM_REPORT_COLUMNS", "phases");
+  MetricsReport report;
+  report.algorithm = "blocking";
+  report.mpl = 5;
+  report.phases.collected = true;
+  report.phases.cc_block = 1.25;
+  std::ostringstream out;
+  PrintReportTable(out, "test", {report});
+  EXPECT_NE(out.str().find("ph_blk"), std::string::npos);
+  EXPECT_NE(out.str().find("1.25"), std::string::npos);
+  EXPECT_EQ(out.str().find("blk_ratio"), std::string::npos);
+}
+
+// --- ObsConfig env parsing -----------------------------------------------
+
+TEST(ObsConfigTest, EnvKnobsParse) {
+  ScopedEnv obs("CCSIM_OBS", "1");
+  ObsConfig config = ObsConfig::FromEnv(ObsConfig{});
+  EXPECT_TRUE(config.enabled);
+  EXPECT_FALSE(config.SamplingOn());
+  EXPECT_FALSE(config.TracingOn());
+}
+
+TEST(ObsConfigTest, TraceDirImpliesEnabled) {
+  ScopedEnv trace("CCSIM_TRACE", testing::TempDir());
+  ObsConfig config = ObsConfig::FromEnv(ObsConfig{});
+  EXPECT_TRUE(config.enabled);
+  EXPECT_TRUE(config.TracingOn());
+}
+
+TEST(ObsConfigTest, SamplingWithoutDirectoryIsHardError) {
+  unsetenv("CCSIM_CSV_DIR");
+  ScopedEnv sample("CCSIM_SAMPLE_SECONDS", "0.5");
+  ScopedCheckTrap trap;
+  EXPECT_THROW(ObsConfig::FromEnv(ObsConfig{}), CheckFailure);
+}
+
+TEST(ObsConfigTest, MalformedObsFlagIsHardError) {
+  ScopedEnv obs("CCSIM_OBS", "2");
+  ScopedCheckTrap trap;
+  EXPECT_THROW(ObsConfig::FromEnv(ObsConfig{}), CheckFailure);
+}
+
+TEST(ObsConfigTest, ResolvePathsKeysByPoint) {
+  ObsConfig config;
+  config.enabled = true;
+  config.sample_interval = kSecond;
+  config.sample_dir = "/tmp/out";
+  config.trace_dir = "/tmp/tr";
+  ResolveObsPaths(&config, "blocking", 25, 7);
+  EXPECT_EQ(config.sample_path, "/tmp/out/ts_blocking_mpl25_seed7.csv");
+  EXPECT_EQ(config.trace_path, "/tmp/tr/trace_blocking_mpl25_seed7.json");
+}
+
+// --- Heartbeat -----------------------------------------------------------
+
+TEST(HeartbeatThreadTest, TicksPeriodicallyAndStopsOnDestruction) {
+  std::atomic<int> ticks{0};
+  {
+    HeartbeatThread heartbeat(0.02, [&ticks] { ++ticks; });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  int after_destruction = ticks.load();
+  EXPECT_GE(after_destruction, 2);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(ticks.load(), after_destruction);
+}
+
+TEST(HeartbeatThreadTest, InertWhenDisabled) {
+  std::atomic<int> ticks{0};
+  {
+    HeartbeatThread heartbeat(0.0, [&ticks] { ++ticks; });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(ticks.load(), 0);
+}
+
+}  // namespace
+}  // namespace ccsim

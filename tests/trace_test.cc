@@ -1,12 +1,14 @@
 // Tests for the lifecycle trace subsystem: unit tests for the validator's
 // grammar, and engine integration asserting every algorithm emits
 // well-formed traces under contention.
+#include <iterator>
+#include <map>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "core/closed_system.h"
-#include "core/trace.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace ccsim {
@@ -95,6 +97,32 @@ TEST(StreamSinkTest, FormatsReadableLines) {
   EXPECT_NE(line.find("1.5"), std::string::npos);
 }
 
+TEST(StreamSinkTest, FormatsEveryEventType) {
+  const TxnEvent events[] = {
+      TxnEvent::kSubmitted, TxnEvent::kActivated,     TxnEvent::kBlocked,
+      TxnEvent::kResumed,   TxnEvent::kInternalThink, TxnEvent::kRestarted,
+      TxnEvent::kCommitted,
+  };
+  std::ostringstream out;
+  StreamTraceSink sink(&out);
+  SimTime t = 0;
+  for (TxnEvent event : events) {
+    sink.Record(R(t += 250000, 7, 1, event));
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  size_t n = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(n, std::size(events));
+    // Each line carries time, txn id, incarnation, and the event's name.
+    EXPECT_NE(line.find("txn 7"), std::string::npos) << line;
+    EXPECT_NE(line.find("inc 1"), std::string::npos) << line;
+    EXPECT_NE(line.find(TxnEventName(events[n])), std::string::npos) << line;
+    ++n;
+  }
+  EXPECT_EQ(n, std::size(events));
+}
+
 TEST(EngineTraceTest, EveryAlgorithmEmitsWellFormedTraces) {
   for (const std::string& algorithm : AllAlgorithms()) {
     Simulator sim;
@@ -119,6 +147,36 @@ TEST(EngineTraceTest, EveryAlgorithmEmitsWellFormedTraces) {
     ASSERT_GT(sink.records().size(), 100u) << algorithm;
     auto validation = ValidateTrace(sink.records());
     EXPECT_TRUE(validation.ok) << algorithm << ": " << validation.error;
+
+    // Per-committed-transaction property: each transaction that committed
+    // was submitted exactly once, was activated once per incarnation, and
+    // committed from its last incarnation as its final event.
+    std::map<TxnId, std::vector<TraceRecord>> by_txn;
+    for (const TraceRecord& r : sink.records()) {
+      by_txn[r.txn].push_back(r);
+    }
+    int committed = 0;
+    for (const auto& [txn, records] : by_txn) {
+      if (records.back().event != TxnEvent::kCommitted) continue;
+      ++committed;
+      EXPECT_EQ(records.front().event, TxnEvent::kSubmitted)
+          << algorithm << " txn " << txn;
+      int activations = 0;
+      int submissions = 0;
+      for (const TraceRecord& r : records) {
+        if (r.event == TxnEvent::kActivated) {
+          ++activations;
+          EXPECT_EQ(r.incarnation, activations)
+              << algorithm << " txn " << txn;
+        }
+        submissions += r.event == TxnEvent::kSubmitted ? 1 : 0;
+      }
+      EXPECT_EQ(submissions, 1) << algorithm << " txn " << txn;
+      EXPECT_GE(activations, 1) << algorithm << " txn " << txn;
+      EXPECT_EQ(records.back().incarnation, activations)
+          << algorithm << " txn " << txn;
+    }
+    EXPECT_GT(committed, 0) << algorithm;
   }
 }
 
