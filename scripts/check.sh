@@ -10,11 +10,16 @@
 #   6. observability smoke: one figure point with the sampler + Perfetto
 #      trace on; validates the trace parses and the time-series CSV is
 #      non-empty and time-monotone (docs/OBSERVABILITY.md)
-#   7. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
+#   7. ccsim-lint: project-rule linter (determinism, env-knob, observability
+#      and layering rules — docs/VERIFICATION.md), self-test first
+#   8. deep schedule-space verification: verify_test re-run with
+#      CCSIM_VERIFY_DEPTH=8 (the full ctest pass above ran the shallow
+#      PR-lane depth); skipped with --fast
+#   9. clang-tidy over src/ (skipped with a notice if clang-tidy is absent —
 #      the local toolchain may be gcc-only; CI still enforces it)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitizer builds (plain build + tests + tidy only)
+#   --fast   skip the sanitizer builds and the deep verification pass
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -48,6 +53,16 @@ scripts/crash_resume_smoke.sh ./build-plain/bench/fig03_04_low_conflict
 
 echo "=== observability smoke (sampler + trace artifacts validated) ==="
 scripts/obs_smoke.sh ./build-plain/bench/fig03_04_low_conflict
+
+echo "=== ccsim-lint (self-test, then the tree) ==="
+python3 tools/ccsim_lint/ccsim_lint.py --self-test
+python3 tools/ccsim_lint/ccsim_lint.py
+
+if [[ "${FAST}" -eq 0 ]]; then
+  echo "=== deep schedule-space verification (CCSIM_VERIFY_DEPTH=8) ==="
+  CCSIM_VERIFY_DEPTH=8 ctest --test-dir build-plain --output-on-failure \
+    --no-tests=error -R '(MatrixTest|ExplorerTest|MutationTest)'
+fi
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "=== clang-tidy ==="

@@ -38,7 +38,7 @@ LockContentionResult LockContentionModel::Solve(int mpl) const {
   LockContentionResult result;
   result.mpl = mpl;
 
-  double k = workload_.tran_size;
+  double k = static_cast<double>(workload_.tran_size);
   double d = static_cast<double>(workload_.db_size);
   // Regime selection (see header): below num_terms the ready queue keeps
   // the active set full, so the active subsystem circulates without think.
@@ -63,13 +63,13 @@ LockContentionResult LockContentionModel::Solve(int mpl) const {
     int hi = lo + 1;
     double r_lo = mva.Solve(lo).response_time;
     double r_hi = mva.Solve(hi).response_time;
-    double t = std::clamp(n_active - lo, 0.0, 1.0);
+    double t = std::clamp(n_active - static_cast<double>(lo), 0.0, 1.0);
     return r_lo + t * (r_hi - r_lo);
   };
 
   // Fixed point on the active population: blocked transactions hold locks
   // but issue no requests and use no resources.
-  double n_active = mpl;
+  double n_active = static_cast<double>(mpl);
   double response = 0.0;
   for (int iteration = 0; iteration < 200; ++iteration) {
     double b = blocks_per_txn(n_active) * k;

@@ -16,6 +16,7 @@
 #ifndef CCSIM_ANALYTIC_MVA_H_
 #define CCSIM_ANALYTIC_MVA_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,7 @@ namespace ccsim {
 
 /// One station of the closed network.
 struct MvaStation {
-  enum class Kind {
+  enum class Kind : std::uint8_t {
     kQueueing,  ///< FCFS single server (or c servers via Seidmann).
     kDelay,     ///< Infinite servers: pure service delay.
   };

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "sim/choice.h"
 #include "util/check.h"
 
 namespace ccsim {
+
+namespace {
+// Ceiling on the cycle members offered to a verifier ChoicePoint; matches the
+// tiny configurations the explorer runs (docs/VERIFICATION.md).
+constexpr int kMaxVictimAlternatives = 6;
+}  // namespace
 
 std::vector<TxnId> DeadlockDetector::FindCycle(
     TxnId start, const std::unordered_set<TxnId>& excluded) const {
@@ -77,6 +84,25 @@ TxnId DeadlockDetector::PickVictim(const std::vector<TxnId>& cycle,
         break;
       }
     }
+  }
+  // Verifier hook: a correct algorithm must stay correct no matter which
+  // cycle member is aborted, so offer them all. Index 0 keeps the policy's
+  // deterministic pick, which is what fires when no hook is installed.
+  if (ActiveChoicePoint() != nullptr && cycle.size() > 1) {
+    uint64_t signatures[kMaxVictimAlternatives];
+    TxnId members[kMaxVictimAlternatives];
+    int count = 0;
+    signatures[count] = static_cast<uint64_t>(victim);
+    members[count] = victim;
+    ++count;
+    for (TxnId candidate : cycle) {
+      if (count >= kMaxVictimAlternatives) break;
+      if (candidate == victim) continue;
+      signatures[count] = static_cast<uint64_t>(candidate);
+      members[count] = candidate;
+      ++count;
+    }
+    victim = members[MaybeChoose("victim.pick", signatures, count)];
   }
   return victim;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/choice.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/str.h"
@@ -31,7 +32,10 @@ ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
                 NthStream(config.seed, 1)),
       resources_(sim, config.resources,
                  NthStream(config.seed, 2)),
-      cc_(MakeConcurrencyControl(config.algorithm, config.victim_policy)),
+      cc_(config.cc_factory
+              ? config.cc_factory(config)
+              : MakeConcurrencyControl(config.algorithm,
+                                       config.victim_policy)),
       restart_policy_(
           config.restart_delay_mode.value_or(
               DefaultRestartDelayMode(config.algorithm)),
@@ -61,6 +65,8 @@ ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
         << " requires a restart delay (fixed or adaptive)";
   }
   CCSIM_CHECK_GE(config_.lock_granule_size, 1);
+  terminal_commits_.assign(
+      static_cast<size_t>(std::max(config_.workload.num_terms, 1)), 0);
   class_response_.resize(static_cast<size_t>(config_.workload.ClassCount()));
   class_commits_.assign(class_response_.size(), 0);
   class_restarts_.assign(class_response_.size(), 0);
@@ -223,8 +229,22 @@ void ClosedSystem::SubmitFromTerminal(int terminal) {
 
 void ClosedSystem::TryActivate() {
   while (active_count_ < mpl_ && !ready_queue_.empty()) {
-    TxnId id = ready_queue_.front();
-    ready_queue_.pop_front();
+    size_t pick = 0;
+    // Verifier hook: admission is FIFO by default, but any queued transaction
+    // could plausibly be admitted next in a real system; offer the first few.
+    if (ActiveChoicePoint() != nullptr && ready_queue_.size() > 1) {
+      constexpr size_t kMaxReadyAlternatives = 6;
+      uint64_t signatures[kMaxReadyAlternatives];
+      size_t count = std::min<size_t>(ready_queue_.size(),
+                                      kMaxReadyAlternatives);
+      for (size_t i = 0; i < count; ++i) {
+        signatures[i] = static_cast<uint64_t>(ready_queue_[i]);
+      }
+      pick = static_cast<size_t>(
+          MaybeChoose("ready.pick", signatures, static_cast<int>(count)));
+    }
+    TxnId id = ready_queue_[pick];
+    ready_queue_.erase(ready_queue_.begin() + static_cast<ptrdiff_t>(pick));
     Activate(id);
   }
 }
@@ -240,6 +260,7 @@ void ClosedSystem::Activate(TxnId id) {
   txn.update_index = 0;
   txn.think_done = false;
   txn.doomed = false;
+  txn.grant_inflight = false;
   txn.cpu_used = 0;
   txn.disk_used = 0;
   txn.read_granules.clear();
@@ -646,6 +667,10 @@ void ClosedSystem::Complete(TxnId id) {
   ++batch_commits_;
   ++measured_commits_;
   ++lifetime_commits_;
+  if (txn.terminal >= 0 &&
+      txn.terminal < static_cast<int>(terminal_commits_.size())) {
+    ++terminal_commits_[static_cast<size_t>(txn.terminal)];
+  }
   batch_useful_cpu_ += txn.cpu_used;
   batch_useful_disk_ += txn.disk_used;
   if (progress_ != nullptr) {
@@ -777,10 +802,12 @@ void ClosedSystem::OnGranted(TxnId id) {
   // engine must not re-enter its own state machine mid-call.
   Txn& txn = GetTxn(id);
   CCSIM_CHECK(txn.state == TxnState::kBlocked);
+  txn.grant_inflight = true;
   int incarnation = txn.incarnation;
   sim_->Schedule(0, [this, id, incarnation] {
     if (!IsCurrent(id, incarnation)) return;  // Restarted meanwhile.
     Txn& t = GetTxn(id);
+    t.grant_inflight = false;
     if (t.state != TxnState::kBlocked) return;  // Stale grant.
     t.state = TxnState::kRunning;
     if (obs_on_) t.ph_cc_block += sim_->Now() - t.blocked_since;
@@ -847,7 +874,18 @@ void ClosedSystem::AuditTransition() {
   census.ready_queue = static_cast<int64_t>(ready_queue_.size());
   census.active = active_count_;
   auditor_->CheckConservation(census);
-  if (++audit_transitions_ % kAuditDeepCheckPeriod == 0) cc_->AuditCheck();
+  if (++audit_transitions_ % kAuditDeepCheckPeriod == 0) {
+    cc_->AuditCheck();
+    // Lost-wakeup check: every blocked transaction must still be tracked as
+    // a waiter by the algorithm — unless it is doomed (its abort event is
+    // pending) or its grant's zero-delay resume event is in flight.
+    for (const auto& [id, txn] : txns_) {
+      if (txn.state == TxnState::kBlocked && !txn.doomed &&
+          !txn.grant_inflight) {
+        auditor_->CheckBlockedTracked(id, cc_->AuditTracksWaiter(id));
+      }
+    }
+  }
 }
 
 void ClosedSystem::AuditBlocked(TxnId id) {

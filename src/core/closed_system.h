@@ -15,6 +15,7 @@
 #define CCSIM_CORE_CLOSED_SYSTEM_H_
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -119,6 +120,12 @@ struct EngineConfig {
   /// Not owned; must outlive the simulation; nullptr = none. Equivalent to
   /// calling SetTraceSink right after construction.
   TraceSink* lifecycle_sink = nullptr;
+  /// Overrides MakeConcurrencyControl(algorithm, victim_policy) when set.
+  /// Exists for the verifier's seeded-mutation self-test (src/verify/mutant),
+  /// which must prove the oracle catches a deliberately broken algorithm;
+  /// production configs leave it empty.
+  std::function<std::unique_ptr<ConcurrencyControl>(const EngineConfig&)>
+      cc_factory;
 };
 
 /// The simulation engine. Owns the workload, resources, and the concurrency
@@ -143,6 +150,11 @@ class ClosedSystem {
   size_t ready_queue_length() const { return ready_queue_.size(); }
   int64_t total_commits() const { return lifetime_commits_; }
   int64_t total_restarts() const { return lifetime_restarts_; }
+  /// Commits by `terminal` so far (the verifier's per-transaction liveness
+  /// oracle: every terminal must reach its commit target in every schedule).
+  int64_t terminal_commits(int terminal) const {
+    return terminal_commits_[static_cast<size_t>(terminal)];
+  }
   const ConcurrencyControl& cc() const { return *cc_; }
   ResourceManager& resources() { return resources_; }
   const HistoryRecorder& history() const { return history_; }
@@ -176,6 +188,12 @@ class ClosedSystem {
   /// thread can read them (exec/watchdog.h HeartbeatThread).
   void SetProgressCell(ProgressCell* cell) { progress_ = cell; }
 
+  /// End-of-run audit checks: deep cc check, final census, and quiescence
+  /// (no blocked transaction may outlive the event queue). RunExperiment
+  /// calls this itself; the schedule-space verifier calls it directly on
+  /// every terminal state it reaches. No-op unless config.audit is set.
+  void AuditFinal();
+
  private:
   enum class TxnState {
     kReady,         ///< In the ready queue (not active).
@@ -199,6 +217,10 @@ class ClosedSystem {
     int update_index = 0;
     bool think_done = false;
     bool doomed = false;
+    /// A cc grant has fired but its zero-delay resume event has not; in this
+    /// window the transaction is still kBlocked yet the algorithm no longer
+    /// tracks it as a waiter, so the deep audit must not flag it.
+    bool grant_inflight = false;
     /// Granules already covered by a granted cc request this incarnation
     /// (only maintained when lock_granule_size > 1).
     std::unordered_set<ObjectId> read_granules;
@@ -264,9 +286,6 @@ class ClosedSystem {
   void AuditBlocked(TxnId id);
   /// Folds one cc-stream op into the replay digest.
   void AuditFold(AuditOp op, TxnId id, int64_t a, int64_t b);
-  /// End-of-run checks: deep cc check, final census, and quiescence (no
-  /// blocked transaction may outlive the event queue).
-  void AuditFinal();
 
   // Helpers.
   Txn& GetTxn(TxnId id);
@@ -344,6 +363,8 @@ class ClosedSystem {
   // Lifetime counters (include warmup).
   int64_t lifetime_commits_ = 0;
   int64_t lifetime_restarts_ = 0;
+  /// Lifetime commits per terminal (kClosed) — the liveness oracle's view.
+  std::vector<int64_t> terminal_commits_;
 
   // Batch-means estimators.
   BatchMeans throughput_bm_;

@@ -95,6 +95,12 @@ class HistoryRecorder {
     return it != committed_incarnation_.end() && it->second == incarnation;
   }
 
+  /// True if any incarnation of `txn` committed (the recoverability oracle:
+  /// a committed reader may only have observed committed versions).
+  bool EverCommitted(TxnId txn) const {
+    return committed_incarnation_.count(txn) > 0;
+  }
+
   /// Activation sequence of `txn`'s most recent incarnation; for a committed
   /// transaction this is its committed incarnation's activation (restarts
   /// overwrite it). Returns 0 when never activated (init pseudo-writer).

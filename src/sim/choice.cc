@@ -1,0 +1,13 @@
+#include "sim/choice.h"
+
+namespace ccsim {
+
+namespace {
+thread_local ChoicePoint* active_choice_point = nullptr;
+}  // namespace
+
+ChoicePoint* ActiveChoicePoint() { return active_choice_point; }
+
+void SetActiveChoicePoint(ChoicePoint* point) { active_choice_point = point; }
+
+}  // namespace ccsim

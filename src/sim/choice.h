@@ -1,0 +1,78 @@
+// Nondeterministic choice points for schedule-space verification.
+//
+// The engine is deterministic: same-time events fire in scheduling order, the
+// ready queue is FIFO, and the deadlock victim policy is a total order. Those
+// tie-break rules are *choices* — a real system could resolve each one either
+// way, and a correct algorithm must be correct under every resolution. The
+// verifier (src/verify/, docs/VERIFICATION.md) installs a ChoicePoint hook
+// that enumerates the alternatives at each such site and drives the real
+// engine down every branch.
+//
+// Sites ask through MaybeChoose(). With no hook installed (every production
+// run), a site costs one thread-local load and a null test, and the engine
+// keeps its documented deterministic tie-breaks. The hook is thread-local so
+// parallel experiment workers never observe another thread's explorer.
+#ifndef CCSIM_SIM_CHOICE_H_
+#define CCSIM_SIM_CHOICE_H_
+
+#include <cstdint>
+
+namespace ccsim {
+
+/// One decision offered to the active ChoicePoint. `alternatives` are stable
+/// signatures of the options (event ids for scheduler ties, transaction ids
+/// for activation and victim picks): two runs that made identical choices so
+/// far present identical signature lists, which is what lets the explorer
+/// replay a choice prefix and enumerate siblings.
+struct ChoiceRequest {
+  /// Site tag: "sim.tie", "ready.pick", or "victim.pick".
+  const char* tag;
+  const uint64_t* alternatives;
+  int count;  ///< >= 2 (sites never ask about forced moves).
+};
+
+/// The hook interface. Choose() returns the index of the alternative to take,
+/// in [0, count). It may throw to abandon the run (the explorer prunes
+/// redundant schedules this way); sites must therefore be called only at
+/// points where unwinding out of Simulator::Step() is safe.
+class ChoicePoint {
+ public:
+  virtual ~ChoicePoint() = default;
+  virtual int Choose(const ChoiceRequest& request) = 0;
+};
+
+/// The calling thread's active hook; nullptr when verification is off.
+ChoicePoint* ActiveChoicePoint();
+
+/// Installs `point` as the calling thread's hook (nullptr uninstalls).
+void SetActiveChoicePoint(ChoicePoint* point);
+
+/// RAII installation for the scope of one explored run.
+class ScopedChoicePoint {
+ public:
+  explicit ScopedChoicePoint(ChoicePoint* point)
+      : previous_(ActiveChoicePoint()) {
+    SetActiveChoicePoint(point);
+  }
+  ~ScopedChoicePoint() { SetActiveChoicePoint(previous_); }
+
+  ScopedChoicePoint(const ScopedChoicePoint&) = delete;
+  ScopedChoicePoint& operator=(const ScopedChoicePoint&) = delete;
+
+ private:
+  ChoicePoint* previous_;
+};
+
+/// Helper for choice sites: asks the active hook if one is installed and the
+/// decision is real (count >= 2); otherwise returns 0, the engine's
+/// deterministic default.
+inline int MaybeChoose(const char* tag, const uint64_t* alternatives,
+                       int count) {
+  ChoicePoint* point = ActiveChoicePoint();
+  if (point == nullptr || count < 2) return 0;
+  return point->Choose(ChoiceRequest{tag, alternatives, count});
+}
+
+}  // namespace ccsim
+
+#endif  // CCSIM_SIM_CHOICE_H_

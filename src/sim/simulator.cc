@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sim/choice.h"
 #include "util/check.h"
 
 namespace ccsim {
@@ -50,6 +51,39 @@ void Simulator::EnforceGuard() {
                      << " µs, and on_violation returned";
 }
 
+namespace {
+// Ceiling on the simultaneous events offered to a verifier ChoicePoint at one
+// instant; any further same-time events keep the deterministic id order. This
+// bounds the explorer's branching factor, not engine behaviour.
+constexpr int kMaxTieAlternatives = 6;
+}  // namespace
+
+Simulator::HeapEntry Simulator::ResolveTie(HeapEntry first) {
+  HeapEntry candidates[kMaxTieAlternatives];
+  uint64_t signatures[kMaxTieAlternatives];
+  int count = 0;
+  candidates[count] = first;
+  signatures[count] = first.id;
+  ++count;
+  while (count < kMaxTieAlternatives && !heap_.empty() &&
+         heap_.top().time == first.time) {
+    HeapEntry sibling = heap_.top();
+    heap_.pop();
+    if (actions_.find(sibling.id) == actions_.end()) continue;  // Cancelled.
+    candidates[count] = sibling;
+    signatures[count] = sibling.id;
+    ++count;
+  }
+  // Choose() may throw to abandon a pruned run; the popped siblings are then
+  // lost, which is fine because the engine owning this simulator is discarded
+  // with the run.
+  int pick = MaybeChoose("sim.tie", signatures, count);
+  for (int i = 0; i < count; ++i) {
+    if (i != pick) heap_.push(candidates[i]);
+  }
+  return candidates[pick];
+}
+
 bool Simulator::Step() {
   while (!heap_.empty()) {
     if (guard_armed_) EnforceGuard();
@@ -57,6 +91,10 @@ bool Simulator::Step() {
     heap_.pop();
     auto it = actions_.find(entry.id);
     if (it == actions_.end()) continue;  // Cancelled.
+    if (ActiveChoicePoint() != nullptr) {
+      entry = ResolveTie(entry);
+      it = actions_.find(entry.id);
+    }
     std::function<void()> action = std::move(it->second);
     actions_.erase(it);
     CCSIM_CHECK_GE(entry.time, now_);

@@ -115,6 +115,12 @@ class Simulator {
     }
   };
 
+  /// Offers the set of live events scheduled for `first`'s instant to the
+  /// active ChoicePoint and returns the one it picked; the rest go back on
+  /// the heap with their ids (and thus the default ordering) intact. Only
+  /// called when a choice hook is installed.
+  HeapEntry ResolveTie(HeapEntry first);
+
   SimTime now_ = 0;
   EventId next_id_ = 1;
   uint64_t events_fired_ = 0;

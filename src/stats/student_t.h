@@ -2,10 +2,12 @@
 #ifndef CCSIM_STATS_STUDENT_T_H_
 #define CCSIM_STATS_STUDENT_T_H_
 
+#include <cstdint>
+
 namespace ccsim {
 
 /// Two-sided confidence levels supported by the batch-means estimator.
-enum class ConfidenceLevel { k90, k95, k99 };
+enum class ConfidenceLevel : std::uint8_t { k90, k95, k99 };
 
 /// Returns the upper critical value t_{1-alpha/2, df} for the two-sided
 /// interval at `level` with `df` degrees of freedom (df >= 1). Values beyond

@@ -1,0 +1,252 @@
+#include "verify/explorer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/choice.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "verify/oracle.h"
+
+namespace ccsim {
+namespace verify {
+
+namespace {
+
+/// Thrown by the chooser when every alternative at a fresh choice point is
+/// asleep: the subtree is already covered by explored sibling branches, so
+/// the run (and the engine owning it) is abandoned.
+struct PrunedRunError {};
+
+/// One recorded decision within the branching horizon.
+struct ChoiceNode {
+  std::string tag;
+  std::vector<uint64_t> alternatives;  ///< Subject signatures, site order.
+  int chosen = 0;
+  /// Subjects asleep when this node was reached (snapshot for expansion).
+  std::vector<uint64_t> sleep_at;
+};
+
+bool Contains(const std::vector<uint64_t>& set, uint64_t value) {
+  return std::find(set.begin(), set.end(), value) != set.end();
+}
+
+/// The ChoicePoint the explorer installs for one run. Replays `prefix`, then
+/// picks the first non-sleeping alternative at each fresh node up to the
+/// horizon, recording every decision for sibling expansion.
+class RecordingChooser : public ChoicePoint {
+ public:
+  RecordingChooser(std::vector<int> prefix, std::vector<uint64_t> sleep,
+                   const ExploreOptions& options)
+      : prefix_(std::move(prefix)),
+        sleep_(std::move(sleep)),
+        options_(options) {}
+
+  int Choose(const ChoiceRequest& request) override {
+    ++counts_[request.tag];
+    ++total_;
+    size_t depth = depth_++;
+    if (depth >= static_cast<size_t>(options_.max_depth)) {
+      return 0;  // Beyond the horizon: deterministic default, unrecorded.
+    }
+    ChoiceNode node;
+    node.tag = request.tag;
+    node.alternatives.assign(request.alternatives,
+                             request.alternatives + request.count);
+    node.sleep_at = sleep_;
+    if (depth < prefix_.size()) {
+      node.chosen = prefix_[depth];
+      CCSIM_CHECK_LT(node.chosen, request.count)
+          << "replay diverged at depth " << depth << " (" << request.tag
+          << "): the engine is expected to present the same alternatives "
+          << "for the same choice prefix";
+    } else {
+      node.chosen = -1;
+      for (int i = 0; i < request.count; ++i) {
+        if (!Contains(sleep_, request.alternatives[i])) {
+          node.chosen = i;
+          break;
+        }
+      }
+      if (node.chosen < 0) throw PrunedRunError{};
+    }
+    Wake(request.alternatives[node.chosen]);
+    records_.push_back(std::move(node));
+    return records_.back().chosen;
+  }
+
+  const std::vector<ChoiceNode>& records() const { return records_; }
+  const std::map<std::string, uint64_t>& counts() const { return counts_; }
+  int total() const { return total_; }
+
+ private:
+  /// Same-subject dependency: choosing a subject wakes any sleeping sibling
+  /// with that subject (it may now lead somewhere new). Waking too eagerly
+  /// only costs extra runs, never coverage.
+  void Wake(uint64_t subject) {
+    sleep_.erase(std::remove(sleep_.begin(), sleep_.end(), subject),
+                 sleep_.end());
+  }
+
+  std::vector<int> prefix_;
+  std::vector<uint64_t> sleep_;
+  const ExploreOptions& options_;
+  std::vector<ChoiceNode> records_;
+  std::map<std::string, uint64_t> counts_;
+  size_t depth_ = 0;
+  int total_ = 0;
+};
+
+/// Drives the engine through one schedule under `chooser` and evaluates the
+/// oracle on the terminal state.
+RunOutcome RunSchedule(const Scenario& scenario, RecordingChooser* chooser) {
+  RunOutcome outcome;
+  Simulator sim;
+  ClosedSystem system(&sim, scenario.config);
+  ScopedChoicePoint scoped(chooser);
+  try {
+    system.Prime();
+    const int terms = scenario.config.workload.num_terms;
+    auto target_reached = [&] {
+      if (!scenario.per_terminal_target) {
+        // Progress-only claim (validation-based algorithms): the system as a
+        // whole must keep committing, but a particular loser may starve.
+        return system.total_commits() >=
+               static_cast<int64_t>(scenario.commit_target) * terms;
+      }
+      for (int t = 0; t < terms; ++t) {
+        if (system.terminal_commits(t) < scenario.commit_target) return false;
+      }
+      return true;
+    };
+    while (!target_reached()) {
+      if (sim.events_fired() >= scenario.event_budget) break;
+      if (!sim.Step()) break;  // Queue drained with terminals still short.
+    }
+    outcome.reached_target = target_reached();
+  } catch (const PrunedRunError&) {
+    outcome.pruned = true;
+    return outcome;
+  }
+  outcome.events = sim.events_fired();
+  outcome.choice_points = chooser->total();
+  system.AuditFinal();
+  outcome.violations = CheckTerminalState(system, scenario, outcome);
+  if (system.auditor() != nullptr) outcome.digest = system.auditor()->digest();
+  return outcome;
+}
+
+}  // namespace
+
+ExploreOptions OptionsFromEnv() {
+  ExploreOptions options;
+  options.max_depth = static_cast<int>(
+      GetEnvInt("CCSIM_VERIFY_DEPTH", options.max_depth));
+  options.max_runs = static_cast<uint64_t>(GetEnvInt(
+      "CCSIM_VERIFY_MAX_RUNS", static_cast<int64_t>(options.max_runs)));
+  options.sleep_sets = GetEnvInt("CCSIM_VERIFY_SLEEP", 1) != 0;
+  return options;
+}
+
+std::string ExploreStats::Summary() const {
+  std::string out = std::to_string(runs) + " runs (" +
+                    std::to_string(pruned) + " pruned), " +
+                    std::to_string(digests.size()) + " distinct schedules";
+  for (const auto& [tag, count] : choices_by_tag) {
+    out += ", " + tag + "=" + std::to_string(count);
+  }
+  if (run_cap_hit) out += ", RUN CAP HIT";
+  if (violation_runs > 0) {
+    out += ", " + std::to_string(violation_runs) + " violating runs";
+    for (const std::string& v : violations) out += "\n  " + v;
+  }
+  return out;
+}
+
+ExploreStats Explore(const Scenario& scenario, const ExploreOptions& options) {
+  struct WorkItem {
+    std::vector<int> prefix;
+    std::vector<uint64_t> sleep;
+  };
+  ExploreStats stats;
+  std::vector<WorkItem> work;
+  work.push_back(WorkItem{});
+  while (!work.empty()) {
+    if (stats.runs + stats.pruned >= options.max_runs) {
+      stats.run_cap_hit = true;
+      break;
+    }
+    WorkItem item = std::move(work.back());
+    work.pop_back();
+    RecordingChooser chooser(item.prefix,
+                             options.sleep_sets ? item.sleep
+                                                : std::vector<uint64_t>{},
+                             options);
+    RunOutcome outcome = RunSchedule(scenario, &chooser);
+    if (outcome.pruned) {
+      ++stats.pruned;
+      continue;
+    }
+    ++stats.runs;
+    stats.digests.insert(outcome.digest);
+    for (const auto& [tag, count] : chooser.counts()) {
+      stats.choices_by_tag[tag] += count;
+    }
+    if (!outcome.violations.empty()) {
+      ++stats.violation_runs;
+      std::string prefix_str;
+      for (size_t i = 0; i < item.prefix.size(); ++i) {
+        if (i > 0) prefix_str += ",";
+        prefix_str += std::to_string(item.prefix[i]);
+      }
+      for (const std::string& v : outcome.violations) {
+        if (static_cast<int>(stats.violations.size()) <
+            options.max_violation_reports) {
+          stats.violations.push_back(scenario.name + " prefix=[" +
+                                     prefix_str + "]: " + v);
+        }
+      }
+    }
+    // Sibling expansion: every divergence below this run's recorded path
+    // becomes a work item. The chosen alternative and previously scheduled
+    // siblings go to sleep in the child — if taking them next is independent
+    // of the child's choice, their interleavings are already covered.
+    const std::vector<ChoiceNode>& records = chooser.records();
+    for (size_t i = item.prefix.size(); i < records.size(); ++i) {
+      const ChoiceNode& node = records[i];
+      std::vector<int> base;
+      base.reserve(i + 1);
+      for (size_t j = 0; j < i; ++j) base.push_back(records[j].chosen);
+      std::vector<uint64_t> explored{
+          node.alternatives[static_cast<size_t>(node.chosen)]};
+      for (int a = 0; a < static_cast<int>(node.alternatives.size()); ++a) {
+        if (a == node.chosen) continue;
+        uint64_t subject = node.alternatives[static_cast<size_t>(a)];
+        if (Contains(explored, subject)) continue;
+        if (options.sleep_sets && Contains(node.sleep_at, subject)) continue;
+        WorkItem child;
+        child.prefix = base;
+        child.prefix.push_back(a);
+        if (options.sleep_sets) {
+          child.sleep = node.sleep_at;
+          for (uint64_t s : explored) {
+            if (!Contains(child.sleep, s)) child.sleep.push_back(s);
+          }
+        }
+        work.push_back(std::move(child));
+        explored.push_back(subject);
+      }
+    }
+  }
+  return stats;
+}
+
+RunOutcome RunOneSchedule(const Scenario& scenario,
+                          const std::vector<int>& prefix,
+                          const ExploreOptions& options) {
+  RecordingChooser chooser(prefix, {}, options);
+  return RunSchedule(scenario, &chooser);
+}
+
+}  // namespace verify
+}  // namespace ccsim

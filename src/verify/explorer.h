@@ -1,0 +1,84 @@
+// Exhaustive schedule-space exploration of the real engine.
+//
+// The engine is deterministic, so a run is a pure function of its config and
+// the sequence of answers given at the choice points (sim/choice.h). The
+// explorer performs a depth-first search over that choice tree: it replays a
+// recorded prefix of choices, lets the first divergent choice point take an
+// unexplored alternative, records every decision it passes, and schedules the
+// siblings it saw for later runs. Branching is bounded by `max_depth`
+// decisions per run (beyond the horizon the engine's deterministic defaults
+// apply), and optional sleep-set pruning skips alternatives already covered
+// by an explored sibling branch. Every non-pruned terminal state goes through
+// the oracle (verify/oracle.h). See docs/VERIFICATION.md.
+#ifndef CCSIM_VERIFY_EXPLORER_H_
+#define CCSIM_VERIFY_EXPLORER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verify/scenario.h"
+
+namespace ccsim {
+namespace verify {
+
+struct ExploreOptions {
+  /// Branching horizon: choice points beyond this many decisions per run
+  /// take the engine's deterministic default instead of forking.
+  int max_depth = 4;
+  /// Safety valve on total runs per scenario; hitting it fails the
+  /// exploration (the matrix must be sized to finish, not truncate).
+  uint64_t max_runs = 100000;
+  /// DPOR-style sleep-set pruning (heuristic same-subject dependency; see
+  /// docs/VERIFICATION.md for what this does and does not guarantee).
+  bool sleep_sets = true;
+  /// Cap on violation messages carried back per scenario.
+  int max_violation_reports = 8;
+};
+
+/// Options from the environment: CCSIM_VERIFY_DEPTH (branching horizon),
+/// CCSIM_VERIFY_MAX_RUNS, CCSIM_VERIFY_SLEEP (0 disables pruning). The CI PR
+/// lane runs the defaults; the nightly/release lane raises the depth.
+ExploreOptions OptionsFromEnv();
+
+/// Outcome of one explored run.
+struct RunOutcome {
+  bool pruned = false;          ///< Abandoned by sleep-set pruning.
+  bool reached_target = false;  ///< Every terminal hit its commit target.
+  uint64_t digest = 0;          ///< Auditor replay digest of the schedule.
+  uint64_t events = 0;
+  int choice_points = 0;  ///< Decisions encountered (incl. beyond horizon).
+  std::vector<std::string> violations;
+};
+
+/// Aggregate results of exploring one scenario.
+struct ExploreStats {
+  uint64_t runs = 0;    ///< Completed (non-pruned) runs.
+  uint64_t pruned = 0;  ///< Runs abandoned by pruning.
+  bool run_cap_hit = false;
+  uint64_t violation_runs = 0;
+  std::vector<std::string> violations;  ///< Capped sample of messages.
+  std::set<uint64_t> digests;           ///< Distinct terminal schedules.
+  std::map<std::string, uint64_t> choices_by_tag;  ///< Site coverage.
+
+  bool ok() const { return violations.empty() && !run_cap_hit; }
+  std::string Summary() const;
+};
+
+/// Exhaustively explores `scenario`'s schedule space (up to the options'
+/// horizon) and checks every terminal state against the oracle.
+ExploreStats Explore(const Scenario& scenario, const ExploreOptions& options);
+
+/// Runs a single schedule: replays `prefix` at the first choice points, then
+/// the deterministic defaults. Exposed for the replay-determinism and
+/// mutation self-tests.
+RunOutcome RunOneSchedule(const Scenario& scenario,
+                          const std::vector<int>& prefix,
+                          const ExploreOptions& options);
+
+}  // namespace verify
+}  // namespace ccsim
+
+#endif  // CCSIM_VERIFY_EXPLORER_H_

@@ -1,0 +1,76 @@
+#include "verify/oracle.h"
+
+#include "core/history.h"
+#include "verify/explorer.h"
+
+namespace ccsim {
+namespace verify {
+
+std::vector<std::string> CheckTerminalState(const ClosedSystem& system,
+                                            const Scenario& scenario,
+                                            const RunOutcome& outcome) {
+  std::vector<std::string> violations;
+
+  // Rule 3 (liveness): exhausting the budget or draining the event queue
+  // with a terminal still short of its target means some transaction never
+  // got through — an unresolved deadlock, a lost wakeup, or starvation.
+  if (!outcome.reached_target) {
+    std::string commits;
+    for (int t = 0; t < scenario.config.workload.num_terms; ++t) {
+      if (t > 0) commits += ",";
+      commits += std::to_string(system.terminal_commits(t));
+    }
+    violations.push_back(
+        std::string("liveness: ") +
+        (scenario.per_terminal_target ? "per-terminal" : "global progress") +
+        " commit target " + std::to_string(scenario.commit_target) +
+        " not reached after " + std::to_string(outcome.events) +
+        " events (per-terminal commits: " + commits + "); " +
+        system.DescribeCensus());
+  }
+
+  // Rule 1 (serializability).
+  SerializabilityResult serializability =
+      CheckHistorySerializability(system.history());
+  if (!serializability.serializable) {
+    violations.push_back("serializability: " + serializability.ToString());
+  }
+
+  // Rule 2 (recoverability).
+  for (const std::string& v : CheckRecoverability(system.history())) {
+    violations.push_back(v);
+  }
+
+  // Rule 4 (audit-clean): every audit invariant held in every explored
+  // state, including the end-of-run deep checks.
+  if (system.auditor() != nullptr && system.auditor()->violation_count() > 0) {
+    violations.push_back(
+        "audit: " + std::to_string(system.auditor()->violation_count()) +
+        " invariant violations\n" + system.auditor()->Summary());
+  }
+
+  return violations;
+}
+
+std::vector<std::string> CheckRecoverability(const HistoryRecorder& history) {
+  // A committed reader must never have observed a version whose writer never
+  // committed. Only multiversion reads record their version's writer;
+  // single-version histories are strict by construction (writes land in the
+  // history at commit, after which the writer cannot abort).
+  std::vector<std::string> violations;
+  for (const VersionReadOp& read : history.version_reads()) {
+    if (!history.IsCommitted(read.txn, read.incarnation)) continue;
+    if (read.version_writer == kInvalidTxn) continue;  // Initial version.
+    if (!history.EverCommitted(read.version_writer)) {
+      violations.push_back(
+          "recoverability: committed txn " + std::to_string(read.txn) +
+          " read object " + std::to_string(read.object) + " from txn " +
+          std::to_string(read.version_writer) + ", which never committed");
+      break;  // One instance is enough per run.
+    }
+  }
+  return violations;
+}
+
+}  // namespace verify
+}  // namespace ccsim

@@ -1,0 +1,43 @@
+// Safety/liveness oracle evaluated on every explored terminal state.
+//
+// Rules (docs/VERIFICATION.md discusses what each does and does not cover):
+//   1. Serializability — the committed history passes the conflict-graph
+//      check (single-version) or the MVSG check (multiversion), via
+//      CheckHistorySerializability.
+//   2. Recoverability — no committed transaction read a version whose writer
+//      never committed. Single-version histories are strict by construction
+//      (writes are recorded at commit, after which the writer cannot abort),
+//      so the rule only has teeth for multiversion reads.
+//   3. Liveness — every terminal reached its commit target within the
+//      scenario's event budget: deadlocks were resolved and nobody starved.
+//   4. Audit-clean — the runtime invariant auditor (docs/AUDIT.md) observed
+//      zero violations across the whole run, including the end-of-run deep
+//      checks (the caller must invoke ClosedSystem::AuditFinal first).
+#ifndef CCSIM_VERIFY_ORACLE_H_
+#define CCSIM_VERIFY_ORACLE_H_
+
+#include <string>
+#include <vector>
+
+#include "verify/scenario.h"
+
+namespace ccsim {
+namespace verify {
+
+struct RunOutcome;
+
+/// Evaluates all oracle rules against `system`'s terminal state. Returns one
+/// message per violated rule; empty means the schedule passed.
+std::vector<std::string> CheckTerminalState(const ClosedSystem& system,
+                                            const Scenario& scenario,
+                                            const RunOutcome& outcome);
+
+/// Rule 2 in isolation (the mutation self-test feeds it hand-built
+/// histories): returns a message if a committed transaction observed a
+/// version whose writer never committed, empty otherwise.
+std::vector<std::string> CheckRecoverability(const HistoryRecorder& history);
+
+}  // namespace verify
+}  // namespace ccsim
+
+#endif  // CCSIM_VERIFY_ORACLE_H_

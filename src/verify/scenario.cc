@@ -1,0 +1,75 @@
+#include "verify/scenario.h"
+
+namespace ccsim {
+namespace verify {
+
+EngineConfig TinyBaseConfig(const std::string& algorithm) {
+  EngineConfig config;
+  config.algorithm = algorithm;
+  config.workload.db_size = 2;
+  config.workload.tran_size = 2;
+  config.workload.min_size = 2;
+  config.workload.max_size = 2;
+  config.workload.write_prob = 1.0;
+  config.workload.num_terms = 2;
+  config.workload.mpl = 2;
+  // All terminals submit at t = 0 and resubmit immediately after commit:
+  // maximal simultaneity, which is exactly what the tie-break choice point
+  // branches on.
+  config.workload.ext_think_time = 0;
+  config.workload.int_think_time = 0;
+  // 1 ms of CPU per object and no I/O over infinite resources: accesses are
+  // pure delays, long enough that transactions genuinely overlap (all-zero
+  // service times would let each transaction run to commit within a single
+  // event, collapsing the schedule space to serial executions).
+  config.workload.obj_io = 0;
+  config.workload.obj_cpu = FromMillis(1);
+  config.workload.cc_cpu = 0;
+  config.resources = ResourceConfig::Infinite();
+  // A short fixed restart delay for every algorithm: immediate_restart and
+  // wait_die refuse to run without one (zero-delay restarts livelock), and a
+  // uniform setting keeps the cells comparable.
+  config.restart_delay_mode = RestartDelayMode::kFixed;
+  config.fixed_restart_delay = FromMillis(2);
+  config.seed = 7;
+  config.record_history = true;
+  config.audit = true;
+  return config;
+}
+
+bool ClaimsStarvationFreedom(const std::string& algorithm) {
+  return algorithm != "optimistic" && algorithm != "optimistic_forward";
+}
+
+std::vector<Scenario> TinyScenarios(const std::string& algorithm) {
+  std::vector<Scenario> scenarios;
+
+  Scenario pair;
+  pair.name = "pair-writes";
+  pair.config = TinyBaseConfig(algorithm);
+  scenarios.push_back(pair);
+
+  Scenario triple;
+  triple.name = "triple-mix";
+  triple.config = TinyBaseConfig(algorithm);
+  triple.config.workload.db_size = 3;
+  triple.config.workload.write_prob = 0.5;
+  triple.config.workload.num_terms = 3;
+  triple.config.workload.mpl = 2;  // A waiting terminal: admission choices.
+  scenarios.push_back(triple);
+
+  Scenario hot;
+  hot.name = "hot-spot";
+  hot.config = TinyBaseConfig(algorithm);
+  hot.config.workload.num_terms = 3;
+  hot.config.workload.mpl = 3;  // 3 writers x 2 objects: every pair conflicts.
+  scenarios.push_back(hot);
+
+  for (Scenario& scenario : scenarios) {
+    scenario.per_terminal_target = ClaimsStarvationFreedom(algorithm);
+  }
+  return scenarios;
+}
+
+}  // namespace verify
+}  // namespace ccsim

@@ -1,0 +1,59 @@
+// Tiny engine configurations for the schedule-space verifier.
+//
+// Each scenario is a complete EngineConfig small enough to explore
+// exhaustively: 2-3 terminals, 2-3 objects, degenerate service times (1 ms
+// CPU per object, no I/O, infinite resources so every request is a pure
+// delay), zero think times so all terminals collide at t = 0. Auditing and
+// history recording are always on — the oracle needs both.
+#ifndef CCSIM_VERIFY_SCENARIO_H_
+#define CCSIM_VERIFY_SCENARIO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/closed_system.h"
+
+namespace ccsim {
+namespace verify {
+
+/// One cell of the verification matrix.
+struct Scenario {
+  std::string name;
+  EngineConfig config;
+  /// Commits each terminal must reach for the liveness oracle to pass.
+  int commit_target = 2;
+  /// Event budget per explored run; exhausting it is a liveness violation.
+  uint64_t event_budget = 20000;
+  /// Starvation-freedom claim: when true every terminal must reach
+  /// commit_target; when false the system as a whole must reach
+  /// commit_target x num_terms commits (progress without fairness).
+  /// TinyScenarios sets it from ClaimsStarvationFreedom.
+  bool per_terminal_target = true;
+};
+
+/// True if `algorithm` guarantees no transaction starves forever. The
+/// validation-based algorithms do not: the verifier itself found the
+/// counterexample — under continuous symmetric conflict (pair-writes, zero
+/// think time) the same transaction is invalidated by every winner's commit,
+/// forever — so the oracle holds them to progress only. Locking algorithms
+/// grant FIFO, and wound_wait / wait_die privilege age with timestamps that
+/// survive restarts, so the oldest transaction always gets through.
+bool ClaimsStarvationFreedom(const std::string& algorithm);
+
+/// The tiny-workload matrix for `algorithm` (one of AllAlgorithms()):
+///  - "pair-writes":  2 terminals x 2 objects, every access a write — the
+///    minimal lock-upgrade / deadlock / timestamp-conflict crucible.
+///  - "triple-mix":   3 terminals over 3 objects at mpl 2, write_prob 0.5 —
+///    exercises the ready queue (admission choice) and read/write mixes.
+///  - "hot-spot":     3 terminals all writing the same 2 objects — maximal
+///    contention; every schedule conflicts.
+std::vector<Scenario> TinyScenarios(const std::string& algorithm);
+
+/// The base config all scenarios share, exposed for tests that want to build
+/// custom cells (mutation self-tests).
+EngineConfig TinyBaseConfig(const std::string& algorithm);
+
+}  // namespace verify
+}  // namespace ccsim
+
+#endif  // CCSIM_VERIFY_SCENARIO_H_

@@ -138,6 +138,95 @@ TEST(SerializabilityTest, UncommittedOpsAreExcludedFromGraph) {
   EXPECT_EQ(result.edges, 0);
 }
 
+// ------------------------------------------------------------- edge cases
+
+TEST(SerializabilityTest, BlindWritesSerializeInWriteOrder) {
+  // Neither transaction reads: w1(A) w2(A), both commit. A single ww edge
+  // T1 -> T2; serial order exists even though T2 clobbers T1 blindly.
+  HistoryRecorder h;
+  h.RecordWrite(kT1, 1, kA, 1);
+  h.RecordWrite(kT2, 1, kA, 2);
+  h.RecordCommit(kT1, 1);
+  h.RecordCommit(kT2, 1);
+  auto result = CheckConflictSerializability(h);
+  EXPECT_TRUE(result.serializable) << result.ToString();
+  EXPECT_EQ(result.nodes, 2);
+  EXPECT_EQ(result.edges, 1);
+}
+
+TEST(SerializabilityTest, WriteWriteOnlyCycleDetected) {
+  // No reads at all: w1(A) w2(A) w2(B) w1(B) gives T1 -> T2 on A and
+  // T2 -> T1 on B. The checker must not require rw/wr edges to find cycles.
+  HistoryRecorder h;
+  h.RecordWrite(kT1, 1, kA, 1);
+  h.RecordWrite(kT2, 1, kA, 2);
+  h.RecordWrite(kT2, 1, kB, 3);
+  h.RecordWrite(kT1, 1, kB, 4);
+  h.RecordCommit(kT1, 1);
+  h.RecordCommit(kT2, 1);
+  auto result = CheckConflictSerializability(h);
+  EXPECT_FALSE(result.serializable);
+  EXPECT_FALSE(result.cycle.empty());
+}
+
+TEST(SerializabilityTest, BlindWriteBetweenReadAndWriteCreatesCycle) {
+  // r1(A) w2(A) w1(A): T1 -> T2 (read before the blind write) and
+  // T2 -> T1 (blind write before T1's own write) — a two-edge cycle in
+  // which T2 never reads anything.
+  HistoryRecorder h;
+  h.RecordRead(kT1, 1, kA, 1);
+  h.RecordWrite(kT2, 1, kA, 2);
+  h.RecordWrite(kT1, 1, kA, 3);
+  h.RecordCommit(kT1, 1);
+  h.RecordCommit(kT2, 1);
+  auto result = CheckConflictSerializability(h);
+  EXPECT_FALSE(result.serializable);
+}
+
+TEST(SerializabilityTest, ReadOnlyTransactionOrdersBetweenWriters) {
+  // A read-only T3 sandwiched between writers: w1(A) r3(A) r3(B) w2(B)
+  // yields the chain T1 -> T3 -> T2 and nothing else. Read-only
+  // transactions participate in the graph but add no outgoing ww edges.
+  HistoryRecorder h;
+  h.RecordWrite(kT1, 1, kA, 1);
+  h.RecordRead(kT3, 1, kA, 2);
+  h.RecordRead(kT3, 1, kB, 3);
+  h.RecordWrite(kT2, 1, kB, 4);
+  h.RecordCommit(kT1, 1);
+  h.RecordCommit(kT2, 1);
+  h.RecordCommit(kT3, 1);
+  auto result = CheckConflictSerializability(h);
+  EXPECT_TRUE(result.serializable) << result.ToString();
+  EXPECT_EQ(result.nodes, 3);
+  EXPECT_EQ(result.edges, 2);
+}
+
+TEST(SerializabilityTest, ReadOnlyTransactionCanStillInduceACycle) {
+  // T3 is read-only yet observes an inconsistent cut of T1's two writes:
+  // r3(B) before w1(B) (T3 -> T1) but r3(A) after w1(A) (T1 -> T3).
+  HistoryRecorder h;
+  h.RecordRead(kT3, 1, kB, 1);
+  h.RecordWrite(kT1, 1, kB, 2);
+  h.RecordWrite(kT1, 1, kA, 3);
+  h.RecordRead(kT3, 1, kA, 4);
+  h.RecordCommit(kT1, 1);
+  h.RecordCommit(kT3, 1);
+  auto result = CheckConflictSerializability(h);
+  EXPECT_FALSE(result.serializable);
+}
+
+TEST(SerializabilityTest, CommittedTxnWithNoOpsIsAnIsolatedNode) {
+  // A transaction that commits having logged no data operations (possible
+  // for zero-size transactions) must not confuse the graph construction.
+  HistoryRecorder h;
+  h.RecordCommit(kT1, 1);
+  h.RecordWrite(kT2, 1, kA, 1);
+  h.RecordCommit(kT2, 1);
+  auto result = CheckConflictSerializability(h);
+  EXPECT_TRUE(result.serializable);
+  EXPECT_EQ(result.edges, 0);
+}
+
 // ------------------------------------------------- multiversion histories
 
 TEST(MvSerializabilityTest, OldVersionReadPassesWhereConflictCheckFails) {
@@ -218,6 +307,24 @@ TEST(MvSerializabilityTest, VersionOrderChainIsAcyclic) {
   EXPECT_EQ(mv.nodes, 3);
   // ww: T1->T2; wr: T2->T3. (No rw edges: the read saw the latest version.)
   EXPECT_EQ(mv.edges, 2);
+}
+
+TEST(MvSerializabilityTest, BlindWritesFollowTheVersionOrder) {
+  // Two blind writers of the same object, physically interleaved in the
+  // "wrong" order. In the MVSG the ww edge follows the version order
+  // (activation sequence), so the history stays acyclic: T1 before T2.
+  HistoryRecorder h;
+  h.RecordActivation(kT1, 1);
+  h.RecordActivation(kT2, 1);
+  h.RecordWrite(kT2, 1, kA, 1);  // T2's write lands first in real time.
+  h.RecordWrite(kT1, 1, kA, 2);
+  // Force the multiversion checker to engage with a trivial version read.
+  h.RecordVersionRead(kT3, 1, kB, kInvalidTxn);
+  h.RecordCommit(kT1, 1);
+  h.RecordCommit(kT2, 1);
+  h.RecordCommit(kT3, 1);
+  auto mv = CheckMultiversionSerializability(h);
+  EXPECT_TRUE(mv.serializable) << mv.ToString();
 }
 
 TEST(MvSerializabilityTest, AbortedVersionReadsIgnored) {

@@ -1,0 +1,222 @@
+// Schedule-space verifier: the exhaustive tiny-workload matrix over every
+// algorithm, the seeded-mutation self-tests proving each oracle rule fires,
+// and the explorer's own invariants (replay determinism, sleep-set
+// soundness cross-check, choice-site coverage).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+#include "cc/factory.h"
+#include "core/history.h"
+#include "verify/explorer.h"
+#include "verify/mutant.h"
+#include "verify/oracle.h"
+#include "verify/scenario.h"
+
+namespace ccsim {
+namespace verify {
+namespace {
+
+bool AnyContains(const std::vector<std::string>& messages,
+                 const std::string& needle) {
+  for (const std::string& m : messages) {
+    if (m.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// --- The verification matrix -----------------------------------------------
+
+class MatrixTest : public ::testing::TestWithParam<std::string> {};
+
+// Exhaustively explores every tiny scenario for the algorithm under test (up
+// to the depth horizon; CCSIM_VERIFY_DEPTH deepens it in the nightly lane)
+// and requires zero oracle violations in every explored schedule.
+TEST_P(MatrixTest, AllSchedulesPassOracle) {
+  const std::string algorithm = GetParam();
+  ExploreOptions options = OptionsFromEnv();
+  for (const Scenario& scenario : TinyScenarios(algorithm)) {
+    ExploreStats stats = Explore(scenario, options);
+    EXPECT_TRUE(stats.ok()) << algorithm << "/" << scenario.name << ": "
+                            << stats.Summary();
+    EXPECT_GT(stats.runs, 0u) << algorithm << "/" << scenario.name;
+    // The engine must actually branch: a matrix that never reaches a choice
+    // point would "pass" vacuously.
+    EXPECT_FALSE(stats.choices_by_tag.empty())
+        << algorithm << "/" << scenario.name << ": no choice points reached";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, MatrixTest,
+                         ::testing::ValuesIn(AllAlgorithms()),
+                         [](const auto& param_info) { return param_info.param; });
+
+// --- Explorer invariants ----------------------------------------------------
+
+// Distinct choices must produce genuinely different schedules: the explored
+// digest set has more than one element for a contended scenario.
+TEST(ExplorerTest, ChoicesChangeTheSchedule) {
+  Scenario scenario = TinyScenarios("blocking")[0];
+  ExploreOptions options;
+  options.max_depth = 4;
+  ExploreStats stats = Explore(scenario, options);
+  EXPECT_GT(stats.runs, 1u);
+  EXPECT_GT(stats.digests.size(), 1u)
+      << "every explored schedule produced the identical digest: "
+      << stats.Summary();
+  EXPECT_GT(stats.choices_by_tag.count("sim.tie"), 0u) << stats.Summary();
+}
+
+// The tie-break site fires for simultaneous events; the ready-queue site
+// fires when admission has a real choice (mpl < waiting terminals).
+TEST(ExplorerTest, ReadyQueueSiteFires) {
+  Scenario scenario = TinyScenarios("blocking")[1];  // triple-mix, mpl 2.
+  ExploreOptions options;
+  options.max_depth = 4;
+  ExploreStats stats = Explore(scenario, options);
+  EXPECT_GT(stats.choices_by_tag.count("ready.pick"), 0u) << stats.Summary();
+}
+
+// Sleep-set pruning is a reduction, not a coverage cut: on a full small cell
+// the pruned exploration must reach exactly the terminal schedules the
+// unpruned one reaches.
+TEST(ExplorerTest, SleepSetCrossCheck) {
+  for (const char* algorithm : {"blocking", "basic_to"}) {
+    Scenario scenario = TinyScenarios(algorithm)[0];
+    ExploreOptions options;
+    options.max_depth = 3;
+    options.sleep_sets = false;
+    ExploreStats full = Explore(scenario, options);
+    options.sleep_sets = true;
+    ExploreStats pruned = Explore(scenario, options);
+    EXPECT_EQ(full.digests, pruned.digests) << algorithm;
+    EXPECT_LE(pruned.runs, full.runs) << algorithm;
+    EXPECT_TRUE(full.ok()) << full.Summary();
+    EXPECT_TRUE(pruned.ok()) << pruned.Summary();
+  }
+}
+
+// The same choice prefix must reproduce the identical schedule, bit for bit,
+// in the replay digest — the property the explorer's tree search stands on.
+TEST(ExplorerTest, ReplayDeterminism) {
+  Scenario scenario = TinyScenarios("wound_wait")[0];
+  ExploreOptions options;
+  std::vector<int> prefix{1, 0, 1};
+  RunOutcome first = RunOneSchedule(scenario, prefix, options);
+  RunOutcome second = RunOneSchedule(scenario, prefix, options);
+  ASSERT_FALSE(first.pruned);
+  EXPECT_TRUE(first.violations.empty()) << first.violations.front();
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_EQ(first.choice_points, second.choice_points);
+}
+
+// --- Seeded mutations: every oracle rule must be able to fire --------------
+
+// Regression for a genuine finding of the matrix: under continuous symmetric
+// conflict the optimistic algorithms starve one transaction forever — every
+// winner's commit invalidates the loser's whole read phase, every time. The
+// oracle therefore holds validation-based algorithms to progress only
+// (ClaimsStarvationFreedom); this test pins the starvation itself so the
+// finding cannot silently disappear, and the claim table stay honest.
+TEST(ExplorerTest, OptimisticStarvesUnderSymmetricConflict) {
+  for (const char* algorithm : {"optimistic", "optimistic_forward"}) {
+    Scenario scenario = TinyScenarios(algorithm)[0];  // pair-writes.
+    ASSERT_FALSE(scenario.per_terminal_target);
+    scenario.per_terminal_target = true;  // Demand starvation-freedom anyway.
+    scenario.event_budget = 4000;
+    ExploreOptions options;
+    RunOutcome outcome = RunOneSchedule(scenario, {}, options);
+    EXPECT_FALSE(outcome.reached_target) << algorithm;
+    EXPECT_TRUE(AnyContains(outcome.violations, "liveness")) << algorithm;
+  }
+}
+
+// Rule 1 (serializability): a cc algorithm that grants everything lets two
+// writers interleave into a conflict cycle.
+TEST(MutationTest, IgnoredConflictsViolateSerializability) {
+  Scenario scenario = TinyScenarios("blocking")[0];
+  scenario.config.cc_factory = [](const EngineConfig&) {
+    return MakeIgnoreConflictsMutant();
+  };
+  ExploreOptions options;
+  options.max_depth = 3;
+  ExploreStats stats = Explore(scenario, options);
+  EXPECT_GT(stats.violation_runs, 0u)
+      << "the oracle accepted a no-op concurrency control: "
+      << stats.Summary();
+  EXPECT_TRUE(AnyContains(stats.violations, "serializability"))
+      << stats.Summary();
+}
+
+// Rule 3 (liveness) + rule 4 (audit lost-wakeup): swallowing a grant leaves
+// the waiter blocked forever.
+TEST(MutationTest, DroppedGrantViolatesLiveness) {
+  Scenario scenario = TinyScenarios("blocking")[0];
+  scenario.config.cc_factory = [](const EngineConfig&) {
+    return MakeDropGrantMutant(1);
+  };
+  // The stuck schedule never commits enough; cap the budget so the test
+  // fails fast rather than spinning the surviving terminal for long.
+  scenario.event_budget = 4000;
+  ExploreOptions options;
+  options.max_depth = 2;
+  ExploreStats stats = Explore(scenario, options);
+  EXPECT_GT(stats.violation_runs, 0u)
+      << "the oracle accepted a lost wakeup: " << stats.Summary();
+  EXPECT_TRUE(AnyContains(stats.violations, "liveness")) << stats.Summary();
+}
+
+// Rule 2 (recoverability): a committed reader observing an uncommitted
+// writer's version must be flagged. Exercised on a hand-built history
+// because every real algorithm in the tree orders reads behind publication.
+TEST(MutationTest, UncommittedReadViolatesRecoverability) {
+  HistoryRecorder history;
+  history.RecordActivation(1, 1);
+  history.RecordActivation(2, 1);
+  history.RecordWrite(2, 1, 0, 10);      // Txn 2 writes object 0...
+  history.RecordVersionRead(1, 1, 0, 2); // ...txn 1 reads that version...
+  history.RecordCommit(1, 1);            // ...and commits; txn 2 never does.
+  history.RecordAbort(2, 1);
+  std::vector<std::string> violations = CheckRecoverability(history);
+  ASSERT_FALSE(violations.empty());
+  EXPECT_NE(violations.front().find("recoverability"), std::string::npos);
+
+  // Control: once the writer commits, the same history is clean.
+  HistoryRecorder clean;
+  clean.RecordActivation(1, 1);
+  clean.RecordActivation(2, 1);
+  clean.RecordWrite(2, 1, 0, 10);
+  clean.RecordCommit(2, 1);
+  clean.RecordVersionRead(1, 1, 0, 2);
+  clean.RecordCommit(1, 1);
+  EXPECT_TRUE(CheckRecoverability(clean).empty());
+}
+
+// Rule 4 (audit-clean): the auditor the oracle consults really does flag a
+// two-phase-locking violation (acquire after release).
+TEST(MutationTest, AuditorFlagsLockDisciplineBreak) {
+  Auditor auditor;
+  auditor.OnTxnAdmitted(1, 1);
+  auditor.OnLockAcquired(1, 0, true);
+  auditor.OnLockReleased(1);
+  auditor.OnLockAcquired(1, 1, true);  // Growing after shrinking: violation.
+  EXPECT_GT(auditor.violation_count(), 0);
+}
+
+// Replay divergence: the digest comparison the determinism check rides on
+// actually rejects a mismatched digest.
+TEST(MutationTest, AuditorFlagsReplayDivergence) {
+  Auditor auditor;
+  auditor.FoldOp(1, 1, 2, 3, 4);
+  uint64_t digest = auditor.digest();
+  EXPECT_TRUE(auditor.VerifyReplay(digest));
+  EXPECT_FALSE(auditor.VerifyReplay(digest ^ 0x1));
+  EXPECT_GT(auditor.violation_count(), 0);
+}
+
+}  // namespace
+}  // namespace verify
+}  // namespace ccsim

@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""ccsim-lint: repo-specific static checks the generic tools cannot express.
+
+Rules (docs/VERIFICATION.md):
+  R1 determinism   Sim-visible code (src/sim, src/core, src/cc, src/res) must
+                   not reach for ambient nondeterminism: rand()/srand()/
+                   drand48(), time()/gettimeofday()/clock_gettime(),
+                   std::chrono wall clocks, std::random_device. Simulations
+                   must be pure functions of their config and master seed.
+  R2 env-knobs     Every CCSIM_* environment knob is read through the central
+                   parser (util/env.h; raw getenv appears only in
+                   src/util/env.cc) and documented in README.md or docs/*.md.
+                   A knob nobody can discover is a knob that invalidates runs.
+  R3 obs-names     Every observability instrument name is registered at
+                   exactly one call site (stats registry names are flat; two
+                   sites registering "commits" would silently split a metric).
+  R4 layering      src/cc/ may include only cc/, util/, sim/, wl/, stats/,
+                   audit/ and the obs registry facade (obs/registry.h) — the
+                   algorithms must not know about the execution harness
+                   (exec/) or observability internals.
+
+Usage: ccsim_lint.py [--root REPO] [--self-test]
+Exit status: 0 clean, 1 violations found, 2 usage error.
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+SIM_VISIBLE_DIRS = ("src/sim", "src/core", "src/cc", "src/res")
+CPP_SUFFIXES = {".h", ".cc"}
+
+# R1: ambient-nondeterminism tokens. Matched against comment- and
+# string-stripped text, so prose mentioning rand() is fine.
+R1_BANNED = [
+    (re.compile(r"\b(?:std::)?s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\bdrand48\s*\("), "drand48()"),
+    (re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)"), "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (
+        re.compile(
+            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+        ),
+        "std::chrono wall clock",
+    ),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device"),
+]
+
+R2_KNOB = re.compile(r"GetEnv(?:Int|Double)?\s*\(\s*\"(CCSIM_[A-Z0-9_]+)\"")
+R2_RAW_GETENV = re.compile(r"\b(?:std::)?getenv\s*\(")
+
+R3_REGISTER = re.compile(
+    r"\bAdd(?:Counter|Gauge|Histogram|Instrument)\s*\(\s*\"([^\"]+)\""
+)
+
+R4_INCLUDE = re.compile(r"^\s*#include\s+\"([^\"]+)\"", re.MULTILINE)
+R4_ALLOWED_PREFIXES = ("cc/", "util/", "sim/", "wl/", "stats/", "audit/")
+R4_ALLOWED_EXACT = {"obs/registry.h"}
+
+
+def strip_comments_and_strings(text):
+    """Replaces comments and string/char literal contents with spaces,
+    preserving line numbers so reported positions stay accurate."""
+    out = []
+    i, n = len(text) and 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.violations = []
+
+    def report(self, path, line, rule, message):
+        self.violations.append(f"{path}:{line}: [{rule}] {message}")
+
+    def cpp_files(self, *subdirs):
+        for sub in subdirs:
+            base = self.root / sub
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in CPP_SUFFIXES and path.is_file():
+                    yield path
+
+    def rel(self, path):
+        return path.relative_to(self.root).as_posix()
+
+    # --- R1 -----------------------------------------------------------------
+
+    def check_determinism(self):
+        for path in self.cpp_files(*SIM_VISIBLE_DIRS):
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            for pattern, label in R1_BANNED:
+                for match in pattern.finditer(code):
+                    self.report(
+                        self.rel(path),
+                        line_of(code, match.start()),
+                        "R1",
+                        f"{label} in sim-visible code; simulations must be "
+                        "pure functions of config and seed (use util/random.h "
+                        "streams and sim/time.h)",
+                    )
+
+    # --- R2 -----------------------------------------------------------------
+
+    def check_env_knobs(self):
+        knobs = {}  # name -> first use "file:line"
+        for path in self.cpp_files("src", "bench", "examples", "tests"):
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            rel = self.rel(path)
+            # The raw text still holds the literal knob names the stripper
+            # blanked out, so collect names from the raw text instead. Tests
+            # are exempt from the documentation requirement: they feed the
+            # parser synthetic CCSIM_TEST_* names that are not real knobs.
+            if not rel.startswith("tests/"):
+                for match in R2_KNOB.finditer(text):
+                    knobs.setdefault(
+                        match.group(1), f"{rel}:{line_of(text, match.start())}"
+                    )
+            if rel != "src/util/env.cc":
+                for match in R2_RAW_GETENV.finditer(code):
+                    self.report(
+                        rel,
+                        line_of(code, match.start()),
+                        "R2",
+                        "raw getenv(); route the knob through util/env.h "
+                        "(GetEnv/GetEnvInt/GetEnvDouble) so malformed values "
+                        "are hard errors",
+                    )
+        doc_text = ""
+        for doc in [self.root / "README.md"] + sorted(
+            (self.root / "docs").glob("*.md")
+        ):
+            if doc.is_file():
+                doc_text += doc.read_text(encoding="utf-8")
+        for name, first_use in sorted(knobs.items()):
+            if name not in doc_text:
+                self.report(
+                    first_use.split(":")[0],
+                    int(first_use.split(":")[1]),
+                    "R2",
+                    f"env knob {name} is not documented in README.md or "
+                    "docs/*.md",
+                )
+
+    # --- R3 -----------------------------------------------------------------
+
+    def check_obs_instruments(self):
+        sites = {}  # name -> [file:line, ...]
+        for path in self.cpp_files("src"):
+            text = path.read_text(encoding="utf-8")
+            rel = self.rel(path)
+            for match in R3_REGISTER.finditer(text):
+                sites.setdefault(match.group(1), []).append(
+                    f"{rel}:{line_of(text, match.start())}"
+                )
+        for name, locations in sorted(sites.items()):
+            # Alternative cc algorithm implementations deliberately share
+            # instrument names (one engine instantiates exactly one of them,
+            # and "lock_waiters" should mean the same thing whichever it is),
+            # so duplicates are fine when every site lives under src/cc/.
+            if all(loc.startswith("src/cc/") for loc in locations):
+                continue
+            if len(locations) > 1:
+                self.report(
+                    locations[1].split(":")[0],
+                    int(locations[1].split(":")[1]),
+                    "R3",
+                    f"obs instrument '{name}' registered at multiple sites "
+                    f"({', '.join(locations)}); names must be unique",
+                )
+
+    # --- R4 -----------------------------------------------------------------
+
+    def check_layering(self):
+        for path in self.cpp_files("src/cc"):
+            text = path.read_text(encoding="utf-8")
+            for match in R4_INCLUDE.finditer(text):
+                include = match.group(1)
+                if include in R4_ALLOWED_EXACT:
+                    continue
+                if include.startswith(R4_ALLOWED_PREFIXES):
+                    continue
+                self.report(
+                    self.rel(path),
+                    line_of(text, match.start()),
+                    "R4",
+                    f'cc/ may not include "{include}" (allowed: '
+                    f"{', '.join(R4_ALLOWED_PREFIXES)} and obs/registry.h)",
+                )
+
+    def run(self):
+        self.check_determinism()
+        self.check_env_knobs()
+        self.check_obs_instruments()
+        self.check_layering()
+        return self.violations
+
+
+# --- Self-test ---------------------------------------------------------------
+
+SELF_TEST_SNIPPETS = {
+    "R1": 'int x = rand();\nauto t = std::chrono::system_clock::now();\n',
+    "R2_getenv": 'const char* v = getenv("CCSIM_FOO");\n',
+    "R2_undocumented": 'auto v = GetEnvInt("CCSIM_SURELY_UNDOCUMENTED", 1);\n',
+    "R3": 'registry->AddCounter("dup");\nregistry->AddCounter("dup");\n',
+    "R4": '#include "exec/pool.h"\n#include "obs/sampler.h"\n',
+    "R1_comment_ok": "// rand() and time() in prose must not fire\n",
+}
+
+
+def self_test(tmp_root):
+    """Runs every rule against a planted-violation tree; each rule must fire
+    exactly where intended and stay silent on the comment-only control."""
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory(dir=tmp_root or None) as tmp:
+        root = pathlib.Path(tmp)
+        (root / "src/cc").mkdir(parents=True)
+        (root / "src/sim").mkdir(parents=True)
+        (root / "docs").mkdir()
+        (root / "README.md").write_text("no knobs here\n")
+        (root / "src/sim/bad_rand.cc").write_text(SELF_TEST_SNIPPETS["R1"])
+        (root / "src/sim/ok_comment.cc").write_text(
+            SELF_TEST_SNIPPETS["R1_comment_ok"]
+        )
+        (root / "src/cc/bad_env.cc").write_text(
+            SELF_TEST_SNIPPETS["R2_getenv"] + SELF_TEST_SNIPPETS["R2_undocumented"]
+        )
+        # Under src/sim/, not src/cc/: cc implementations may share names.
+        (root / "src/sim/bad_obs.cc").write_text(SELF_TEST_SNIPPETS["R3"])
+        (root / "src/cc/bad_include.cc").write_text(SELF_TEST_SNIPPETS["R4"])
+        violations = Linter(root).run()
+
+        def expect(substring, count):
+            hits = [v for v in violations if substring in v]
+            if len(hits) != count:
+                failures.append(
+                    f"expected {count} violation(s) matching {substring!r}, "
+                    f"got {len(hits)}: {violations}"
+                )
+
+        expect("[R1]", 2)  # rand() and the wall clock; not the comment.
+        expect("raw getenv", 1)
+        expect("CCSIM_SURELY_UNDOCUMENTED", 1)
+        expect("[R3]", 1)
+        expect("[R4]", 2)  # exec/ and obs/sampler.h; registry.h is allowed.
+        expect("ok_comment", 0)
+    if failures:
+        for f in failures:
+            print(f"ccsim-lint self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("ccsim-lint self-test: all rules fire as intended")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(pathlib.Path(__file__).resolve().parents[2]),
+        help="repository root (default: two levels above this script)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify each rule fires on planted violations, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test(None)
+    violations = Linter(args.root).run()
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"ccsim-lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("ccsim-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
