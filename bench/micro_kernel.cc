@@ -1,0 +1,267 @@
+// Hot-path microbenchmarks — the BENCH_sim.json performance trajectory.
+//
+// Three benches, each isolating one layer of the engine's hot path:
+//
+//  1. event_churn — the simulator kernel alone, exercised with the engine's
+//     dominant event pattern under blocking CC: schedule a completion plus a
+//     far-future guard timeout, fire the completion, cancel the guard. The
+//     cancel-heavy mix is what separates the pooled-arena kernel from a naive
+//     one: cancelled far-future guards must not accumulate as live heap
+//     tombstones (see docs/PERFORMANCE.md).
+//  2. lock_grant_release — LockManager request/upgrade/release cycles with
+//     no simulator in the loop (the lock-table cost of one transaction).
+//  3. end_to_end_fig03 — one real figure-3 point (blocking, low conflict,
+//     infinite resources) through the standard checked runner; commits/sec
+//     of simulated work per wall second is the whole-engine figure of merit.
+//
+// Output: a machine-readable JSON file (default ./BENCH_sim.json; override
+// with argv[1] or CCSIM_BENCH_JSON). Schema documented in
+// docs/PERFORMANCE.md; the committed repo-root BENCH_sim.json is the
+// reference trajectory for this container class. Wall-clock rates vary by
+// machine — compare runs on the same hardware; the *simulation outputs*
+// (events fired, commits, digests) are deterministic and asserted nonzero.
+//
+// Statistical effort of the end-to-end point follows the usual env knobs
+// (CCSIM_BATCHES, CCSIM_BATCH_SECONDS, CCSIM_WARMUP_SECONDS); the default
+// here is short (2 batches x 2 s) because this is a perf smoke, not a
+// figure reproduction.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "cc/lock_manager.h"
+#include "sim/simulator.h"
+#include "util/env.h"
+
+namespace {
+
+using ccsim::EngineConfig;
+using ccsim::EventId;
+using ccsim::LockManager;
+using ccsim::LockMode;
+using ccsim::MetricsReport;
+using ccsim::ResourceConfig;
+using ccsim::RunLengths;
+using ccsim::Simulator;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct ChurnResult {
+  double events_per_sec = 0.0;     ///< Events scheduled per wall second.
+  uint64_t events_fired = 0;       ///< Deterministic: kIters + drain.
+  size_t peak_heap_entries = 0;    ///< Live + tombstones; bounded by compaction.
+  uint64_t checksum = 0;           ///< Deterministic payload checksum.
+};
+
+/// The engine's blocking-CC timeout pattern: every lock grant schedules a
+/// completion AND a deadlock-guard timeout ~3 orders of magnitude further
+/// out, then cancels the guard when the completion fires first (it almost
+/// always does). A kernel that leaks cancelled entries pays deep heap walks
+/// over ~1000 dead guards; the arena kernel compacts and stays flat.
+ChurnResult RunEventChurn(int iters) {
+  ChurnResult result;
+  // One warmup pass (arena/heap growth), one measured pass.
+  for (int pass = 0; pass < 2; ++pass) {
+    Simulator sim;
+    uint64_t sink = 0;
+    const uint64_t id = 7;
+    const int inc = 3;
+    const int64_t t = 11;
+    size_t peak = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      sim.Schedule(1, [&sink, id, inc, t] {
+        sink += id + static_cast<uint64_t>(inc) + static_cast<uint64_t>(t);
+      });
+      EventId guard = sim.Schedule(1000, [&sink, id] { sink += id; });
+      sim.Step();
+      sim.Cancel(guard);
+      peak = std::max(peak, sim.heap_entries());
+    }
+    while (sim.Step()) {
+    }
+    const double secs = SecondsSince(t0);
+    if (pass == 1) {
+      result.events_per_sec = 2.0 * iters / secs;
+      result.events_fired = sim.events_fired();
+      result.peak_heap_entries = peak;
+      result.checksum = sink;
+    }
+  }
+  return result;
+}
+
+struct LockResult {
+  double requests_per_sec = 0.0;
+  int64_t immediate_grants = 0;  ///< Deterministic.
+  int64_t deferred_grants = 0;   ///< Deterministic.
+};
+
+/// One transaction-shaped lock cycle: 8 shared acquisitions, 2 upgrades,
+/// release-all — the paper's base workload shape (8 reads, 2 of them
+/// written) — plus a second transaction queued behind the upgrades so every
+/// ReleaseAll also exercises deferred grant processing.
+LockResult RunLockGrantRelease(int iters) {
+  LockResult result;
+  for (int pass = 0; pass < 2; ++pass) {
+    LockManager lm;
+    lm.Reserve(/*num_objects=*/1024, /*num_txns=*/4);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      const ccsim::ObjectId base =
+          static_cast<ccsim::ObjectId>((i * 13) & 1023);
+      for (int j = 0; j < 8; ++j) {
+        lm.Request(1, (base + static_cast<ccsim::ObjectId>(j)) & 1023,
+                   LockMode::kShared, /*enqueue_on_conflict=*/true);
+      }
+      lm.Request(1, base, LockMode::kExclusive, true);
+      lm.Request(1, (base + 1) & 1023, LockMode::kExclusive, true);
+      // A reader arrives behind the writer and must wait its turn.
+      lm.Request(2, base, LockMode::kShared, true);
+      lm.ReleaseAll(1);
+      lm.ReleaseAll(2);
+    }
+    const double secs = SecondsSince(t0);
+    if (pass == 1) {
+      result.requests_per_sec = 11.0 * iters / secs;
+      result.immediate_grants = lm.stats().immediate_grants;
+      result.deferred_grants = lm.stats().deferred_grants;
+    }
+  }
+  return result;
+}
+
+struct EndToEndResult {
+  bool ok = false;
+  int mpl = 0;
+  double throughput = 0.0;        ///< Committed txns per simulated second.
+  int64_t commits = 0;            ///< Deterministic at fixed seed/lengths.
+  uint64_t replay_digest = 0;     ///< Deterministic at fixed seed/lengths.
+  double wall_seconds = 0.0;
+  double commits_per_wall_sec = 0.0;
+};
+
+/// One figure-3 point through the full checked engine: blocking CC,
+/// db_size=10000 (low conflict), infinite resources, mpl=50.
+EndToEndResult RunEndToEnd(const RunLengths& lengths) {
+  EndToEndResult result;
+  EngineConfig config = ccsim::bench::PaperBaseConfig();
+  config.workload.db_size = 10000;
+  config.resources = ResourceConfig::Infinite();
+  config.algorithm = "blocking";
+  config.workload.mpl = 50;
+  // Audit on: the replay digest in the JSON is then a deterministic anchor —
+  // two builds at the same seed and lengths must report the same value.
+  config.audit = true;
+  result.mpl = config.workload.mpl;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<MetricsReport> reports = ccsim::bench::RunLabeledPoints(
+      {{"fig03 blocking mpl=50", config}}, lengths);
+  result.wall_seconds = SecondsSince(t0);
+  if (reports.size() != 1) return result;  // Point failed; reported on stderr.
+  const MetricsReport& r = reports[0];
+  result.ok = true;
+  result.throughput = r.throughput.mean;
+  result.commits = r.commits;
+  result.replay_digest = r.replay_digest;
+  result.commits_per_wall_sec =
+      result.wall_seconds > 0.0 ? r.commits / result.wall_seconds : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path =
+      ccsim::GetEnv("CCSIM_BENCH_JSON").value_or("BENCH_sim.json");
+  if (argc > 1) out_path = argv[1];
+
+  RunLengths lengths = ccsim::bench::BenchLengths(/*batch_seconds=*/2.0,
+                                                  /*warmup_seconds=*/2.0);
+  ccsim::bench::PrintBanner("Hot-path microbenchmarks (BENCH_sim.json)",
+                            lengths);
+
+  const int churn_iters = 2000000;
+  std::cerr << "[micro_kernel] event_churn (" << churn_iters
+            << " timeout-pattern iterations)...\n";
+  ChurnResult churn = RunEventChurn(churn_iters);
+  std::cerr << "[micro_kernel]   " << static_cast<int64_t>(churn.events_per_sec)
+            << " events/sec, peak heap " << churn.peak_heap_entries << "\n";
+
+  const int lock_iters = 500000;
+  std::cerr << "[micro_kernel] lock_grant_release (" << lock_iters
+            << " transaction cycles)...\n";
+  LockResult lock = RunLockGrantRelease(lock_iters);
+  std::cerr << "[micro_kernel]   "
+            << static_cast<int64_t>(lock.requests_per_sec)
+            << " lock requests/sec\n";
+
+  std::cerr << "[micro_kernel] end_to_end_fig03 (blocking, mpl=50)...\n";
+  EndToEndResult e2e = RunEndToEnd(lengths);
+
+  // Hard validity checks: a zero anywhere means the bench silently broke.
+  bool valid = churn.events_per_sec > 0.0 && churn.events_fired > 0 &&
+               churn.peak_heap_entries > 0 && lock.requests_per_sec > 0.0 &&
+               lock.immediate_grants > 0 && lock.deferred_grants > 0 &&
+               e2e.ok && e2e.commits > 0 && e2e.throughput > 0.0 &&
+               e2e.replay_digest != 0;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "[micro_kernel] FAILED to open " << out_path << "\n";
+    return 1;
+  }
+  char buf[4096];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"schema\": \"ccsim-bench-v1\",\n"
+      "  \"event_churn\": {\n"
+      "    \"iterations\": %d,\n"
+      "    \"events_per_sec\": %.0f,\n"
+      "    \"events_fired\": %llu,\n"
+      "    \"peak_heap_entries\": %zu,\n"
+      "    \"checksum\": %llu\n"
+      "  },\n"
+      "  \"lock_grant_release\": {\n"
+      "    \"iterations\": %d,\n"
+      "    \"requests_per_sec\": %.0f,\n"
+      "    \"immediate_grants\": %lld,\n"
+      "    \"deferred_grants\": %lld\n"
+      "  },\n"
+      "  \"end_to_end_fig03\": {\n"
+      "    \"algorithm\": \"blocking\",\n"
+      "    \"mpl\": %d,\n"
+      "    \"batches\": %d,\n"
+      "    \"throughput_txn_per_sim_sec\": %.4f,\n"
+      "    \"commits\": %lld,\n"
+      "    \"replay_digest\": \"%016llx\",\n"
+      "    \"wall_seconds\": %.2f,\n"
+      "    \"commits_per_wall_sec\": %.0f\n"
+      "  }\n"
+      "}\n",
+      churn_iters, churn.events_per_sec,
+      static_cast<unsigned long long>(churn.events_fired),
+      churn.peak_heap_entries,
+      static_cast<unsigned long long>(churn.checksum), lock_iters,
+      lock.requests_per_sec, static_cast<long long>(lock.immediate_grants),
+      static_cast<long long>(lock.deferred_grants), e2e.mpl, lengths.batches,
+      e2e.throughput, static_cast<long long>(e2e.commits),
+      static_cast<unsigned long long>(e2e.replay_digest), e2e.wall_seconds,
+      e2e.commits_per_wall_sec);
+  out << buf;
+  out.close();
+  std::cerr << "[micro_kernel] wrote " << out_path
+            << (valid ? "" : " (INVALID: zero metric)") << "\n";
+  return valid && ccsim::bench::BenchExitCode() == 0 ? 0 : 1;
+}

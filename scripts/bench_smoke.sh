@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Microbenchmark + determinism smoke (CI release lane; scripts/check.sh).
+#
+#   1. Runs bench/micro_kernel and validates the emitted BENCH_sim.json:
+#      parses as JSON, carries the expected schema tag, and every throughput
+#      field is strictly positive (the binary also self-checks this — a zero
+#      means a bench silently broke, not that the machine is slow).
+#   2. Regenerates the fig03/fig04 CSVs with the pinned short-batch
+#      configuration and requires them byte-identical to the committed
+#      references (bench/reference/). Simulated results depend only on the
+#      seed and run lengths, never on the host or job count, so any diff is
+#      a real behavior change in the engine — see docs/PERFORMANCE.md.
+#
+# Usage: scripts/bench_smoke.sh <build-dir>   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+echo "--- micro_kernel -> BENCH_sim.json ---"
+CCSIM_BENCH_JSON="${TMP}/BENCH_sim.json" "${BUILD}/bench/micro_kernel"
+python3 - "${TMP}/BENCH_sim.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "ccsim-bench-v1", doc.get("schema")
+assert doc["event_churn"]["events_per_sec"] > 0
+assert doc["event_churn"]["peak_heap_entries"] > 0
+assert doc["lock_grant_release"]["requests_per_sec"] > 0
+assert doc["end_to_end_fig03"]["throughput_txn_per_sim_sec"] > 0
+assert doc["end_to_end_fig03"]["commits"] > 0
+assert int(doc["end_to_end_fig03"]["replay_digest"], 16) != 0
+print("BENCH_sim.json OK: %.1fM events/sec churn, %.1f txn/s end-to-end"
+      % (doc["event_churn"]["events_per_sec"] / 1e6,
+         doc["end_to_end_fig03"]["throughput_txn_per_sim_sec"]))
+EOF
+
+echo "--- fig03/fig04 determinism vs committed references ---"
+CCSIM_CSV_DIR="${TMP}" CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 \
+  CCSIM_WARMUP_SECONDS=1 "${BUILD}/bench/fig03_04_low_conflict" >/dev/null
+diff "${TMP}/fig03.csv" bench/reference/fig03.csv
+diff "${TMP}/fig04.csv" bench/reference/fig04.csv
+echo "fig03/fig04 CSVs byte-identical to bench/reference/"

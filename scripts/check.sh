@@ -4,7 +4,9 @@
 #   2. ASan+UBSan build + full ctest suite
 #   3. TSan build + full ctest suite, plus the parallel-runner tests re-run
 #      under CCSIM_JOBS=8 (the threaded sweep path under TSan)
-#   4. bench smoke: one figure binary, short batches, CCSIM_JOBS=4
+#   4. bench smoke: one figure binary, short batches, CCSIM_JOBS=4, then
+#      the microbench smoke (BENCH_sim.json validation + byte-identical
+#      fig03 CSV vs the committed reference — scripts/bench_smoke.sh)
 #   5. crash-resume smoke: SIGKILL a journaled sweep mid-run, resume it from
 #      the journal, diff the CSVs against an uninterrupted reference run
 #   6. observability smoke: one figure point with the sampler + Perfetto
@@ -47,6 +49,9 @@ fi
 echo "=== bench smoke (fig03_04, short batches, CCSIM_JOBS=4) ==="
 CCSIM_JOBS=4 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 CCSIM_WARMUP_SECONDS=1 \
   ./build-plain/bench/fig03_04_low_conflict >/dev/null
+
+echo "=== microbench smoke (BENCH_sim.json + fig03/04 reference diff) ==="
+scripts/bench_smoke.sh build-plain
 
 echo "=== crash-resume smoke (SIGKILL mid-sweep, journal resume, CSV diff) ==="
 scripts/crash_resume_smoke.sh ./build-plain/bench/fig03_04_low_conflict

@@ -23,6 +23,12 @@ class BlockingCC : public ConcurrencyControl {
 
   std::string name() const override { return "blocking"; }
 
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    locks_.Reserve(static_cast<size_t>(num_objects),
+                   static_cast<size_t>(num_txns));
+    start_times_.reserve(static_cast<size_t>(num_txns));
+  }
+
   void OnBegin(TxnId txn, SimTime first_start,
                SimTime incarnation_start) override;
   CCDecision ReadRequest(TxnId txn, ObjectId obj) override;

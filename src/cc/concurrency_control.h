@@ -46,6 +46,16 @@ class ConcurrencyControl {
   /// Human-readable algorithm name (used in reports).
   virtual std::string name() const = 0;
 
+  /// Capacity hint, called once by the engine before any transaction
+  /// activity: the workload's lockable-granule count and its transaction
+  /// population (mpl). Implementations may pre-reserve their tables so the
+  /// steady state never rehashes; purely a performance hint — it must have
+  /// no behavioral effect. Default: no-op.
+  virtual void ReserveCapacity(int64_t num_objects, int num_txns) {
+    (void)num_objects;
+    (void)num_txns;
+  }
+
   /// A new incarnation of `txn` begins. `first_start` is the transaction's
   /// original submission time (stable across restarts; used by
   /// wound-wait/wait-die); `incarnation_start` is now (used for youngest-

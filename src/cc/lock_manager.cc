@@ -11,12 +11,17 @@ namespace ccsim {
 
 namespace {
 
-/// Waiter-with-mode; kept local to the .cc via the header's Waiter mirror.
 bool ModeConflicts(LockMode held, LockMode wanted) {
   return held == LockMode::kExclusive || wanted == LockMode::kExclusive;
 }
 
 }  // namespace
+
+void LockManager::Reserve(size_t num_objects, size_t num_txns) {
+  table_.reserve(num_objects);
+  held_.reserve(num_txns);
+  waiting_.reserve(num_txns);
+}
 
 bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
                                         LockMode mode, bool upgrade) {
@@ -71,7 +76,7 @@ LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
     // Upgraders wait ahead of ordinary waiters, FIFO among themselves.
     auto pos = entry.queue.begin();
     while (pos != entry.queue.end() && pos->upgrade) ++pos;
-    entry.queue.insert(pos, Waiter{txn, /*upgrade=*/true});
+    entry.queue.insert(pos, Waiter{txn, LockMode::kExclusive, /*upgrade=*/true});
     waiting_[txn] = obj;
     ++stats_.waits;
     return LockRequestOutcome::kWaiting;
@@ -81,7 +86,7 @@ LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
   if (entry.queue.empty() &&
       CompatibleWithHolders(entry, txn, mode, /*upgrade=*/false)) {
     entry.holders.push_back(Holder{txn, mode});
-    held_[txn].insert(obj);
+    held_[txn].push_back(obj);
     ++stats_.immediate_grants;
     if (auditor_ != nullptr) {
       auditor_->OnLockAcquired(txn, obj, mode == LockMode::kExclusive);
@@ -93,9 +98,7 @@ LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
     MaybeErase(obj);
     return LockRequestOutcome::kDenied;
   }
-  entry.queue.push_back(Waiter{txn, /*upgrade=*/false});
-  // Non-upgrade waiter modes are tracked in waiter_modes_ keyed by txn.
-  waiter_modes_[txn] = mode;
+  entry.queue.push_back(Waiter{txn, mode, /*upgrade=*/false});
   waiting_[txn] = obj;
   ++stats_.waits;
   return LockRequestOutcome::kWaiting;
@@ -117,15 +120,13 @@ void LockManager::ProcessQueue(ObjectId obj, Entry& entry,
         auditor_->OnLockAcquired(w.txn, obj, /*exclusive=*/true);
       }
     } else {
-      LockMode mode = waiter_modes_.at(w.txn);
-      if (!CompatibleWithHolders(entry, w.txn, mode, /*upgrade=*/false)) {
+      if (!CompatibleWithHolders(entry, w.txn, w.mode, /*upgrade=*/false)) {
         return;
       }
-      entry.holders.push_back(Holder{w.txn, mode});
-      held_[w.txn].insert(obj);
-      waiter_modes_.erase(w.txn);
+      entry.holders.push_back(Holder{w.txn, w.mode});
+      held_[w.txn].push_back(obj);
       if (auditor_ != nullptr) {
-        auditor_->OnLockAcquired(w.txn, obj, mode == LockMode::kExclusive);
+        auditor_->OnLockAcquired(w.txn, obj, w.mode == LockMode::kExclusive);
       }
     }
     waiting_.erase(w.txn);
@@ -140,6 +141,8 @@ std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
   std::vector<ObjectId> affected;
 
   // Cancel a pending request, if any.
+  bool had_pending = false;
+  ObjectId pending_obj = 0;
   auto wait_it = waiting_.find(txn);
   if (wait_it != waiting_.end()) {
     ObjectId obj = wait_it->second;
@@ -148,12 +151,15 @@ std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
                             [txn](const Waiter& w) { return w.txn == txn; });
     CCSIM_CHECK(pos != entry.queue.end());
     entry.queue.erase(pos);
-    waiter_modes_.erase(txn);
     waiting_.erase(wait_it);
+    had_pending = true;
+    pending_obj = obj;
     affected.push_back(obj);
   }
 
-  // Release held locks.
+  // Release held locks. A cancelled upgrade's object is both the pending
+  // object and a held one; skip the duplicate so each object is processed
+  // exactly once (the first occurrence keeps its place in the order).
   auto held_it = held_.find(txn);
   if (auditor_ != nullptr && held_it != held_.end()) {
     auditor_->OnLockReleased(txn);
@@ -165,14 +171,14 @@ std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
                               [txn](const Holder& h) { return h.txn == txn; });
       CCSIM_CHECK(pos != entry.holders.end());
       entry.holders.erase(pos);
-      affected.push_back(obj);
+      if (!had_pending || obj != pending_obj) affected.push_back(obj);
     }
     held_.erase(held_it);
   }
 
   for (ObjectId obj : affected) {
     auto it = table_.find(obj);
-    if (it == table_.end()) continue;  // Already erased via earlier pass.
+    if (it == table_.end()) continue;  // Released entries may already be gone.
     ProcessQueue(obj, it->second, &granted);
     MaybeErase(obj);
   }
@@ -203,7 +209,7 @@ std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
   }
   // Conflicting holders block us.
   bool upgrade = pos->upgrade;
-  LockMode mode = upgrade ? LockMode::kExclusive : waiter_modes_.at(txn);
+  LockMode mode = pos->mode;
   for (const Holder& h : entry.holders) {
     if (h.txn == txn) continue;
     if (upgrade || ModeConflicts(h.mode, mode)) blockers.push_back(h.txn);
@@ -262,7 +268,9 @@ void LockManager::AuditCheck(Auditor* auditor,
       }
       if (h.mode == LockMode::kExclusive) ++exclusive_holders;
       auto held_it = held_.find(h.txn);
-      if (held_it == held_.end() || held_it->second.count(obj) == 0) {
+      if (held_it == held_.end() ||
+          std::find(held_it->second.begin(), held_it->second.end(), obj) ==
+              held_it->second.end()) {
         std::ostringstream detail;
         detail << "holder of object " << obj << " missing from held_ index";
         report(h.txn, detail.str());
@@ -289,17 +297,26 @@ void LockManager::AuditCheck(Auditor* auditor,
                  << " holds no lock to upgrade";
           report(w.txn, detail.str());
         }
-      } else if (waiter_modes_.count(w.txn) == 0) {
-        std::ostringstream detail;
-        detail << "non-upgrade waiter on object " << obj
-               << " has no recorded mode";
-        report(w.txn, detail.str());
+        if (w.mode != LockMode::kExclusive) {
+          std::ostringstream detail;
+          detail << "upgrade waiter on object " << obj
+                 << " records a non-exclusive mode";
+          report(w.txn, detail.str());
+        }
       }
     }
   }
 
   // held_/waiting_ -> table_ direction.
   for (const auto& [txn, objects] : held_) {
+    std::unordered_set<ObjectId> seen_objects;
+    for (ObjectId obj : objects) {
+      if (!seen_objects.insert(obj).second) {
+        std::ostringstream detail;
+        detail << "held_ index lists object " << obj << " twice";
+        report(txn, detail.str());
+      }
+    }
     for (ObjectId obj : objects) {
       auto it = table_.find(obj);
       bool found = false;

@@ -59,6 +59,11 @@ class LockManager {
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
+  /// Capacity hint (workload granule count and transaction population).
+  /// Pre-reserves the hash tables so the steady state never rehashes; purely
+  /// a performance hint with no behavioral effect.
+  void Reserve(size_t num_objects, size_t num_txns);
+
   /// Requests `mode` on `obj` for `txn`. Re-requesting an already-sufficient
   /// lock is granted idempotently; requesting X while holding S is an
   /// upgrade. If the lock cannot be granted now and `enqueue_on_conflict` is
@@ -115,6 +120,10 @@ class LockManager {
   };
   struct Waiter {
     TxnId txn;
+    /// Requested mode; upgrades always record kExclusive. Carried in the
+    /// queue record itself so grant processing never consults a side table
+    /// (the old waiter_modes_ map could desync and throw from `.at()`).
+    LockMode mode;
     bool upgrade;  ///< Requester already holds S on this object.
   };
   struct Entry {
@@ -135,12 +144,13 @@ class LockManager {
   void MaybeErase(ObjectId obj);
 
   std::unordered_map<ObjectId, Entry> table_;
-  /// Objects held per transaction (for ReleaseAll).
-  std::unordered_map<TxnId, std::unordered_set<ObjectId>> held_;
+  /// Objects held per transaction (for ReleaseAll), in acquisition order. A
+  /// transaction holds each object at most once, so a flat vector beats a
+  /// hash set: cheaper insert, cache-friendly release scan, and a
+  /// deterministic iteration order to boot.
+  std::unordered_map<TxnId, std::vector<ObjectId>> held_;
   /// Pending request per waiting transaction.
   std::unordered_map<TxnId, ObjectId> waiting_;
-  /// Requested mode of each non-upgrade waiter (upgrades are implicitly X).
-  std::unordered_map<TxnId, LockMode> waiter_modes_;
   LockManagerStats stats_;
   Auditor* auditor_ = nullptr;
 };

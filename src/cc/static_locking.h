@@ -36,6 +36,11 @@ class StaticLockingCC : public ConcurrencyControl {
 
   std::string name() const override { return "static_locking"; }
 
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    objects_.reserve(static_cast<size_t>(num_objects));
+    active_.reserve(static_cast<size_t>(num_txns));
+  }
+
   bool needs_predeclaration() const override { return true; }
 
   void OnBegin(TxnId txn, SimTime first_start,

@@ -39,6 +39,13 @@ class TimestampLockingCC : public ConcurrencyControl {
     return flavor_ == Flavor::kWoundWait ? "wound_wait" : "wait_die";
   }
 
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    locks_.Reserve(static_cast<size_t>(num_objects),
+                   static_cast<size_t>(num_txns));
+    first_starts_.reserve(static_cast<size_t>(num_txns));
+    incarnation_starts_.reserve(static_cast<size_t>(num_txns));
+  }
+
   void OnBegin(TxnId txn, SimTime first_start,
                SimTime incarnation_start) override;
   CCDecision ReadRequest(TxnId txn, ObjectId obj) override;

@@ -65,6 +65,12 @@ ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
         << " requires a restart delay (fixed or adaptive)";
   }
   CCSIM_CHECK_GE(config_.lock_granule_size, 1);
+  // Capacity hint: lockable granule count + transaction population, so the
+  // algorithm's tables never rehash in steady state.
+  cc_->ReserveCapacity(
+      (config_.workload.db_size + config_.lock_granule_size - 1) /
+          config_.lock_granule_size,
+      config_.workload.mpl);
   terminal_commits_.assign(
       static_cast<size_t>(std::max(config_.workload.num_terms, 1)), 0);
   class_response_.resize(static_cast<size_t>(config_.workload.ClassCount()));
@@ -491,54 +497,59 @@ void ClosedSystem::StartAccess(TxnId id) {
   int incarnation = txn.incarnation;
 
   if (txn.read_index < txn.spec.num_reads()) {
-    // Read: obj_io on a random disk, then obj_cpu.
-    auto after_cpu = [this, id, incarnation] { AfterReadAccess(id, incarnation); };
-    auto do_cpu = [this, id, incarnation, w, after_cpu] {
-      if (w.obj_cpu > 0) {
-        SimTime req_at = sim_->Now();
-        resources_.RequestCpu(w.obj_cpu, ServicePriority::kNormal,
-                              [this, id, incarnation, w, after_cpu, req_at] {
-                                CCSIM_CHECK(IsCurrent(id, incarnation));
-                                GetTxn(id).cpu_used += w.obj_cpu;
-                                ChargePhase(GetTxn(id), &Txn::ph_cpu,
-                                            w.obj_cpu, req_at);
-                                after_cpu();
-                              });
-      } else {
-        after_cpu();
-      }
-    };
+    // Read: obj_io on a random disk, then obj_cpu. Completions capture five
+    // scalars at most (never the whole WorkloadParams) so they stay inside
+    // the ServiceCompletion inline buffer — zero heap allocations per access.
     // Buffer-pool model: a read may hit the buffer and skip the disk.
     bool buffer_hit = w.buffer_hit_prob > 0.0 &&
                       buffer_rng_.Bernoulli(w.buffer_hit_prob);
     if (w.obj_io > 0 && !buffer_hit) {
+      SimTime obj_io = w.obj_io;
       SimTime req_at = sim_->Now();
-      resources_.RequestDisk(w.obj_io,
-                             [this, id, incarnation, w, do_cpu, req_at] {
+      resources_.RequestDisk(obj_io, [this, id, incarnation, obj_io, req_at] {
         CCSIM_CHECK(IsCurrent(id, incarnation));
-        GetTxn(id).disk_used += w.obj_io;
-        ChargePhase(GetTxn(id), &Txn::ph_disk, w.obj_io, req_at);
-        do_cpu();
+        GetTxn(id).disk_used += obj_io;
+        ChargePhase(GetTxn(id), &Txn::ph_disk, obj_io, req_at);
+        StartReadCpu(id, incarnation);
       });
     } else {
-      do_cpu();
+      StartReadCpu(id, incarnation);
     }
     return;
   }
 
   // Write request: obj_cpu only; the physical write is deferred to commit.
   if (w.obj_cpu > 0) {
+    SimTime obj_cpu = w.obj_cpu;
     SimTime req_at = sim_->Now();
-    resources_.RequestCpu(w.obj_cpu, ServicePriority::kNormal,
-                          [this, id, incarnation, w, req_at] {
+    resources_.RequestCpu(obj_cpu, ServicePriority::kNormal,
+                          [this, id, incarnation, obj_cpu, req_at] {
                             CCSIM_CHECK(IsCurrent(id, incarnation));
-                            GetTxn(id).cpu_used += w.obj_cpu;
-                            ChargePhase(GetTxn(id), &Txn::ph_cpu, w.obj_cpu,
+                            GetTxn(id).cpu_used += obj_cpu;
+                            ChargePhase(GetTxn(id), &Txn::ph_cpu, obj_cpu,
                                         req_at);
                             AfterWriteAccess(id, incarnation);
                           });
   } else {
     AfterWriteAccess(id, incarnation);
+  }
+}
+
+void ClosedSystem::StartReadCpu(TxnId id, int incarnation) {
+  CCSIM_CHECK(IsCurrent(id, incarnation));
+  SimTime obj_cpu = config_.workload.obj_cpu;
+  if (obj_cpu > 0) {
+    SimTime req_at = sim_->Now();
+    resources_.RequestCpu(obj_cpu, ServicePriority::kNormal,
+                          [this, id, incarnation, obj_cpu, req_at] {
+                            CCSIM_CHECK(IsCurrent(id, incarnation));
+                            GetTxn(id).cpu_used += obj_cpu;
+                            ChargePhase(GetTxn(id), &Txn::ph_cpu, obj_cpu,
+                                        req_at);
+                            AfterReadAccess(id, incarnation);
+                          });
+  } else {
+    AfterReadAccess(id, incarnation);
   }
 }
 
@@ -592,10 +603,11 @@ void ClosedSystem::BeginUpdates(TxnId id) {
       }
       return;
     }
+    SimTime log_io = w.log_io;
     SimTime req_at = sim_->Now();
-    resources_.RequestLog(w.log_io, [this, id, incarnation, w, req_at] {
+    resources_.RequestLog(log_io, [this, id, incarnation, log_io, req_at] {
       CCSIM_CHECK(IsCurrent(id, incarnation));
-      ChargePhase(GetTxn(id), &Txn::ph_disk, w.log_io, req_at);
+      ChargePhase(GetTxn(id), &Txn::ph_disk, log_io, req_at);
       NextUpdate(id);
     });
     return;
@@ -608,7 +620,8 @@ void ClosedSystem::FlushGroupCommit() {
   std::vector<std::pair<TxnId, int>> batch = std::move(group_commit_queue_);
   group_commit_queue_.clear();
   if (batch.empty()) return;
-  resources_.RequestLog(config_.workload.log_io, [this, batch] {
+  resources_.RequestLog(config_.workload.log_io,
+                        [this, batch = std::move(batch)] {
     for (const auto& [id, incarnation] : batch) {
       // A batch member may have been wounded and restarted while waiting;
       // its incarnation guard skips it (the doomed path aborts elsewhere).
@@ -631,22 +644,20 @@ void ClosedSystem::NextUpdate(TxnId id) {
   }
   const WorkloadParams& w = config_.workload;
   int incarnation = txn.incarnation;
-  auto applied = [this, id, incarnation] {
-    CCSIM_CHECK(IsCurrent(id, incarnation));
-    ++GetTxn(id).update_index;
-    NextUpdate(id);
-  };
   if (w.obj_io > 0) {
+    SimTime obj_io = w.obj_io;
     SimTime req_at = sim_->Now();
-    resources_.RequestDisk(w.obj_io,
-                           [this, id, incarnation, w, applied, req_at] {
+    resources_.RequestDisk(obj_io, [this, id, incarnation, obj_io, req_at] {
       CCSIM_CHECK(IsCurrent(id, incarnation));
-      GetTxn(id).disk_used += w.obj_io;
-      ChargePhase(GetTxn(id), &Txn::ph_disk, w.obj_io, req_at);
-      applied();
+      Txn& t = GetTxn(id);
+      t.disk_used += obj_io;
+      ChargePhase(t, &Txn::ph_disk, obj_io, req_at);
+      ++t.update_index;
+      NextUpdate(id);
     });
   } else {
-    applied();
+    ++txn.update_index;
+    NextUpdate(id);
   }
 }
 

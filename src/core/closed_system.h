@@ -263,6 +263,10 @@ class ClosedSystem {
   void IssueCcRequest(TxnId id);
   void HandleCcRequest(TxnId id);
   void StartAccess(TxnId id);
+  /// CPU half of a read access (after the disk I/O, or directly on a buffer
+  /// hit). Split out so resource completions capture five scalars at most
+  /// and stay inside the ServiceCompletion inline buffer (res/server_pool.h).
+  void StartReadCpu(TxnId id, int incarnation);
   void AfterReadAccess(TxnId id, int incarnation);
   void AfterWriteAccess(TxnId id, int incarnation);
   void StartInternalThink(TxnId id);

@@ -10,7 +10,6 @@
 #define CCSIM_RES_SERVER_POOL_H_
 
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "obs/span_sink.h"
@@ -18,14 +17,19 @@
 #include "sim/time.h"
 #include "stats/time_weighted.h"
 #include "stats/welford.h"
+#include "util/small_fn.h"
 
 namespace ccsim {
 
 /// Service priority classes. Lower enumerator = served first.
 enum class ServicePriority { kConcurrencyControl = 0, kNormal = 1 };
 
-/// Completion callback invoked when a service request finishes.
-using ServiceCompletion = std::function<void()>;
+/// Completion callback invoked when a service request finishes. Inline
+/// small-buffer storage (no heap) for the engine's completion captures —
+/// [this, id, incarnation, cost, req_at] is 40 bytes; see
+/// sim/simulator.h EventCallback for how pool completions nest inside
+/// scheduled events without overflowing either buffer.
+using ServiceCompletion = SmallFn<48>;
 
 /// k identical servers with a shared two-class FCFS queue, or an infinite
 /// server bank when constructed with `infinite = true`.

@@ -1,13 +1,5 @@
+// The choice-point hook lives entirely in choice.h (inline thread_local so
+// the per-event null test is a single TLS load). This TU intentionally left
+// almost blank: it anchors the header in the build so include hygiene is
+// still checked.
 #include "sim/choice.h"
-
-namespace ccsim {
-
-namespace {
-thread_local ChoicePoint* active_choice_point = nullptr;
-}  // namespace
-
-ChoicePoint* ActiveChoicePoint() { return active_choice_point; }
-
-void SetActiveChoicePoint(ChoicePoint* point) { active_choice_point = point; }
-
-}  // namespace ccsim

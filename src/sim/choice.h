@@ -41,11 +41,21 @@ class ChoicePoint {
   virtual int Choose(const ChoiceRequest& request) = 0;
 };
 
+namespace choice_internal {
+/// The calling thread's active hook. Inline thread_local so the simulator's
+/// per-event null test compiles to one TLS load with no function call.
+inline thread_local ChoicePoint* g_active_choice_point = nullptr;
+}  // namespace choice_internal
+
 /// The calling thread's active hook; nullptr when verification is off.
-ChoicePoint* ActiveChoicePoint();
+inline ChoicePoint* ActiveChoicePoint() {
+  return choice_internal::g_active_choice_point;
+}
 
 /// Installs `point` as the calling thread's hook (nullptr uninstalls).
-void SetActiveChoicePoint(ChoicePoint* point);
+inline void SetActiveChoicePoint(ChoicePoint* point) {
+  choice_internal::g_active_choice_point = point;
+}
 
 /// RAII installation for the scope of one explored run.
 class ScopedChoicePoint {

@@ -7,22 +7,16 @@
 
 namespace ccsim {
 
-EventId Simulator::Schedule(SimTime delay, std::function<void()> action) {
-  CCSIM_CHECK_GE(delay, 0) << "cannot schedule into the past";
-  return ScheduleAt(now_ + delay, std::move(action));
-}
-
-EventId Simulator::ScheduleAt(SimTime when, std::function<void()> action) {
-  CCSIM_CHECK_GE(when, now_) << "cannot schedule into the past";
-  EventId id = next_id_++;
-  heap_.push(HeapEntry{when, id});
-  actions_.emplace(id, std::move(action));
-  return id;
-}
-
-bool Simulator::Cancel(EventId id) {
-  // Lazy deletion: the heap entry remains and is discarded when popped.
-  return actions_.erase(id) > 0;
+void Simulator::CompactHeap() {
+  size_t keep = 0;
+  for (size_t i = 0; i < heap_.size(); ++i) {
+    if (IsLive(heap_[i])) heap_[keep++] = heap_[i];
+  }
+  heap_.resize(keep);
+  // Bottom-up heapify. The pop order is fixed by the (time, seq) total
+  // order, so rebuilding the internal layout is behavior-neutral.
+  for (size_t i = keep; i-- > 0;) SiftDown(i);
+  dead_entries_ = 0;
 }
 
 void Simulator::SetRunGuard(RunGuard guard) {
@@ -53,8 +47,8 @@ void Simulator::EnforceGuard() {
 
 namespace {
 // Ceiling on the simultaneous events offered to a verifier ChoicePoint at one
-// instant; any further same-time events keep the deterministic id order. This
-// bounds the explorer's branching factor, not engine behaviour.
+// instant; any further same-time events keep the deterministic seq order.
+// This bounds the explorer's branching factor, not engine behaviour.
 constexpr int kMaxTieAlternatives = 6;
 }  // namespace
 
@@ -63,15 +57,18 @@ Simulator::HeapEntry Simulator::ResolveTie(HeapEntry first) {
   uint64_t signatures[kMaxTieAlternatives];
   int count = 0;
   candidates[count] = first;
-  signatures[count] = first.id;
+  signatures[count] = first.seq;
   ++count;
   while (count < kMaxTieAlternatives && !heap_.empty() &&
-         heap_.top().time == first.time) {
-    HeapEntry sibling = heap_.top();
-    heap_.pop();
-    if (actions_.find(sibling.id) == actions_.end()) continue;  // Cancelled.
+         heap_.front().time == first.time) {
+    HeapEntry sibling = heap_.front();
+    HeapPopTop();
+    if (!IsLive(sibling)) {  // Tombstone.
+      --dead_entries_;
+      continue;
+    }
     candidates[count] = sibling;
-    signatures[count] = sibling.id;
+    signatures[count] = sibling.seq;
     ++count;
   }
   // Choose() may throw to abandon a pruned run; the popped siblings are then
@@ -79,35 +76,9 @@ Simulator::HeapEntry Simulator::ResolveTie(HeapEntry first) {
   // with the run.
   int pick = MaybeChoose("sim.tie", signatures, count);
   for (int i = 0; i < count; ++i) {
-    if (i != pick) heap_.push(candidates[i]);
+    if (i != pick) HeapPush(candidates[i]);
   }
   return candidates[pick];
-}
-
-bool Simulator::Step() {
-  while (!heap_.empty()) {
-    if (guard_armed_) EnforceGuard();
-    HeapEntry entry = heap_.top();
-    heap_.pop();
-    auto it = actions_.find(entry.id);
-    if (it == actions_.end()) continue;  // Cancelled.
-    if (ActiveChoicePoint() != nullptr) {
-      entry = ResolveTie(entry);
-      it = actions_.find(entry.id);
-    }
-    std::function<void()> action = std::move(it->second);
-    actions_.erase(it);
-    CCSIM_CHECK_GE(entry.time, now_);
-    now_ = entry.time;
-    ++events_fired_;
-    if (progress_ != nullptr) {
-      progress_->sim_time_us.store(now_, std::memory_order_relaxed);
-      progress_->events.store(events_fired_, std::memory_order_relaxed);
-    }
-    action();
-    return true;
-  }
-  return false;
 }
 
 void Simulator::Run() {
@@ -121,19 +92,12 @@ void Simulator::RunUntil(SimTime until) {
   stop_requested_ = false;
   while (!stop_requested_) {
     // Peek at the next live event; stop before crossing `until`.
-    bool fired = false;
-    while (!heap_.empty()) {
-      const HeapEntry& top = heap_.top();
-      if (actions_.find(top.id) == actions_.end()) {
-        heap_.pop();  // Cancelled entry.
-        continue;
-      }
-      if (top.time > until) break;
-      fired = Step();
-      break;
-    }
-    if (!fired) break;
+    if (!SkimTombstones()) break;
+    if (heap_.front().time > until) break;
+    if (!Step()) break;
   }
+  // An interrupted window leaves the clock at the last fired event (see the
+  // declaration's interrupt-semantics contract).
   if (!stop_requested_) now_ = until;
 }
 

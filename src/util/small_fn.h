@@ -1,0 +1,201 @@
+// Move-only callable with inline small-buffer storage.
+//
+// The event kernel fires millions of callbacks per simulated second, and
+// std::function's small-object buffer (16 bytes in libstdc++) is too small
+// for the engine's common captures ([this, id, incarnation, t] is 32 bytes),
+// so every scheduled event used to heap-allocate. SmallFn<Capacity> stores
+// any callable up to Capacity bytes inline; larger callables fall back to a
+// single heap box so cold paths (tests, ad-hoc drivers) still work. The
+// kernel's steady state — scheduling, cancelling, and firing events with
+// engine-sized captures — performs zero heap allocations (pinned by
+// tests/sim_alloc_test.cc).
+//
+// Differences from std::function, deliberate:
+//  * move-only (accepts move-only captures; never copies the callable),
+//  * no target introspection, no allocator support,
+//  * invoking an empty SmallFn is a CCSIM_CHECK failure, not std::bad_function_call.
+#ifndef CCSIM_UTIL_SMALL_FN_H_
+#define CCSIM_UTIL_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ccsim {
+
+namespace small_fn_internal {
+
+/// Manual vtable: one static instance per stored callable type.
+struct Ops {
+  void (*invoke)(void* storage);
+  /// Invokes the callable, then destroys it — one dispatch for the simulator's
+  /// fire path. The callable is destroyed even if it throws.
+  void (*consume)(void* storage);
+  /// Move-constructs the callable into `to` and destroys it in `from`.
+  void (*relocate)(void* from, void* to) noexcept;
+  /// nullptr when destruction is a no-op (trivially destructible inline
+  /// callables — the common case), so Reset() skips the dispatch entirely.
+  void (*destroy)(void* storage) noexcept;
+};
+
+template <typename F>
+struct InlineOps {
+  static void Invoke(void* storage) { (*static_cast<F*>(storage))(); }
+  static void Consume(void* storage) {
+    F* f = static_cast<F*>(storage);
+    struct Guard {
+      F* f;
+      ~Guard() { f->~F(); }
+    } guard{f};
+    (*f)();
+  }
+  static void Relocate(void* from, void* to) noexcept {
+    ::new (to) F(std::move(*static_cast<F*>(from)));
+    static_cast<F*>(from)->~F();
+  }
+  static void Destroy(void* storage) noexcept {
+    static_cast<F*>(storage)->~F();
+  }
+  static constexpr Ops kOps{
+      &Invoke, &Consume, &Relocate,
+      std::is_trivially_destructible_v<F> ? nullptr : &Destroy};
+};
+
+template <typename F>
+struct BoxedOps {  // Storage holds an F*; the callable lives on the heap.
+  static void Invoke(void* storage) { (**static_cast<F**>(storage))(); }
+  static void Consume(void* storage) {
+    F* f = *static_cast<F**>(storage);
+    struct Guard {
+      F* f;
+      ~Guard() { delete f; }
+    } guard{f};
+    (*f)();
+  }
+  static void Relocate(void* from, void* to) noexcept {
+    *static_cast<F**>(to) = *static_cast<F**>(from);
+  }
+  static void Destroy(void* storage) noexcept {
+    delete *static_cast<F**>(storage);
+  }
+  static constexpr Ops kOps{&Invoke, &Consume, &Relocate, &Destroy};
+};
+
+}  // namespace small_fn_internal
+
+template <size_t Capacity>
+class SmallFn {
+ public:
+  static constexpr size_t kCapacity = Capacity;
+
+  /// True if a callable of type F is stored inline (no heap). Exposed so the
+  /// zero-allocation tests can assert the engine's capture sizes qualify.
+  template <typename F>
+  static constexpr bool FitsInline() {
+    return sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &small_fn_internal::InlineOps<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &small_fn_internal::BoxedOps<D>::kOps;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  /// In-place assignment from a callable: destroys the current target and
+  /// constructs the new one directly in the buffer — no temporary SmallFn,
+  /// no relocate. This is what keeps the simulator's schedule path at one
+  /// callable construction total.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  SmallFn& operator=(F&& f) {
+    Reset();
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &small_fn_internal::InlineOps<D>::kOps;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &small_fn_internal::BoxedOps<D>::kOps;
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() {
+    CCSIM_CHECK(ops_ != nullptr) << "invoking an empty SmallFn";
+    ops_->invoke(buf_);
+  }
+
+  /// Invokes the stored callable and destroys it, leaving the SmallFn empty —
+  /// one dispatch instead of invoke-then-destroy (or move-out-then-invoke).
+  /// Requires the storage to stay at a stable address for the duration of the
+  /// call; the callable is destroyed even if it throws.
+  void InvokeConsume() {
+    CCSIM_CHECK(ops_ != nullptr) << "invoking an empty SmallFn";
+    const small_fn_internal::Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->consume(buf_);
+  }
+
+  /// Destroys the stored callable, leaving the SmallFn empty.
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  void MoveFrom(SmallFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.buf_, buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  const small_fn_internal::Ops* ops_ = nullptr;
+  alignas(alignof(std::max_align_t)) unsigned char buf_[Capacity];
+};
+
+}  // namespace ccsim
+
+#endif  // CCSIM_UTIL_SMALL_FN_H_

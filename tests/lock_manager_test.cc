@@ -176,6 +176,28 @@ TEST(LockManagerTest, ReleaseAllCoversMultipleObjects) {
   EXPECT_TRUE(lm.HoldsAtLeast(kT3, kB, LockMode::kShared));
 }
 
+TEST(LockManagerTest, ReleaseAllProcessesUpgradeObjectOnce) {
+  // A transaction with a pending *upgrade* references one object twice: as
+  // the wait it cancels and as the held lock it releases. ReleaseAll must
+  // process that object's queue exactly once, so each beneficiary appears
+  // exactly once in the returned grant list.
+  LockManager lm;
+  lm.Request(kT1, kA, LockMode::kShared, true);
+  lm.Request(kT3, kA, LockMode::kShared, true);  // Second holder.
+  EXPECT_EQ(lm.Request(kT1, kA, LockMode::kExclusive, true),
+            LockRequestOutcome::kWaiting);  // Upgrade; kT3 blocks it.
+  EXPECT_EQ(lm.Request(kT2, kA, LockMode::kShared, true),
+            LockRequestOutcome::kWaiting);  // Queued behind the upgrade.
+  EXPECT_TRUE(lm.IsWaiting(kT1));
+
+  auto granted = lm.ReleaseAll(kT1);
+  EXPECT_EQ(granted, (std::vector<TxnId>{kT2}));  // Once, not twice.
+  EXPECT_TRUE(lm.HoldsAtLeast(kT2, kA, LockMode::kShared));
+  EXPECT_TRUE(lm.HoldsAtLeast(kT3, kA, LockMode::kShared));
+  EXPECT_FALSE(lm.IsWaiting(kT1));
+  EXPECT_EQ(lm.NumHeld(kT1), 0u);
+}
+
 TEST(LockManagerTest, ReleaseAllOfUnknownTxnIsNoop) {
   LockManager lm;
   EXPECT_TRUE(lm.ReleaseAll(kT1).empty());

@@ -1,4 +1,6 @@
 // Unit tests for the discrete-event simulation kernel.
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,6 +10,10 @@
 
 namespace ccsim {
 namespace {
+
+/// The arena slot an EventId refers to (documented low-32-bit encoding);
+/// used to assert that slots really are reused.
+uint32_t SlotOfForTest(EventId id) { return static_cast<uint32_t>(id); }
 
 TEST(TimeTest, Conversions) {
   EXPECT_EQ(FromSeconds(1.0), kSecond);
@@ -181,6 +187,108 @@ TEST(SimulatorTest, PendingEventsExcludesCancelled) {
   EXPECT_EQ(sim.pending_events(), 2u);
   sim.Cancel(id);
   EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+// --- Pooled-arena specifics: generation tags, tombstone compaction, and
+// --- interrupt clock semantics (simulator.h "Hot-path design").
+
+TEST(SimulatorTest, StaleIdAfterSlotReuseIsUnknown) {
+  Simulator sim;
+  bool second_fired = false;
+  EventId first = sim.Schedule(10, [] { FAIL() << "cancelled event fired"; });
+  EXPECT_TRUE(sim.Cancel(first));
+  // The freed slot is reused immediately; the generation tag must make the
+  // old id unknown rather than cancel the new occupant.
+  EventId second = sim.Schedule(20, [&] { second_fired = true; });
+  EXPECT_EQ(SlotOfForTest(first), SlotOfForTest(second));
+  EXPECT_FALSE(sim.Cancel(first));
+  sim.Run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(SimulatorTest, StaleIdAfterFireAndReuseIsUnknown) {
+  Simulator sim;
+  EventId first = sim.Schedule(1, [] {});
+  sim.Run();
+  bool second_fired = false;
+  EventId second = sim.Schedule(5, [&] { second_fired = true; });
+  EXPECT_EQ(SlotOfForTest(first), SlotOfForTest(second));
+  EXPECT_FALSE(sim.Cancel(first));  // Must not hit the reused slot.
+  sim.Run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(SimulatorTest, SelfCancelFromCallbackIsNoop) {
+  Simulator sim;
+  EventId id = kInvalidEventId;
+  bool cancel_result = true;
+  id = sim.Schedule(5, [&] {
+    // The id is retired before the callback runs, so cancelling the very
+    // event being fired is a stale no-op, not a use-after-free.
+    cancel_result = sim.Cancel(id);
+  });
+  sim.Run();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(sim.events_fired(), 1u);
+}
+
+TEST(SimulatorTest, CallbackMayScheduleWhileFiring) {
+  // A firing callback runs in place in its arena slot; scheduling from
+  // inside it grows the arena and must not invalidate the running callback
+  // (chunked storage) nor hand its own slot to the new event.
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    sim.Schedule(1, [&sim, &fired] {
+      ++fired;
+      sim.Schedule(1, [&fired] { ++fired; });
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 200);
+}
+
+TEST(SimulatorTest, CancelStormKeepsHeapBounded) {
+  // The engine's guard-timeout pattern: every grant schedules a completion
+  // plus a far-future timeout, then cancels the timeout when the completion
+  // fires. A kernel with unbounded lazy deletion accumulates one tombstone
+  // per iteration; compaction must keep heap occupancy at
+  // 2 * pending_events() + a small constant.
+  Simulator sim;
+  size_t peak = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sim.Schedule(1, [] {});
+    EventId guard = sim.Schedule(1000, [] { FAIL() << "guard fired"; });
+    ASSERT_TRUE(sim.Step());
+    ASSERT_TRUE(sim.Cancel(guard));
+    peak = std::max(peak, sim.heap_entries());
+  }
+  EXPECT_LE(peak, 2 * 1 + 64u);
+  while (sim.Step()) {
+  }
+  EXPECT_EQ(sim.events_fired(), 100000u);
+}
+
+TEST(SimulatorTest, RunUntilStoppedMidWindow) {
+  // Pinned semantics (see RunUntil's declaration): a RequestStop mid-window
+  // leaves the clock at the last fired event, NOT at `until`, so the stop
+  // handler observes a consistent "now"; resuming with the same bound
+  // finishes the window.
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.Schedule(10, [&] {
+    fired.push_back(sim.Now());
+    sim.RequestStop();
+  });
+  sim.Schedule(50, [&] { fired.push_back(sim.Now()); });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10}));
+  EXPECT_EQ(sim.Now(), 10);  // Not 100.
+  // A zero-delay event scheduled now fires at the interrupt time.
+  sim.Schedule(0, [&] { fired.push_back(sim.Now()); });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 10, 50}));
+  EXPECT_EQ(sim.Now(), 100);
 }
 
 TEST(SimulatorTest, ManyEventsStressOrdering) {

@@ -18,6 +18,12 @@ Rules (docs/VERIFICATION.md):
                    audit/ and the obs registry facade (obs/registry.h) — the
                    algorithms must not know about the execution harness
                    (exec/) or observability internals.
+  R5 hot-path fn   No std::function in the event-hot layers (src/sim,
+                   src/res): per-event callables there must use SmallFn
+                   (util/small_fn.h), whose inline storage keeps steady-state
+                   scheduling allocation-free (docs/PERFORMANCE.md).
+                   Allowlisted: RunGuard::on_violation in sim/simulator.h
+                   (installed once per run, fires at most once).
 
 Usage: ccsim_lint.py [--root REPO] [--self-test]
 Exit status: 0 clean, 1 violations found, 2 usage error.
@@ -59,6 +65,11 @@ R3_REGISTER = re.compile(
 R4_INCLUDE = re.compile(r"^\s*#include\s+\"([^\"]+)\"", re.MULTILINE)
 R4_ALLOWED_PREFIXES = ("cc/", "util/", "sim/", "wl/", "stats/", "audit/")
 R4_ALLOWED_EXACT = {"obs/registry.h"}
+
+R5_HOT_DIRS = ("src/sim", "src/res")
+R5_TOKEN = re.compile(r"\bstd::function\b")
+# file -> number of std::function occurrences that are deliberately allowed.
+R5_ALLOWLIST = {"src/sim/simulator.h": 1}  # RunGuard::on_violation.
 
 
 def strip_comments_and_strings(text):
@@ -250,11 +261,32 @@ class Linter:
                     f"{', '.join(R4_ALLOWED_PREFIXES)} and obs/registry.h)",
                 )
 
+    # --- R5 -----------------------------------------------------------------
+
+    def check_hot_path_callables(self):
+        for path in self.cpp_files(*R5_HOT_DIRS):
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            rel = self.rel(path)
+            allowed = R5_ALLOWLIST.get(rel, 0)
+            for index, match in enumerate(R5_TOKEN.finditer(code)):
+                if index < allowed:
+                    continue
+                self.report(
+                    rel,
+                    line_of(code, match.start()),
+                    "R5",
+                    "std::function in an event-hot layer; use SmallFn "
+                    "(util/small_fn.h) so per-event callables stay "
+                    "allocation-free (docs/PERFORMANCE.md)",
+                )
+
     def run(self):
         self.check_determinism()
         self.check_env_knobs()
         self.check_obs_instruments()
         self.check_layering()
+        self.check_hot_path_callables()
         return self.violations
 
 
@@ -267,6 +299,11 @@ SELF_TEST_SNIPPETS = {
     "R3": 'registry->AddCounter("dup");\nregistry->AddCounter("dup");\n',
     "R4": '#include "exec/pool.h"\n#include "obs/sampler.h"\n',
     "R1_comment_ok": "// rand() and time() in prose must not fire\n",
+    "R5": "std::function<void()> cb_;\n// std::function in prose is fine\n",
+    "R5_allowlisted": (
+        "std::function<void(const char*)> on_violation;\n"  # Allowed (1st).
+        "std::function<void()> extra_;\n"  # Beyond the allowance: fires.
+    ),
 }
 
 
@@ -292,6 +329,13 @@ def self_test(tmp_root):
         # Under src/sim/, not src/cc/: cc implementations may share names.
         (root / "src/sim/bad_obs.cc").write_text(SELF_TEST_SNIPPETS["R3"])
         (root / "src/cc/bad_include.cc").write_text(SELF_TEST_SNIPPETS["R4"])
+        (root / "src/res").mkdir(parents=True)
+        (root / "src/res/bad_fn.h").write_text(SELF_TEST_SNIPPETS["R5"])
+        # The allowlisted file may carry exactly one std::function; a second
+        # occurrence must fire.
+        (root / "src/sim/simulator.h").write_text(
+            SELF_TEST_SNIPPETS["R5_allowlisted"]
+        )
         violations = Linter(root).run()
 
         def expect(substring, count):
@@ -307,6 +351,8 @@ def self_test(tmp_root):
         expect("CCSIM_SURELY_UNDOCUMENTED", 1)
         expect("[R3]", 1)
         expect("[R4]", 2)  # exec/ and obs/sampler.h; registry.h is allowed.
+        expect("[R5]", 2)  # bad_fn.h + the over-allowance in simulator.h.
+        expect("simulator.h:2", 1)  # The allowlisted first occurrence: silent.
         expect("ok_comment", 0)
     if failures:
         for f in failures:
