@@ -11,7 +11,8 @@
 // CCSIM_OBS / CCSIM_SAMPLE_SECONDS / CCSIM_TRACE (observability: phase
 // breakdown, time-series sampler, Perfetto trace export),
 // CCSIM_HEARTBEAT_SECONDS (wall-clock progress lines),
-// CCSIM_REPORT_COLUMNS (table column selection) — docs/OBSERVABILITY.md.
+// CCSIM_REPORT_COLUMNS (table column selection) — docs/OBSERVABILITY.md,
+// CCSIM_FAULTS (deterministic fault-injection plan — docs/FAULTS.md).
 #ifndef CCSIM_BENCH_HARNESS_H_
 #define CCSIM_BENCH_HARNESS_H_
 

@@ -28,6 +28,11 @@
 //   trace            directory for Perfetto trace.json files (implies obs)
 //   sample_interval  time-series sampling period in simulated seconds
 //                    (implies obs; CSVs land next to csv=, or in ".")
+//   faults           fault-injection plan ("journal.kill@hit:2;seed=7" —
+//                    docs/FAULTS.md; CCSIM_FAULTS overrides)
+//   disk_fault       simulated fault window on every disk, as
+//                    kind:start_s:end_s with kind stall|outage
+//   cpu_fault        same window syntax, on the CPU pool
 //   seed, batches, batch_seconds, warmup_seconds, csv=<path>, title=<text>
 //
 // --trace[=path] streams the transaction lifecycle trace (one line per
@@ -44,6 +49,7 @@
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "inject/fault.h"
 #include "obs/trace.h"
 #include "util/config.h"
 #include "util/str.h"
@@ -64,14 +70,18 @@ constexpr char kUsage[] =
     "              source arrival_rate x_lock_on_read_intent audit\n"
     "  run:        seed batches batch_seconds warmup_seconds csv title\n"
     "              percentiles obs trace sample_interval\n"
+    "  faults:     faults (injection plan, docs/FAULTS.md), disk_fault and\n"
+    "              cpu_fault (simulated windows, kind:start_s:end_s with\n"
+    "              kind stall|outage)\n"
     "\n"
-    "Flags: --audit (same as audit=true), --trace[=path] (stream the\n"
-    "transaction lifecycle trace to stderr or to <path>; forces jobs=1),\n"
-    "--help.\n"
+    "Flags: --audit (same as audit=true), --faults=<plan> (same as\n"
+    "faults=<plan>), --trace[=path] (stream the transaction lifecycle trace\n"
+    "to stderr or to <path>; forces jobs=1), --help.\n"
     "Environment: CCSIM_JOBS, CCSIM_JOURNAL, CCSIM_MAX_EVENTS,\n"
     "CCSIM_POINT_TIMEOUT_SECONDS, CCSIM_OBS, CCSIM_SAMPLE_SECONDS,\n"
-    "CCSIM_TRACE, CCSIM_HEARTBEAT_SECONDS, CCSIM_REPORT_COLUMNS and friends\n"
-    "(docs/EXECUTION.md, docs/OBSERVABILITY.md).\n";
+    "CCSIM_TRACE, CCSIM_HEARTBEAT_SECONDS, CCSIM_REPORT_COLUMNS,\n"
+    "CCSIM_FAULTS and friends (docs/EXECUTION.md, docs/OBSERVABILITY.md,\n"
+    "docs/FAULTS.md).\n";
 
 /// Every key this driver or WorkloadParams::ApplyConfig understands; any
 /// other key is a spelling mistake that would otherwise silently change the
@@ -87,8 +97,37 @@ const std::set<std::string>& KnownKeys() {
       "source", "arrival_rate", "x_lock_on_read_intent", "audit",
       "seed", "batches", "batch_seconds", "warmup_seconds", "csv", "title",
       "percentiles", "obs", "trace", "sample_interval",
+      "faults", "disk_fault", "cpu_fault",
   };
   return keys;
+}
+
+/// Parses a simulated fault window: kind:start_s:end_s (docs/FAULTS.md).
+bool ParseFaultWindow(const std::string& text, ccsim::FaultWindow* out,
+                      std::string* error) {
+  const std::vector<std::string> fields = ccsim::Split(text, ':');
+  if (fields.size() != 3) {
+    *error = "expected kind:start_s:end_s";
+    return false;
+  }
+  if (fields[0] == "stall") {
+    out->kind = ccsim::FaultWindowKind::kStall;
+  } else if (fields[0] == "outage") {
+    out->kind = ccsim::FaultWindowKind::kOutage;
+  } else {
+    *error = "kind must be stall or outage";
+    return false;
+  }
+  auto start = ccsim::ParseDouble(fields[1]);
+  auto end = ccsim::ParseDouble(fields[2]);
+  if (!start.has_value() || !end.has_value() || *start < 0.0 ||
+      *end <= *start) {
+    *error = "need 0 <= start_s < end_s";
+    return false;
+  }
+  out->start = ccsim::FromSeconds(*start);
+  out->end = ccsim::FromSeconds(*end);
+  return true;
 }
 
 std::vector<int> ParseIntList(const std::string& text) {
@@ -134,6 +173,8 @@ int main(int argc, char** argv) {
     }
     if (arg == "--audit") {
       arg = "audit=true";
+    } else if (ccsim::StartsWith(arg, "--faults=")) {
+      arg = arg.substr(2);  // --faults=SPEC is sugar for faults=SPEC.
     } else if (ccsim::StartsWith(arg, "--")) {
       std::cerr << "unknown flag: " << arg << "\n\n" << kUsage;
       return 2;
@@ -174,6 +215,38 @@ int main(int argc, char** argv) {
     sweep.base.resources = ccsim::ResourceConfig::Finite(
         static_cast<int>(config.GetIntOr("num_cpus", 1)),
         static_cast<int>(config.GetIntOr("num_disks", 2)));
+  }
+
+  // Simulated resource-fault windows (docs/FAULTS.md, "Fault windows").
+  struct WindowKey {
+    const char* key;
+    ccsim::FaultWindow* slot;
+  };
+  for (const WindowKey& wk :
+       {WindowKey{"disk_fault", &sweep.base.resources.disk_fault},
+        WindowKey{"cpu_fault", &sweep.base.resources.cpu_fault}}) {
+    const std::string spec = config.GetStringOr(wk.key, "");
+    if (spec.empty()) continue;
+    std::string window_error;
+    if (!ParseFaultWindow(spec, wk.slot, &window_error)) {
+      std::cerr << wk.key << "=" << spec << ": " << window_error << "\n";
+      return 1;
+    }
+  }
+
+  // Fault-injection plan (docs/FAULTS.md). Installed before the sweep so
+  // sites fire from the first point; CCSIM_FAULTS, if also set, overrides
+  // when the runner reads the environment.
+  const std::string faults_spec = config.GetStringOr("faults", "");
+  if (!faults_spec.empty()) {
+    ccsim::StatusOr<ccsim::FaultPlan> plan =
+        ccsim::FaultPlan::Parse(faults_spec);
+    if (!plan.ok()) {
+      std::cerr << "faults=" << faults_spec << ": "
+                << plan.status().ToString() << "\n";
+      return 1;
+    }
+    ccsim::InstallFaultPlan(*plan);
   }
 
   std::string delay = config.GetStringOr("restart_delay", "");

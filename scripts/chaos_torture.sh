@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Chaos torture lane for the crash-safe sweep machinery (docs/FAULTS.md).
+#
+# Runs CHAOS_CYCLES seeded kill/corrupt/resume cycles against one journaled
+# bench sweep and requires the final CSVs to be byte-identical to an
+# uninterrupted reference run. Each cycle:
+#   1. resumes the sweep with CCSIM_FAULTS="journal.kill@hit:K" where K is
+#      derived deterministically from (CHAOS_SEED, cycle) — the run reuses
+#      everything journaled so far, then SIGKILLs itself the moment the K-th
+#      *new* journal line of this cycle is durable (a cycle whose remaining
+#      work is under K lines completes instead; both outcomes are legal);
+#   2. on odd cycles, vandalizes the journal the way real crashes do: tears
+#      trailing bytes off the final line and appends a garbage line — resume
+#      must skip both, recompute the lost point, and never reuse a torn line.
+# A final fault-free resume completes the sweep, must report journal reuse,
+# and its CSVs are byte-diffed against the reference.
+#
+# Every cycle makes forward progress (the killed line is durable before the
+# SIGKILL, and at most one point is lost to the odd-cycle tear), so the
+# final resume converges no matter the seed.
+#
+# Usage: scripts/chaos_torture.sh <bench-binary> [workdir]
+# Env:   CHAOS_CYCLES (default 10), CHAOS_SEED (default 1337),
+#        CCSIM_* sizing knobs (a small deterministic default is applied).
+set -euo pipefail
+
+BIN="${1:?usage: chaos_torture.sh <bench-binary> [workdir]}"
+WORK="${2:-$(mktemp -d /tmp/ccsim_chaos.XXXXXX)}"
+CYCLES="${CHAOS_CYCLES:-10}"
+SEED="${CHAOS_SEED:-1337}"
+JOURNAL="${WORK}/journal.jsonl"
+mkdir -p "${WORK}/ref" "${WORK}/chaos"
+
+# Deterministic sizing: small enough that a torture lane of 10+ cycles runs
+# in CI time, big enough that every cycle has multiple points to chew on.
+SMOKE_ENV=(CCSIM_JOBS=2 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=2
+           CCSIM_WARMUP_SECONDS=1 CCSIM_MPLS=10,50,200)
+
+echo "=== chaos torture: ${CYCLES} cycle(s), seed ${SEED} ==="
+echo "=== reference run (uninterrupted, no journal) ==="
+env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/ref" \
+  "${BIN}" > "${WORK}/ref.log" 2>&1
+
+kills=0 completions=0 corruptions=0
+for ((cycle = 1; cycle <= CYCLES; ++cycle)); do
+  # Deterministic (seed, cycle) -> kill line in 1..3: POSIX cksum's CRC is
+  # identical on every platform, unlike $RANDOM.
+  KILL_AT=$(( $(printf '%s-%s' "${SEED}" "${cycle}" | cksum | cut -d' ' -f1) % 3 + 1 ))
+  rc=0
+  env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/chaos" \
+    CCSIM_JOURNAL="${JOURNAL}" CCSIM_FAULTS="journal.kill@hit:${KILL_AT}" \
+    "${BIN}" > "${WORK}/cycle${cycle}.log" 2>&1 || rc=$?
+  if [[ "${rc}" -eq 137 ]]; then
+    kills=$((kills + 1))
+    echo "cycle ${cycle}: killed at new journal line ${KILL_AT}" \
+         "($(wc -l < "${JOURNAL}") line(s) on disk)"
+  elif [[ "${rc}" -eq 0 ]]; then
+    # Fewer than KILL_AT points were left to run: the sweep finished.
+    completions=$((completions + 1))
+    echo "cycle ${cycle}: sweep completed before hit ${KILL_AT}"
+  else
+    echo "FAIL: cycle ${cycle} exited ${rc} (expected 137 or 0);" \
+         "see ${WORK}/cycle${cycle}.log" >&2
+    exit 1
+  fi
+
+  if (( cycle % 2 == 1 )) && [[ -s "${JOURNAL}" ]]; then
+    # Crash vandalism: tear bytes off the tail (a torn final append) and
+    # add a line of garbage. Resume must shrug both off.
+    corruptions=$((corruptions + 1))
+    SIZE=$(stat -c %s "${JOURNAL}")
+    TEAR=$(( (SEED + cycle) % 16 + 1 ))
+    if (( SIZE > TEAR )); then
+      truncate -s $((SIZE - TEAR)) "${JOURNAL}"
+    fi
+    echo "{ chaos garbage line, cycle ${cycle}" >> "${JOURNAL}"
+  fi
+done
+
+echo "=== final fault-free resume ==="
+env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/chaos" \
+  CCSIM_JOURNAL="${JOURNAL}" "${BIN}" > "${WORK}/final.log" 2>&1
+
+REUSED=$(grep -c ' \[journal\]' "${WORK}/final.log" || true)
+if [[ "${kills}" -gt 0 && "${REUSED}" -eq 0 ]]; then
+  echo "FAIL: final resume reused nothing despite ${kills} kill cycle(s);" \
+       "see ${WORK}/final.log" >&2
+  exit 1
+fi
+
+echo "=== diff: reference vs torture-survivor CSVs ==="
+if ! diff -r "${WORK}/ref" "${WORK}/chaos"; then
+  echo "FAIL: CSVs after ${CYCLES} kill/corrupt/resume cycle(s) differ from" \
+       "the uninterrupted reference" >&2
+  exit 1
+fi
+echo "chaos torture passed: ${CYCLES} cycle(s) (${kills} kill(s)," \
+     "${completions} clean completion(s), ${corruptions} corruption(s))," \
+     "final resume reused ${REUSED} point(s), CSVs byte-identical" \
+     "(workdir: ${WORK})"

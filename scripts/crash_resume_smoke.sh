@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Crash-recovery smoke test for the sweep journal (docs/EXECUTION.md).
 #
-# Runs a journaled bench sweep, SIGKILLs it mid-run (simulating a crash or
-# OOM-kill), resumes it from the journal, and requires the resumed run to
+# Runs a journaled bench sweep that SIGKILLs *itself* at a chosen journal
+# line via the deterministic fault injector (CCSIM_FAULTS="journal.kill@hit:N",
+# docs/FAULTS.md) — no wall-clock sleeps, no kill races: the crash lands at
+# the same point on every machine, the instant the N-th journal line is
+# durable. Then resumes from the journal and requires the resumed run to
 # produce byte-identical CSVs to an uninterrupted reference run. Exercises:
-#   * the journal survives an unclean death (including a torn final line),
+#   * the journal survives an unclean death at a deterministic line,
 #   * CCSIM_JOURNAL resume skips completed points and recomputes the rest,
 #   * journaled and recomputed points are indistinguishable in the output.
 #
@@ -15,52 +18,53 @@ set -euo pipefail
 BIN="${1:?usage: crash_resume_smoke.sh <bench-binary> [workdir]}"
 WORK="${2:-$(mktemp -d /tmp/ccsim_crash_resume.XXXXXX)}"
 JOURNAL="${WORK}/journal.jsonl"
+KILL_AT=2   # Die the moment the 2nd journal line is durable.
 mkdir -p "${WORK}/ref" "${WORK}/crash"
 
-# Sized so one full sweep takes seconds, not milliseconds — long enough for
-# the kill below to land while points are still outstanding, short enough
-# for CI. Results are job-count independent, so CCSIM_JOBS only changes how
-# the wall clock is spent.
-SMOKE_ENV=(CCSIM_JOBS=2 CCSIM_BATCHES=10 CCSIM_BATCH_SECONDS=100
-           CCSIM_WARMUP_SECONDS=5 CCSIM_MPLS=10,50,200)
+# Small on purpose: the kill point is deterministic, so the sweep no longer
+# needs to be big enough to outrun a racing `kill` from the shell.
+SMOKE_ENV=(CCSIM_JOBS=2 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=2
+           CCSIM_WARMUP_SECONDS=1 CCSIM_MPLS=10,50,200)
 
 echo "=== reference run (uninterrupted, no journal) ==="
 env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/ref" \
   "${BIN}" > "${WORK}/ref.log" 2>&1
 
-echo "=== journaled run, SIGKILL mid-sweep ==="
+echo "=== journaled run, journal.kill@hit:${KILL_AT} (self-SIGKILL) ==="
+rc=0
 env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/crash" \
-  CCSIM_JOURNAL="${JOURNAL}" "${BIN}" > "${WORK}/crash.log" 2>&1 &
-PID=$!
-# Kill as soon as at least two points have been journaled: late enough that
-# the resume has something to reuse, early enough that work remains.
-for _ in $(seq 1 400); do
-  if [[ -s "${JOURNAL}" ]] && (( $(wc -l < "${JOURNAL}") >= 2 )); then break; fi
-  kill -0 "${PID}" 2>/dev/null || break
-  sleep 0.05
-done
-if ! kill -0 "${PID}" 2>/dev/null; then
-  wait "${PID}" || true
-  echo "FAIL: sweep finished before it could be killed mid-run;" \
-       "enlarge the smoke sizing in $0" >&2
+  CCSIM_JOURNAL="${JOURNAL}" CCSIM_FAULTS="journal.kill@hit:${KILL_AT}" \
+  "${BIN}" > "${WORK}/crash.log" 2>&1 || rc=$?
+if [[ "${rc}" -ne 137 ]]; then
+  echo "FAIL: expected the faulted run to die by SIGKILL (exit 137)," \
+       "got ${rc}; see ${WORK}/crash.log" >&2
   exit 1
 fi
-kill -KILL "${PID}"
-wait "${PID}" 2>/dev/null || true
+if ! grep -q '^\[faults\] plan active:' "${WORK}/crash.log"; then
+  echo "FAIL: faulted run never activated its fault plan;" \
+       "see ${WORK}/crash.log" >&2
+  exit 1
+fi
 POINTS_BEFORE_KILL=$(wc -l < "${JOURNAL}")
-echo "killed pid ${PID} with ${POINTS_BEFORE_KILL} point(s) journaled"
+if [[ "${POINTS_BEFORE_KILL}" -ne "${KILL_AT}" ]]; then
+  echo "FAIL: journal holds ${POINTS_BEFORE_KILL} line(s) after" \
+       "journal.kill@hit:${KILL_AT}; the kill must land right after the" \
+       "N-th line is durable" >&2
+  exit 1
+fi
+echo "run killed itself with exactly ${POINTS_BEFORE_KILL} point(s) durable"
 
-echo "=== resumed run (same journal, same CSV dir) ==="
+echo "=== resumed run (same journal, same CSV dir, no faults) ==="
 env "${SMOKE_ENV[@]}" CCSIM_CSV_DIR="${WORK}/crash" \
   CCSIM_JOURNAL="${JOURNAL}" "${BIN}" > "${WORK}/resume.log" 2>&1
 
-if ! grep -q ' \[journal\]' "${WORK}/resume.log"; then
-  echo "FAIL: resumed run reports no journal hits (expected at least" \
-       "${POINTS_BEFORE_KILL}); see ${WORK}/resume.log" >&2
+RESUMED=$(grep -c ' \[journal\]' "${WORK}/resume.log" || true)
+if [[ "${RESUMED}" -lt "${POINTS_BEFORE_KILL}" ]]; then
+  echo "FAIL: resumed run reused ${RESUMED} journaled point(s), expected at" \
+       "least ${POINTS_BEFORE_KILL}; see ${WORK}/resume.log" >&2
   exit 1
 fi
-echo "resumed run reused $(grep -c ' \[journal\]' "${WORK}/resume.log")" \
-     "journaled point(s)"
+echo "resumed run reused ${RESUMED} journaled point(s)"
 
 echo "=== diff: reference vs crash-resumed CSVs ==="
 if ! diff -r "${WORK}/ref" "${WORK}/crash"; then

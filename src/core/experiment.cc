@@ -8,6 +8,7 @@
 #include "core/journal.h"
 #include "exec/jobs.h"
 #include "exec/thread_pool.h"
+#include "inject/fault.h"
 #include "obs/obs_config.h"
 #include "util/check.h"
 #include "util/env.h"
@@ -167,7 +168,10 @@ SweepOutcome RunPointsChecked(
     const std::vector<EngineConfig>& configs, const RunLengths& lengths,
     int jobs, const std::function<void(const PointResult&)>& progress) {
   // Environment-dependent policy is read once, on the calling thread —
-  // getenv from pool workers would race with setenv in tests.
+  // getenv from pool workers would race with setenv in tests. The fault
+  // plan (CCSIM_FAULTS) follows the same discipline: parsed and installed
+  // here, before any worker exists, then only read.
+  InstallFaultPlanFromEnv();
   const PointBudget budget = PointBudget::FromEnv();
   std::unique_ptr<SweepJournal> journal = SweepJournal::FromEnv();
 
@@ -200,33 +204,58 @@ SweepOutcome RunPointsChecked(
     to_run.push_back(i);
   }
 
+  // Pre-fail every point that is about to run: a point's entry only turns
+  // OK when its body actually completes. Without this, an exception that
+  // escapes the pool machinery *around* a task (the injected pool.task
+  // fault, or a std::bad_alloc in the task wrapper itself) would leave the
+  // point looking successful with an all-zero report.
+  const char* kNeverRan =
+      "point never ran: the sweep was interrupted before a worker finished it";
+  for (size_t i : to_run) {
+    outcome.points[i].status = Status::Internal(kNeverRan);
+  }
+
   std::mutex progress_mu;
-  ParallelFor(
-      static_cast<int64_t>(to_run.size()), ResolveJobs(jobs), [&](int64_t t) {
-        PointResult& point = outcome.points[to_run[static_cast<size_t>(t)]];
-        StatusOr<MetricsReport> result =
-            TryRunOnePoint(point.config, lengths, budget);
-        if (result.ok()) {
-          point.report = std::move(result).value();
-          if (journal != nullptr) {
-            Status appended =
-                journal->Append(HashPointKey(point.config, lengths),
-                                point.config.seed, point.report);
-            // A journal write failure costs resumability, not this result;
-            // warn rather than fail the point.
-            if (!appended.ok()) {
-              std::fprintf(stderr, "warning: %s\n",
-                           appended.ToString().c_str());
-            }
-          }
-        } else {
-          point.status = result.status();
+  auto run_point = [&](int64_t t) {
+    PointResult& point = outcome.points[to_run[static_cast<size_t>(t)]];
+    StatusOr<MetricsReport> result =
+        TryRunOnePoint(point.config, lengths, budget);
+    if (result.ok()) {
+      point.report = std::move(result).value();
+      point.status = Status::Ok();
+      if (journal != nullptr) {
+        Status appended = journal->Append(HashPointKey(point.config, lengths),
+                                          point.config.seed, point.report);
+        // A journal write failure costs resumability, not this result;
+        // warn rather than fail the point.
+        if (!appended.ok()) {
+          std::fprintf(stderr, "warning: %s\n", appended.ToString().c_str());
         }
-        if (progress) {
-          std::lock_guard<std::mutex> lock(progress_mu);
-          progress(point);
-        }
-      });
+      }
+    } else {
+      point.status = result.status();
+    }
+    if (progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      progress(point);
+    }
+  };
+  try {
+    ParallelFor(static_cast<int64_t>(to_run.size()), ResolveJobs(jobs),
+                run_point);
+  } catch (const std::exception& e) {
+    // Every task still ran (ThreadPool::Wait rethrows only after the queue
+    // drains), so points that completed keep their results; the ones the
+    // escaped exception consumed keep their pre-failed status, upgraded
+    // with the cause.
+    for (size_t i : to_run) {
+      PointResult& point = outcome.points[i];
+      if (!point.ok() && point.status.message() == kNeverRan) {
+        point.status = Status::Internal(
+            std::string(kNeverRan) + " (worker exception: " + e.what() + ")");
+      }
+    }
+  }
   return outcome;
 }
 

@@ -1,13 +1,18 @@
 #include "core/journal.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cctype>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "audit/digest.h"
+#include "inject/fault.h"
 #include "util/env.h"
 #include "util/str.h"
 
@@ -506,6 +511,35 @@ bool DeserializeReport(const JsonValue& object, MetricsReport* r) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Durability helpers (docs/EXECUTION.md, "Crash-safe resume"). A flushed
+// line is kill-safe against the *process* dying; surviving the *machine*
+// dying needs fsync of the file data and — for a freshly created file — of
+// the directory entry that names it.
+
+/// Best-effort fsync of `path`'s containing directory, so the journal
+/// file's creation is durable before any result lands in it. Unopenable or
+/// unsyncable directories (permissions, exotic filesystems) are ignored:
+/// the write path's own health checks still govern the append itself.
+void FsyncParentDir(const std::string& path) {
+  std::string dir = ".";
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir = slash == 0 ? "/" : path.substr(0, slash);
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// True when an fsync errno means "this sink does not support fsync" (a
+/// pipe or character device — e.g. the /dev/full write-failure tests)
+/// rather than "your data did not reach the device".
+bool FsyncUnsupported(int error) {
+  return error == EINVAL || error == ENOTSUP || error == EROFS;
+}
+
 }  // namespace
 
 uint64_t HashPointKey(const EngineConfig& config, const RunLengths& lengths) {
@@ -540,6 +574,14 @@ uint64_t HashPointKey(const EngineConfig& config, const RunLengths& lengths) {
   FoldU64(&digest, config.resources.infinite ? 1 : 0);
   FoldI64(&digest, config.resources.num_cpus);
   FoldI64(&digest, config.resources.num_disks);
+  // Simulated fault windows are part of the experiment's identity: a
+  // faulted point must never satisfy an unfaulted point's journal lookup.
+  FoldU64(&digest, static_cast<uint64_t>(config.resources.disk_fault.kind));
+  FoldI64(&digest, config.resources.disk_fault.start);
+  FoldI64(&digest, config.resources.disk_fault.end);
+  FoldU64(&digest, static_cast<uint64_t>(config.resources.cpu_fault.kind));
+  FoldI64(&digest, config.resources.cpu_fault.start);
+  FoldI64(&digest, config.resources.cpu_fault.end);
   FoldString(&digest, config.algorithm);
   FoldU64(&digest, static_cast<uint64_t>(config.source_mode));
   FoldDouble(&digest, config.arrival_rate);
@@ -608,6 +650,15 @@ SweepJournal::SweepJournal(const std::string& path) : path_(path) {
   out_.open(path_, std::ios::app);
   CCSIM_CHECK(out_.good()) << "cannot open journal " << path_
                            << " for appending (CCSIM_JOURNAL)";
+  // A second fd on the same file gives Append an fsync handle (fsync
+  // synchronizes the file, not one fd's writes); -1 just disables the
+  // fsync, e.g. for write-only special sinks.
+  sync_fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  FsyncParentDir(path_);
+}
+
+SweepJournal::~SweepJournal() {
+  if (sync_fd_ >= 0) ::close(sync_fd_);
 }
 
 const MetricsReport* SweepJournal::Find(uint64_t key, uint64_t seed) const {
@@ -625,13 +676,42 @@ Status SweepJournal::Append(uint64_t key, uint64_t seed,
   line += SerializeReport(report);
   line += "}\n";
   std::lock_guard<std::mutex> lock(mu_);
+  // Injected append failure: the record never reaches the stream, exactly
+  // as if the file had been closed under us.
+  if (FaultPoint(FaultSite::kJournalAppend)) {
+    return Status::DataLoss("injected journal append failure (" + path_ + ")");
+  }
+  // Injected corruption: land a torn prefix with no terminator — the disk
+  // state a mid-append crash leaves — while this process sails on believing
+  // the append worked. The record is deliberately not indexed (a crashed
+  // process would not have it either); reload skips the torn line and the
+  // point re-runs.
+  if (FaultPoint(FaultSite::kJournalCorrupt)) {
+    out_ << line.substr(0, line.size() / 2);
+    out_.flush();
+    return Status::Ok();
+  }
   out_ << line;
   out_.flush();  // One flushed line per point: kill-safe from here on.
   if (!out_.good()) {
     return Status::DataLoss("journal append to " + path_ +
                             " failed (disk full or file closed)");
   }
+  // Flush covers a process kill; fsync covers the machine. Sinks that
+  // cannot fsync (pipes, character devices) are excused — the stream
+  // health check above already vouched for the write itself.
+  if (sync_fd_ >= 0 && ::fsync(sync_fd_) != 0 && !FsyncUnsupported(errno)) {
+    return Status::DataLoss("journal fsync of " + path_ + " failed: " +
+                            std::strerror(errno));
+  }
   entries_[{key, seed}] = report;
+  // Injected SIGKILL: the line above is durable, so dying here is the
+  // deterministic "crash after journal line N" the resume harnesses drive
+  // (journal.kill@hit:N). SIGKILL, not exit: no destructors, no flushing —
+  // the real thing.
+  if (FaultPoint(FaultSite::kJournalKill)) {
+    std::raise(SIGKILL);
+  }
   return Status::Ok();
 }
 

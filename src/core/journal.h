@@ -53,7 +53,12 @@ class SweepJournal {
 
   /// Loads `path` if it exists (tolerating a truncated trailing line) and
   /// opens it for appending. Aborts if the file cannot be opened for append.
+  /// Fsyncs the containing directory so the file's existence is durable — a
+  /// crash right after creation must not leave a resumed run looking at an
+  /// unlinked journal.
   explicit SweepJournal(const std::string& path);
+
+  ~SweepJournal();
 
   SweepJournal(const SweepJournal&) = delete;
   SweepJournal& operator=(const SweepJournal&) = delete;
@@ -61,8 +66,12 @@ class SweepJournal {
   /// The journaled report for (key, seed), or nullptr if not present.
   const MetricsReport* Find(uint64_t key, uint64_t seed) const;
 
-  /// Appends one completed point (one flushed JSON line) and indexes it.
-  /// Returns kDataLoss if the write did not reach the file.
+  /// Appends one completed point (one flushed and fsynced JSON line) and
+  /// indexes it. Returns kDataLoss if the write did not reach the device.
+  /// Fault-injection sites (docs/FAULTS.md): journal.append fails the call
+  /// before writing, journal.corrupt lands a torn line (as a mid-append
+  /// crash would), journal.kill raises SIGKILL right after the line is
+  /// durable — the deterministic trigger for the crash/resume harnesses.
   Status Append(uint64_t key, uint64_t seed, const MetricsReport& report);
 
   const std::string& path() const { return path_; }
@@ -80,6 +89,7 @@ class SweepJournal {
   mutable std::mutex mu_;
   std::map<std::pair<uint64_t, uint64_t>, MetricsReport> entries_;
   std::ofstream out_;
+  int sync_fd_ = -1;  ///< Second fd on the file, for fsync after each line.
 };
 
 }  // namespace ccsim

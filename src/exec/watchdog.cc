@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "inject/fault.h"
 #include "util/check.h"
 #include "util/env.h"
 
@@ -27,6 +28,15 @@ PointBudget PointBudget::FromEnv() {
 WatchdogTimer::WatchdogTimer(double seconds) {
   if (seconds <= 0.0) return;
   armed_ = true;
+  // Injected misfire: the deadline "expires" at arm time with no thread
+  // spawned (armed_ stays true so expired_flag() still hands the flag to
+  // the run guard). The event loop sees an already-set flag on its first
+  // poll, so the point fails kDeadlineExceeded through the same path as a
+  // real timeout.
+  if (FaultPoint(FaultSite::kWatchdogMisfire)) {
+    expired_.store(true, std::memory_order_relaxed);
+    return;
+  }
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                       std::chrono::duration<double>(seconds));
@@ -40,7 +50,9 @@ WatchdogTimer::WatchdogTimer(double seconds) {
 }
 
 WatchdogTimer::~WatchdogTimer() {
-  if (!armed_) return;
+  // joinable(), not armed_: an injected misfire arms the flag but spawns no
+  // thread.
+  if (!thread_.joinable()) return;
   {
     std::lock_guard<std::mutex> lock(mu_);
     cancelled_ = true;

@@ -1,0 +1,217 @@
+#include "inject/fault.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "util/env.h"
+#include "util/random.h"
+#include "util/str.h"
+
+namespace ccsim {
+namespace inject_internal {
+
+bool FaultPointSlow(PlanState* state, FaultSite site) {
+  const auto index = static_cast<std::size_t>(site);
+  // Hits count for every site while a plan is active — diagnostics want
+  // "the run reached this site N times" even for sites the plan leaves
+  // alone. Relaxed is enough: counters order nothing, and the trigger
+  // decision for hit H depends only on H itself.
+  const uint64_t hit =
+      state->hits[index].fetch_add(1, std::memory_order_relaxed) + 1;
+  const SiteTrigger& trigger = state->triggers[index];
+  bool fire = false;
+  switch (trigger.kind) {
+    case FaultTrigger::kNever:
+      return false;
+    case FaultTrigger::kAlways:
+      fire = true;
+      break;
+    case FaultTrigger::kHit:
+      fire = hit == trigger.n;
+      break;
+    case FaultTrigger::kAfter:
+      fire = hit > trigger.n;
+      break;
+    case FaultTrigger::kEvery:
+      fire = hit % trigger.n == 0;
+      break;
+    case FaultTrigger::kProb: {
+      // Stateless draw: the decision for (seed, site, hit) is a pure
+      // function, so concurrent hits on other sites never perturb it.
+      uint64_t mix = state->seed ^ (0x9E3779B97F4A7C15ull * (index + 1)) ^ hit;
+      fire = SplitMix64(mix) < trigger.threshold;
+      break;
+    }
+  }
+  if (fire) state->fires[index].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+}  // namespace inject_internal
+
+namespace {
+
+Status BadField(std::string_view field, const char* why) {
+  return Status::InvalidArgument("fault-plan field \"" + std::string(field) +
+                                 "\": " + why);
+}
+
+/// Parses "site@trigger" into `plan_trigger`; `field` is the whole field for
+/// error messages.
+Status ParseTrigger(std::string_view field, std::string_view trigger_text,
+                    SiteTrigger* out) {
+  if (trigger_text == "always") {
+    out->kind = FaultTrigger::kAlways;
+    return Status::Ok();
+  }
+  const std::size_t colon = trigger_text.find(':');
+  if (colon == std::string_view::npos) {
+    return BadField(field,
+                    "trigger must be always | hit:N | after:N | every:N | "
+                    "prob:P");
+  }
+  const std::string_view kind = trigger_text.substr(0, colon);
+  const std::string_view param = trigger_text.substr(colon + 1);
+  if (kind == "prob") {
+    auto p = ParseDouble(param);
+    if (!p.has_value() || *p < 0.0 || *p > 1.0) {
+      return BadField(field, "prob parameter must be a probability in [0,1]");
+    }
+    if (*p >= 1.0) {
+      out->kind = FaultTrigger::kAlways;
+    } else {
+      out->kind = FaultTrigger::kProb;
+      // Map [0,1) onto the u64 range; a hash below the threshold fires.
+      out->threshold =
+          static_cast<uint64_t>(*p * 18446744073709551616.0 /* 2^64 */);
+    }
+    return Status::Ok();
+  }
+  auto n = ParseInt(param);
+  if (!n.has_value() || *n < 0) {
+    return BadField(field, "trigger parameter must be a non-negative integer");
+  }
+  out->n = static_cast<uint64_t>(*n);
+  if (kind == "hit") {
+    if (*n < 1) return BadField(field, "hit:N requires N >= 1 (1-based)");
+    out->kind = FaultTrigger::kHit;
+  } else if (kind == "after") {
+    out->kind = FaultTrigger::kAfter;
+  } else if (kind == "every") {
+    if (*n < 1) return BadField(field, "every:N requires N >= 1");
+    out->kind = FaultTrigger::kEvery;
+  } else {
+    return BadField(field,
+                    "trigger must be always | hit:N | after:N | every:N | "
+                    "prob:P");
+  }
+  return Status::Ok();
+}
+
+void FillState(inject_internal::PlanState* state, const FaultPlan& plan) {
+  state->seed = plan.seed();
+  for (FaultSite site : AllFaultSites()) {
+    state->triggers[static_cast<std::size_t>(site)] = plan.trigger(site);
+  }
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  plan.spec_ = std::string(StripWhitespace(spec));
+  bool any = false;
+  for (const std::string& raw : Split(spec, ';')) {
+    const std::string_view field = StripWhitespace(raw);
+    if (field.empty()) continue;
+    if (StartsWith(field, "seed=")) {
+      auto seed = ParseInt(field.substr(5));
+      if (!seed.has_value() || *seed < 0) {
+        return BadField(field, "seed must be a non-negative integer");
+      }
+      plan.seed_ = static_cast<uint64_t>(*seed);
+      continue;
+    }
+    const std::size_t at = field.find('@');
+    if (at == std::string_view::npos) {
+      return BadField(field, "expected seed=N or site@trigger");
+    }
+    const std::string_view site_name = StripWhitespace(field.substr(0, at));
+    auto site = FaultSiteFromName(site_name);
+    if (!site.has_value()) {
+      return BadField(field, "unknown fault site (see docs/FAULTS.md)");
+    }
+    SiteTrigger& slot = plan.triggers_[static_cast<std::size_t>(*site)];
+    if (slot.kind != FaultTrigger::kNever) {
+      return BadField(field, "site specified more than once");
+    }
+    Status parsed =
+        ParseTrigger(field, StripWhitespace(field.substr(at + 1)), &slot);
+    if (!parsed.ok()) return parsed;
+    any = true;
+  }
+  if (!any && !plan.spec_.empty()) {
+    return Status::InvalidArgument("fault plan \"" + plan.spec_ +
+                                   "\" names no site (nothing would fire)");
+  }
+  return plan;
+}
+
+uint64_t FaultHits(FaultSite site) {
+  inject_internal::PlanState* state =
+      inject_internal::g_plan.load(std::memory_order_acquire);
+  if (state == nullptr) return 0;
+  return state->hits[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+uint64_t FaultFires(FaultSite site) {
+  inject_internal::PlanState* state =
+      inject_internal::g_plan.load(std::memory_order_acquire);
+  if (state == nullptr) return 0;
+  return state->fires[static_cast<std::size_t>(site)].load(
+      std::memory_order_relaxed);
+}
+
+void InstallFaultPlanFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    auto spec = GetEnv("CCSIM_FAULTS");
+    if (!spec.has_value()) return;
+    StatusOr<FaultPlan> plan = FaultPlan::Parse(*spec);
+    CCSIM_CHECK(plan.ok()) << "CCSIM_FAULTS rejected: "
+                           << plan.status().ToString();
+    // Process lifetime by design: sites may be queried from detached-ish
+    // contexts (worker threads, operator new) with no shutdown ordering.
+    static inject_internal::PlanState state;
+    FillState(&state, *plan);
+    inject_internal::g_plan.store(&state, std::memory_order_release);
+    std::fprintf(stderr, "[faults] plan active: %s\n", plan->spec().c_str());
+  });
+}
+
+void InstallFaultPlan(const FaultPlan& plan) {
+  // Leaked by design, like the env path: sites may be queried from worker
+  // threads with no shutdown ordering against this state.
+  auto* state = new inject_internal::PlanState;
+  FillState(state, plan);
+  inject_internal::g_plan.store(state, std::memory_order_release);
+  std::fprintf(stderr, "[faults] plan active: %s\n", plan.spec().c_str());
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan) {
+  FillState(&state_, plan);
+  previous_ = inject_internal::g_plan.exchange(&state_,
+                                               std::memory_order_acq_rel);
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  inject_internal::g_plan.store(previous_, std::memory_order_release);
+}
+
+void ThrowInjected(FaultSite site) {
+  throw FaultInjected(std::string("injected fault at site ") +
+                      FaultSiteName(site));
+}
+
+}  // namespace ccsim

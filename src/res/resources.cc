@@ -16,15 +16,23 @@ ResourceManager::ResourceManager(Simulator* sim, const ResourceConfig& config,
     // the partitioning is unobservable.
     disks_.push_back(
         std::make_unique<ServerPool>(sim_, 0, /*infinite=*/true, "disk"));
-    return;
+  } else {
+    CCSIM_CHECK_GE(config_.num_cpus, 1);
+    CCSIM_CHECK_GE(config_.num_disks, 1);
+    cpu_ = std::make_unique<ServerPool>(sim_, config_.num_cpus,
+                                        /*infinite=*/false, "cpu");
+    for (int i = 0; i < config_.num_disks; ++i) {
+      disks_.push_back(std::make_unique<ServerPool>(
+          sim_, 1, /*infinite=*/false, StringPrintf("disk%d", i)));
+    }
   }
-  CCSIM_CHECK_GE(config_.num_cpus, 1);
-  CCSIM_CHECK_GE(config_.num_disks, 1);
-  cpu_ = std::make_unique<ServerPool>(sim_, config_.num_cpus,
-                                      /*infinite=*/false, "cpu");
-  for (int i = 0; i < config_.num_disks; ++i) {
-    disks_.push_back(std::make_unique<ServerPool>(
-        sim_, 1, /*infinite=*/false, StringPrintf("disk%d", i)));
+  // Arm the simulated fault windows last, so the drain events they schedule
+  // exist regardless of the finite/infinite topology above. One disk_fault
+  // window covers the whole array: the scenario is "the controller stalls",
+  // not "one platter does".
+  if (config_.cpu_fault.enabled()) cpu_->SetFaultWindow(config_.cpu_fault);
+  if (config_.disk_fault.enabled()) {
+    for (auto& disk : disks_) disk->SetFaultWindow(config_.disk_fault);
   }
 }
 
@@ -82,6 +90,18 @@ void ResourceManager::ResetWindow(SimTime now) {
   if (log_ != nullptr) log_->ResetWindow(now);
 }
 
+int64_t ResourceManager::faulted_requests() const {
+  int64_t total = cpu_->faulted_requests();
+  for (const auto& disk : disks_) total += disk->faulted_requests();
+  return total;
+}
+
+SimTime ResourceManager::fault_delay() const {
+  SimTime total = cpu_->fault_delay();
+  for (const auto& disk : disks_) total += disk->fault_delay();
+  return total;
+}
+
 void ResourceManager::RegisterStats(StatsRegistry* registry) {
   auto add_pool = [registry](const std::string& name, const ServerPool* pool) {
     registry->AddGauge(name + "_busy", [pool] {
@@ -90,6 +110,14 @@ void ResourceManager::RegisterStats(StatsRegistry* registry) {
     registry->AddGauge(name + "_q", [pool] {
       return static_cast<double>(pool->queue_length());
     });
+    // Fault-window exposure only when armed, so an unfaulted run's gauge
+    // set — and therefore its sampler CSV header — is byte-identical to
+    // builds without the fault subsystem.
+    if (pool->fault_window().enabled()) {
+      registry->AddGauge(name + "_faulted", [pool] {
+        return static_cast<double>(pool->faulted_requests());
+      });
+    }
   };
   add_pool("cpu", cpu_.get());
   for (auto& disk : disks_) add_pool(disk->name(), disk.get());

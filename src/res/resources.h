@@ -15,15 +15,24 @@
 
 namespace ccsim {
 
-/// Physical configuration. `infinite` overrides the counts.
+/// Physical configuration. `infinite` overrides the counts. The optional
+/// fault windows (docs/FAULTS.md, "Fault windows") are simulated-fault
+/// scenarios: `disk_fault` arms the same window on every disk in the array
+/// (the whole farm behind one controller), `cpu_fault` on the CPU pool.
+/// Both fold into the journal point key — a faulted experiment is a
+/// different experiment.
 struct ResourceConfig {
   bool infinite = false;
   int num_cpus = 1;
   int num_disks = 2;
+  FaultWindow disk_fault;
+  FaultWindow cpu_fault;
 
-  static ResourceConfig Infinite() { return ResourceConfig{true, 0, 0}; }
+  static ResourceConfig Infinite() {
+    return ResourceConfig{true, 0, 0, {}, {}};
+  }
   static ResourceConfig Finite(int cpus, int disks) {
-    return ResourceConfig{false, cpus, disks};
+    return ResourceConfig{false, cpus, disks, {}, {}};
   }
 };
 
@@ -76,7 +85,13 @@ class ResourceManager {
   /// Starts a new measurement window on every pool.
   void ResetWindow(SimTime now);
 
-  /// Registers per-pool gauges (busy servers, queue depth) into the
+  /// Requests delayed by fault windows so far, summed across every pool,
+  /// and the total injected delay in simulated µs (docs/FAULTS.md).
+  int64_t faulted_requests() const;
+  SimTime fault_delay() const;
+
+  /// Registers per-pool gauges (busy servers, queue depth, and — when a
+  /// fault window is armed — requests the window has delayed) into the
   /// observability registry. The log pool may not exist yet; its gauges read
   /// 0 until first use.
   void RegisterStats(StatsRegistry* registry);

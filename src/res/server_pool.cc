@@ -1,5 +1,6 @@
 #include "res/server_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -22,6 +23,23 @@ void ServerPool::Request(SimTime service_time, ServicePriority priority,
                          ServiceCompletion done) {
   CCSIM_CHECK_GT(service_time, 0) << "zero-cost service in pool " << name_;
   Pending pending{service_time, sim_->Now(), std::move(done)};
+  // Inside a fault window nothing starts: the request queues even with idle
+  // servers (infinite pools included — their only queue use), and the drain
+  // event at the window end picks it up. Deferral time is attributed to
+  // fault_delay() at drain.
+  if (fault_.active(sim_->Now())) {
+    ++faulted_requests_;
+    auto& fq = priority == ServicePriority::kConcurrencyControl
+                   ? cc_queue_
+                   : normal_queue_;
+    fq.push_back(std::move(pending));
+    queue_len_.Set(sim_->Now(), static_cast<double>(queue_length()));
+    if (span_sink_ != nullptr) {
+      span_sink_->OnQueueDepth(span_track_, sim_->Now(),
+                               static_cast<int>(queue_length()));
+    }
+    return;
+  }
   if (infinite_ || busy_servers_ < num_servers_) {
     wait_times_.Add(0.0);
     BeginService(std::move(pending));
@@ -40,11 +58,23 @@ void ServerPool::Request(SimTime service_time, ServicePriority priority,
 void ServerPool::BeginService(Pending pending) {
   ++busy_servers_;
   busy_time_.Set(sim_->Now(), static_cast<double>(busy_servers_));
+  SimTime service_time = pending.service_time;
+  // Outage hold: a completion that would land inside the window is held to
+  // the window end — the server stays busy and the request simply takes
+  // longer, modelling in-flight work frozen on a device that dropped off.
+  if (fault_.kind == FaultWindowKind::kOutage) {
+    const SimTime completes = sim_->Now() + service_time;
+    if (completes >= fault_.start && completes < fault_.end) {
+      ++faulted_requests_;
+      fault_delay_ += fault_.end - completes;
+      service_time = fault_.end - sim_->Now();
+    }
+  }
   if (span_sink_ != nullptr) {
-    span_sink_->OnServiceSpan(span_track_, sim_->Now(), pending.service_time);
+    span_sink_->OnServiceSpan(span_track_, sim_->Now(), service_time);
   }
   ServiceCompletion done = std::move(pending.done);
-  sim_->Schedule(pending.service_time,
+  sim_->Schedule(service_time,
                  [this, done = std::move(done)]() mutable {
                    OnServiceComplete(std::move(done));
                  });
@@ -58,7 +88,10 @@ void ServerPool::OnServiceComplete(ServiceCompletion done) {
 
   // Hand the freed server to the highest-priority waiter before running the
   // completion, so that queue statistics reflect the instant of transfer.
-  if (!infinite_) {
+  // During a stall window the freed server idles instead — the drain event
+  // at the window end performs the deferred handoffs. (Under an outage no
+  // completion can land here: BeginService held them past the window.)
+  if (!infinite_ && !fault_.active(sim_->Now())) {
     std::deque<Pending>* queue = nullptr;
     if (!cc_queue_.empty()) {
       queue = &cc_queue_;
@@ -78,6 +111,43 @@ void ServerPool::OnServiceComplete(ServiceCompletion done) {
     }
   }
   done();
+}
+
+void ServerPool::SetFaultWindow(const FaultWindow& window) {
+  CCSIM_CHECK(window.enabled())
+      << "SetFaultWindow(kNone) on pool " << name_;
+  CCSIM_CHECK(!fault_.enabled())
+      << "pool " << name_ << " already has a fault window";
+  CCSIM_CHECK_GE(window.start, 0);
+  CCSIM_CHECK_GT(window.end, window.start)
+      << "empty fault window on pool " << name_;
+  CCSIM_CHECK_GE(window.start, sim_->Now())
+      << "fault window on pool " << name_ << " starts in the past";
+  fault_ = window;
+  sim_->Schedule(fault_.end - sim_->Now(), [this] { DrainAfterFaultWindow(); });
+}
+
+void ServerPool::DrainAfterFaultWindow() {
+  // The window just closed (now == fault_.end, so active() is false): start
+  // everything the window made wait, capacity permitting. Waiters that were
+  // already queued when the window opened count as faulted here — their
+  // wait since the window start is attributable to it; arrivals during the
+  // window were counted at Request time.
+  while ((infinite_ || busy_servers_ < num_servers_) && queue_length() > 0) {
+    std::deque<Pending>* queue =
+        !cc_queue_.empty() ? &cc_queue_ : &normal_queue_;
+    Pending next = std::move(queue->front());
+    queue->pop_front();
+    if (next.enqueue_time < fault_.start) ++faulted_requests_;
+    fault_delay_ += sim_->Now() - std::max(next.enqueue_time, fault_.start);
+    queue_len_.Set(sim_->Now(), static_cast<double>(queue_length()));
+    if (span_sink_ != nullptr) {
+      span_sink_->OnQueueDepth(span_track_, sim_->Now(),
+                               static_cast<int>(queue_length()));
+    }
+    wait_times_.Add(ToSeconds(sim_->Now() - next.enqueue_time));
+    BeginService(std::move(next));
+  }
 }
 
 void ServerPool::ResetWindow(SimTime now) {

@@ -24,6 +24,35 @@ namespace ccsim {
 /// Service priority classes. Lower enumerator = served first.
 enum class ServicePriority { kConcurrencyControl = 0, kNormal = 1 };
 
+/// Simulated resource-fault scenarios (docs/FAULTS.md, "Fault windows"):
+/// first-class workloads for studying graceful degradation, not injected
+/// errors — the pool stays consistent and every request eventually
+/// completes, later.
+enum class FaultWindowKind : uint8_t {
+  kNone = 0,
+  /// Stall: during the window no *new* service starts — arrivals queue even
+  /// with idle servers, and freed servers sit idle — but in-flight requests
+  /// complete normally. Models a controller pausing its queue (firmware
+  /// hiccup, SSD garbage-collection stall).
+  kStall,
+  /// Outage: a stall whose in-flight requests also freeze — any completion
+  /// that would land inside the window is held until the window ends.
+  /// Models the device dropping off the bus and coming back.
+  kOutage,
+};
+
+/// One [start, end) window of simulated time during which the fault holds.
+struct FaultWindow {
+  FaultWindowKind kind = FaultWindowKind::kNone;
+  SimTime start = 0;
+  SimTime end = 0;
+
+  bool enabled() const { return kind != FaultWindowKind::kNone; }
+  bool active(SimTime now) const {
+    return enabled() && now >= start && now < end;
+  }
+};
+
 /// Completion callback invoked when a service request finishes. Inline
 /// small-buffer storage (no heap) for the engine's completion captures —
 /// [this, id, incarnation, cost, req_at] is 40 bytes; see
@@ -47,6 +76,24 @@ class ServerPool {
   /// Requires service_time > 0 (zero-cost steps are the caller's business).
   void Request(SimTime service_time, ServicePriority priority,
                ServiceCompletion done);
+
+  /// Arms one simulated fault window (docs/FAULTS.md). Must be called
+  /// before the simulation advances into the window; requires
+  /// 0 <= start < end and at most one window per pool. Schedules the
+  /// deterministic drain event at `window.end`, so arming a window is
+  /// itself part of the simulated workload (an unarmed pool's event
+  /// sequence is untouched).
+  void SetFaultWindow(const FaultWindow& window);
+
+  const FaultWindow& fault_window() const { return fault_; }
+
+  /// Requests delayed by the fault window so far (start deferred into the
+  /// queue, or — outage — completion held to the window end).
+  int64_t faulted_requests() const { return faulted_requests_; }
+
+  /// Total extra delay the window injected, in simulated µs, summed over
+  /// faulted requests (queue-deferral time plus held-completion time).
+  SimTime fault_delay() const { return fault_delay_; }
 
   bool infinite() const { return infinite_; }
   int num_servers() const { return num_servers_; }
@@ -96,6 +143,9 @@ class ServerPool {
 
   void BeginService(Pending pending);
   void OnServiceComplete(ServiceCompletion done);
+  /// Fires at fault_.end: hands idle capacity to everything the window made
+  /// wait (all of it, for an infinite pool).
+  void DrainAfterFaultWindow();
 
   Simulator* sim_;
   int num_servers_;
@@ -105,6 +155,10 @@ class ServerPool {
   int busy_servers_ = 0;
   std::deque<Pending> cc_queue_;
   std::deque<Pending> normal_queue_;
+
+  FaultWindow fault_;
+  int64_t faulted_requests_ = 0;
+  SimTime fault_delay_ = 0;
 
   int64_t completed_requests_ = 0;
   TimeWeightedValue busy_time_;

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -49,6 +50,36 @@ TEST(ThreadPoolTest, WaitIsReusableAcrossSubmissionRounds) {
   pool.Submit([&count] { count.fetch_add(1); });
   pool.Wait();
   EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolTest, FailureStormRethrowsFirstAndStaysUsable) {
+  // A storm of throwing tasks must not take the pool (or the process)
+  // down: every task still runs, Wait() rethrows exactly one exception —
+  // the first captured — and the pool is fully reusable afterwards.
+  ThreadPool pool(4);
+  std::atomic<int> attempted{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&attempted, i] {
+      attempted.fetch_add(1);
+      if (i % 3 != 2) throw std::runtime_error("storm task failed");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(attempted.load(), 200);  // Failures never cancel the queue.
+
+  // Wait() cleared the captured exception: a clean round is clean.
+  std::atomic<int> clean{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&clean] { clean.fetch_add(1); });
+  }
+  EXPECT_NO_THROW(pool.Wait());
+  EXPECT_EQ(clean.load(), 50);
+
+  // And a second storm is captured afresh, not poisoned by the first.
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] { throw std::runtime_error("second storm"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
 }
 
 TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {

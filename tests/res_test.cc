@@ -1,5 +1,8 @@
 // Unit tests for the physical resource layer: server pools, priority
-// classes, the partitioned disk array, and utilization accounting.
+// classes, the partitioned disk array, utilization accounting, and the
+// simulated fault windows.
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -222,6 +225,162 @@ TEST(ResourceManagerTest, SingleDiskSkipsRng) {
   for (int i = 0; i < 10; ++i) rm.RequestDisk(1, [] {});
   sim.Run();
   EXPECT_EQ(rm.disk(0).completed_requests(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Simulated fault windows (docs/FAULTS.md, "Fault windows").
+
+TEST(FaultWindowTest, StallDefersNewStartsUntilWindowEnds) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.SetFaultWindow({FaultWindowKind::kStall, 10, 20});
+  SimTime done_at = -1;
+  sim.Schedule(12, [&] {
+    pool.Request(5, ServicePriority::kNormal, [&] { done_at = sim.Now(); });
+  });
+  sim.Run();
+  // Arrived at 12 into an *idle* pool, but the window queues it anyway;
+  // the drain at 20 starts the 5 µs of service.
+  EXPECT_EQ(done_at, 25);
+  EXPECT_EQ(pool.faulted_requests(), 1);
+  EXPECT_EQ(pool.fault_delay(), 8);  // 20 - 12 spent waiting on the window.
+}
+
+TEST(FaultWindowTest, StallLetsInFlightWorkComplete) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.SetFaultWindow({FaultWindowKind::kStall, 10, 20});
+  SimTime in_flight_done = -1;
+  // Starts at 8, completes at 13 — inside the window, but a stall only
+  // blocks new starts; in-flight service is unaffected.
+  sim.Schedule(8, [&] {
+    pool.Request(5, ServicePriority::kNormal,
+                 [&] { in_flight_done = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(in_flight_done, 13);
+  EXPECT_EQ(pool.faulted_requests(), 0);
+  EXPECT_EQ(pool.fault_delay(), 0);
+}
+
+TEST(FaultWindowTest, OutageHoldsCompletionsToWindowEnd) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.SetFaultWindow({FaultWindowKind::kOutage, 10, 20});
+  SimTime done_at = -1;
+  // Starts at 8, would complete at 13 — but the device is off the bus, so
+  // the completion lands when the window lifts.
+  sim.Schedule(8, [&] {
+    pool.Request(5, ServicePriority::kNormal, [&] { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, 20);
+  EXPECT_EQ(pool.faulted_requests(), 1);
+  EXPECT_EQ(pool.fault_delay(), 7);  // Held from 13 to 20.
+}
+
+TEST(FaultWindowTest, DrainServesCcClassFirst) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.SetFaultWindow({FaultWindowKind::kStall, 10, 20});
+  std::vector<int> order;
+  sim.Schedule(11, [&] {
+    pool.Request(5, ServicePriority::kNormal, [&] { order.push_back(1); });
+  });
+  sim.Schedule(12, [&] {
+    pool.Request(5, ServicePriority::kConcurrencyControl,
+                 [&] { order.push_back(2); });
+  });
+  sim.Run();
+  // The drain respects the two-class discipline: cc work deferred by the
+  // window still jumps the normal queue.
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(pool.faulted_requests(), 2);
+}
+
+TEST(FaultWindowTest, InfinitePoolStallsQueueAndDrainTogether) {
+  Simulator sim;
+  ServerPool pool(&sim, 0, /*infinite=*/true);
+  pool.SetFaultWindow({FaultWindowKind::kStall, 10, 20});
+  int completed = 0;
+  sim.Schedule(15, [&] {
+    for (int i = 0; i < 8; ++i) {
+      pool.Request(5, ServicePriority::kNormal, [&] { ++completed; });
+    }
+  });
+  sim.Run();
+  // An infinite pool normally never queues; during the window it must, and
+  // the drain releases the whole backlog at once (all complete at 25).
+  EXPECT_EQ(sim.Now(), 25);
+  EXPECT_EQ(completed, 8);
+  EXPECT_EQ(pool.faulted_requests(), 8);
+  EXPECT_EQ(pool.fault_delay(), 8 * 5);  // Each waited 15 -> 20.
+}
+
+TEST(FaultWindowTest, CompletedWindowIsInertAfterwards) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  pool.SetFaultWindow({FaultWindowKind::kStall, 10, 20});
+  SimTime done_at = -1;
+  sim.Schedule(30, [&] {
+    pool.Request(5, ServicePriority::kNormal, [&] { done_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(done_at, 35);  // Past the window: plain FCFS service.
+  EXPECT_EQ(pool.faulted_requests(), 0);
+}
+
+TEST(FaultWindowDeathTest, RejectsMalformedWindows) {
+  Simulator sim;
+  ServerPool pool(&sim, 1, false);
+  EXPECT_DEATH(pool.SetFaultWindow({FaultWindowKind::kStall, 20, 10}), "");
+  ServerPool armed(&sim, 1, false);
+  armed.SetFaultWindow({FaultWindowKind::kStall, 10, 20});
+  EXPECT_DEATH(armed.SetFaultWindow({FaultWindowKind::kStall, 30, 40}), "");
+}
+
+TEST(ResourceManagerTest, DiskFaultWindowArmsEveryDiskAndAggregates) {
+  Simulator sim;
+  ResourceConfig config = ResourceConfig::Finite(1, 2);
+  config.disk_fault = {FaultWindowKind::kStall, 10, 20};
+  ResourceManager rm(&sim, config, Rng(55));
+  sim.Schedule(12, [&] {
+    rm.RequestDiskAt(0, 5, [] {});
+    rm.RequestDiskAt(1, 5, [] {});
+  });
+  sim.Run();
+  EXPECT_TRUE(rm.disk(0).fault_window().enabled());
+  EXPECT_TRUE(rm.disk(1).fault_window().enabled());
+  EXPECT_FALSE(rm.cpu().fault_window().enabled());
+  EXPECT_EQ(rm.faulted_requests(), 2);  // Summed across the array.
+  EXPECT_EQ(rm.fault_delay(), 2 * 8);
+}
+
+TEST(ResourceManagerTest, FaultedGaugeRegisteredOnlyWhenWindowArmed) {
+  // The `<pool>_faulted` gauge only exists for pools with an armed window:
+  // an unfaulted run's sampler CSV schema must stay byte-identical to the
+  // pre-fault-window builds.
+  Simulator sim;
+  ResourceConfig config = ResourceConfig::Finite(1, 2);
+  config.cpu_fault = {FaultWindowKind::kOutage, 10, 20};
+  ResourceManager rm(&sim, config, Rng(55));
+  StatsRegistry registry;
+  rm.RegisterStats(&registry);
+  auto columns = registry.ColumnNames();
+  auto has = [&](const std::string& name) {
+    return std::find(columns.begin(), columns.end(), name) != columns.end();
+  };
+  EXPECT_TRUE(has("cpu_faulted"));
+  EXPECT_FALSE(has("disk0_faulted"));
+  EXPECT_FALSE(has("disk1_faulted"));
+
+  Simulator plain_sim;
+  ResourceManager plain(&plain_sim, ResourceConfig::Finite(1, 2), Rng(55));
+  StatsRegistry plain_registry;
+  plain.RegisterStats(&plain_registry);
+  for (const std::string& name : plain_registry.ColumnNames()) {
+    EXPECT_EQ(name.find("_faulted"), std::string::npos) << name;
+  }
 }
 
 }  // namespace

@@ -24,6 +24,16 @@ Rules (docs/VERIFICATION.md):
                    scheduling allocation-free (docs/PERFORMANCE.md).
                    Allowlisted: RunGuard::on_violation in sim/simulator.h
                    (installed once per run, fires at most once).
+  R6 status-errors src/ outside util/ and inject/ must not raise or die with
+                   bare `throw` / abort() / exit() / quick_exit() / _Exit():
+                   recoverable failures flow through util/status.h (Status /
+                   StatusOr) or CCSIM_CHECK (trappable via ScopedCheckTrap),
+                   so one poisoned sweep point can fail alone instead of
+                   taking the process down (docs/FAULTS.md). Allowlisted:
+                   the PointTimeout throw in core/experiment.cc (caught two
+                   frames up by design) and the PrunedRunError throw in
+                   verify/explorer.cc (the explorer's internal backtrack
+                   signal).
 
 Usage: ccsim_lint.py [--root REPO] [--self-test]
 Exit status: 0 clean, 1 violations found, 2 usage error.
@@ -70,6 +80,19 @@ R5_HOT_DIRS = ("src/sim", "src/res")
 R5_TOKEN = re.compile(r"\bstd::function\b")
 # file -> number of std::function occurrences that are deliberately allowed.
 R5_ALLOWLIST = {"src/sim/simulator.h": 1}  # RunGuard::on_violation.
+
+# R6: process-killing / bare-exception escape hatches. Only util/ (the
+# Status and CCSIM_CHECK machinery itself) and inject/ (ThrowInjected) may
+# use them; everything else returns Status or trips a trappable check.
+R6_EXEMPT_PREFIXES = ("src/util/", "src/inject/")
+R6_TOKEN = re.compile(
+    r"\bthrow\b|\b(?:std::)?(?:abort|exit|quick_exit|_Exit)\s*\("
+)
+# file -> number of occurrences that are deliberately allowed.
+R6_ALLOWLIST = {
+    "src/core/experiment.cc": 1,  # throw PointTimeout (caught in-function).
+    "src/verify/explorer.cc": 1,  # throw PrunedRunError (backtrack signal).
+}
 
 
 def strip_comments_and_strings(text):
@@ -281,12 +304,37 @@ class Linter:
                     "allocation-free (docs/PERFORMANCE.md)",
                 )
 
+    # --- R6 -----------------------------------------------------------------
+
+    def check_status_errors(self):
+        for path in self.cpp_files("src"):
+            rel = self.rel(path)
+            if rel.startswith(R6_EXEMPT_PREFIXES):
+                continue
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            allowed = R6_ALLOWLIST.get(rel, 0)
+            for index, match in enumerate(R6_TOKEN.finditer(code)):
+                if index < allowed:
+                    continue
+                token = match.group(0).split("(")[0].strip() or "throw"
+                self.report(
+                    rel,
+                    line_of(code, match.start()),
+                    "R6",
+                    f"bare `{token}` outside util/ and inject/; fail the "
+                    "operation with a Status (util/status.h) or a trappable "
+                    "CCSIM_CHECK so one bad point cannot kill a sweep "
+                    "(docs/FAULTS.md)",
+                )
+
     def run(self):
         self.check_determinism()
         self.check_env_knobs()
         self.check_obs_instruments()
         self.check_layering()
         self.check_hot_path_callables()
+        self.check_status_errors()
         return self.violations
 
 
@@ -303,6 +351,17 @@ SELF_TEST_SNIPPETS = {
     "R5_allowlisted": (
         "std::function<void(const char*)> on_violation;\n"  # Allowed (1st).
         "std::function<void()> extra_;\n"  # Beyond the allowance: fires.
+    ),
+    "R6": (
+        "void F() { throw std::runtime_error(\"boom\"); }\n"
+        "void G() { std::abort(); }\n"
+        "void H() { exit(1); }\n"
+        "// a comment saying throw or abort() must not fire\n"
+    ),
+    "R6_exempt": "void T() { throw CheckFailure(\"trap\"); }\n",
+    "R6_allowlisted": (
+        "void A() { throw PointTimeout(\"budget\"); }\n"  # Allowed (1st).
+        "void B() { throw PointTimeout(\"again\"); }\n"  # Beyond: fires.
     ),
 }
 
@@ -336,6 +395,17 @@ def self_test(tmp_root):
         (root / "src/sim/simulator.h").write_text(
             SELF_TEST_SNIPPETS["R5_allowlisted"]
         )
+        (root / "src/sim/bad_throw.cc").write_text(SELF_TEST_SNIPPETS["R6"])
+        # util/ and inject/ own the escape hatches: both stay silent.
+        (root / "src/util").mkdir(parents=True)
+        (root / "src/util/check.cc").write_text(SELF_TEST_SNIPPETS["R6_exempt"])
+        (root / "src/inject").mkdir(parents=True)
+        (root / "src/inject/fault.cc").write_text(SELF_TEST_SNIPPETS["R6_exempt"])
+        # The allowlisted file may carry exactly one throw; a second fires.
+        (root / "src/core").mkdir(parents=True)
+        (root / "src/core/experiment.cc").write_text(
+            SELF_TEST_SNIPPETS["R6_allowlisted"]
+        )
         violations = Linter(root).run()
 
         def expect(substring, count):
@@ -354,6 +424,11 @@ def self_test(tmp_root):
         expect("[R5]", 2)  # bad_fn.h + the over-allowance in simulator.h.
         expect("simulator.h:2", 1)  # The allowlisted first occurrence: silent.
         expect("ok_comment", 0)
+        expect("[R6]", 4)  # throw/abort/exit + the over-allowance throw.
+        expect("bad_throw.cc", 3)  # Not the comment on line 4.
+        expect("experiment.cc:2", 1)  # Allowlisted first throw: silent.
+        expect("check.cc", 0)  # util/ and inject/ own the escape hatches.
+        expect("fault.cc", 0)
     if failures:
         for f in failures:
             print(f"ccsim-lint self-test FAIL: {f}", file=sys.stderr)
