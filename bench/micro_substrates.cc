@@ -130,7 +130,7 @@ void BM_OptimisticValidate(benchmark::State& state) {
   OptimisticCC cc;
   SimTime now = 0;
   cc.SetCallbacks(CCCallbacks{[](TxnId) {}, [](TxnId) {},
-                              [&now]() { return now; }, nullptr});
+                              [&now]() { return now; }, nullptr, nullptr});
   // Populate history: 1000 committed writers.
   for (TxnId t = 1; t <= 1000; ++t) {
     cc.OnBegin(t, 0, 0);
@@ -158,7 +158,7 @@ BENCHMARK(BM_OptimisticValidate);
 void BM_BasicToRequests(benchmark::State& state) {
   BasicTimestampOrderingCC cc;
   cc.SetCallbacks(CCCallbacks{[](TxnId) {}, [](TxnId) {}, []() { return 0; },
-                              nullptr});
+                              nullptr, nullptr});
   TxnId next = 1;
   for (auto _ : state) {
     TxnId t = next++;
@@ -174,7 +174,7 @@ void BM_MvtoVersionChain(benchmark::State& state) {
   // Read cost against a deep (GC-bounded) version chain on a hot object.
   MultiversionTimestampOrderingCC cc;
   cc.SetCallbacks(CCCallbacks{[](TxnId) {}, [](TxnId) {}, []() { return 0; },
-                              nullptr});
+                              nullptr, nullptr});
   for (TxnId t = 1; t <= 64; ++t) {
     cc.OnBegin(t, 0, 0);
     cc.WriteRequest(t, 0);

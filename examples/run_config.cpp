@@ -69,13 +69,16 @@ constexpr char kUsage[] =
     "  algorithm:  algorithms mpls restart_delay fixed_delay_s victim\n"
     "              source arrival_rate x_lock_on_read_intent audit\n"
     "  run:        seed batches batch_seconds warmup_seconds csv title\n"
-    "              percentiles obs trace sample_interval\n"
+    "              percentiles columns obs trace sample_interval\n"
     "  faults:     faults (injection plan, docs/FAULTS.md), disk_fault and\n"
     "              cpu_fault (simulated windows, kind:start_s:end_s with\n"
     "              kind stall|outage)\n"
     "\n"
     "Flags: --audit (same as audit=true), --faults=<plan> (same as\n"
-    "faults=<plan>), --trace[=path] (stream the transaction lifecycle trace\n"
+    "faults=<plan>), --columns=<list> (same as columns=<list>: report table\n"
+    "column groups — response, percentiles, ratios, disk, cpu, mpl, phases,\n"
+    "blame, or all; a typo is a hard error; CCSIM_REPORT_COLUMNS, if set,\n"
+    "overrides), --trace[=path] (stream the transaction lifecycle trace\n"
     "to stderr or to <path>; forces jobs=1), --help.\n"
     "Environment: CCSIM_JOBS, CCSIM_JOURNAL, CCSIM_MAX_EVENTS,\n"
     "CCSIM_POINT_TIMEOUT_SECONDS, CCSIM_OBS, CCSIM_SAMPLE_SECONDS,\n"
@@ -96,7 +99,7 @@ const std::set<std::string>& KnownKeys() {
       "algorithms", "mpls", "restart_delay", "fixed_delay_s", "victim",
       "source", "arrival_rate", "x_lock_on_read_intent", "audit",
       "seed", "batches", "batch_seconds", "warmup_seconds", "csv", "title",
-      "percentiles", "obs", "trace", "sample_interval",
+      "percentiles", "columns", "obs", "trace", "sample_interval",
       "faults", "disk_fault", "cpu_fault",
   };
   return keys;
@@ -175,6 +178,8 @@ int main(int argc, char** argv) {
       arg = "audit=true";
     } else if (ccsim::StartsWith(arg, "--faults=")) {
       arg = arg.substr(2);  // --faults=SPEC is sugar for faults=SPEC.
+    } else if (ccsim::StartsWith(arg, "--columns=")) {
+      arg = arg.substr(2);  // --columns=LIST is sugar for columns=LIST.
     } else if (ccsim::StartsWith(arg, "--")) {
       std::cerr << "unknown flag: " << arg << "\n\n" << kUsage;
       return 2;
@@ -370,8 +375,16 @@ int main(int argc, char** argv) {
               << std::dec << "\n";
   }
 
+  // columns= replaces the default column set (CCSIM_REPORT_COLUMNS, applied
+  // inside PrintReportTable, still wins when set). A typo in the list is a
+  // hard error, same as the env knob.
   ccsim::ReportColumns columns;
-  columns.percentiles = config.GetBoolOr("percentiles", false);
+  const std::string columns_spec = config.GetStringOr("columns", "");
+  if (!columns_spec.empty()) {
+    columns = ccsim::ReportColumns::Parse(columns_spec);
+  } else {
+    columns.percentiles = config.GetBoolOr("percentiles", false);
+  }
   ccsim::PrintReportTable(std::cout,
                           config.GetStringOr("title", "run_config sweep"),
                           reports, columns);

@@ -5,7 +5,16 @@
 #      parses as JSON, carries the expected schema tag, and every throughput
 #      field is strictly positive (the binary also self-checks this — a zero
 #      means a bench silently broke, not that the machine is slow).
-#   2. Regenerates the fig03/fig04 CSVs with the pinned short-batch
+#   2. Gates the run with the noise-aware perf-regression gate
+#      (tools/ccsim_perf/ccsim_perf.py) against a scratch copy of the
+#      committed trajectory (bench/BENCH_trajectory.jsonl): the gate's
+#      self-test must catch a planted slowdown, the fresh run must not
+#      regress vs the history under the Student-t noise model, and the
+#      committed trajectory itself must validate. The scratch copy keeps
+#      CI machines from polluting the committed history — wall-clock
+#      rates are only comparable within one machine class
+#      (docs/PERFORMANCE.md).
+#   3. Regenerates the fig03/fig04 CSVs with the pinned short-batch
 #      configuration and requires them byte-identical to the committed
 #      references (bench/reference/). Simulated results depend only on the
 #      seed and run lengths, never on the host or job count, so any diff is
@@ -36,6 +45,18 @@ print("BENCH_sim.json OK: %.1fM events/sec churn, %.1f txn/s end-to-end"
       % (doc["event_churn"]["events_per_sec"] / 1e6,
          doc["end_to_end_fig03"]["throughput_txn_per_sim_sec"]))
 EOF
+
+echo "--- perf-regression gate (ccsim-perf, Student-t noise model) ---"
+python3 tools/ccsim_perf/ccsim_perf.py --self-test
+# Gate against a scratch copy of the committed history: CI hardware differs
+# from the machine that recorded it, so the comparison is advisory there but
+# the tooling path (parse, judge, append) is exercised end to end. The
+# committed file itself must always validate.
+cp bench/BENCH_trajectory.jsonl "${TMP}/BENCH_trajectory.jsonl"
+python3 tools/ccsim_perf/ccsim_perf.py \
+  --bench "${TMP}/BENCH_sim.json" \
+  --trajectory "${TMP}/BENCH_trajectory.jsonl" --append
+python3 tools/ccsim_perf/ccsim_perf.py --validate bench/BENCH_trajectory.jsonl
 
 echo "--- fig03/fig04 determinism vs committed references ---"
 CCSIM_CSV_DIR="${TMP}" CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 \

@@ -5,8 +5,10 @@
 #   3. TSan build + full ctest suite, plus the parallel-runner tests re-run
 #      under CCSIM_JOBS=8 (the threaded sweep path under TSan)
 #   4. bench smoke: one figure binary, short batches, CCSIM_JOBS=4, then
-#      the microbench smoke (BENCH_sim.json validation + byte-identical
-#      fig03 CSV vs the committed reference — scripts/bench_smoke.sh)
+#      the microbench smoke (BENCH_sim.json validation, the ccsim-perf
+#      noise-aware regression gate against bench/BENCH_trajectory.jsonl,
+#      and byte-identical fig03 CSV vs the committed reference —
+#      scripts/bench_smoke.sh)
 #   5. crash-resume smoke: a journaled sweep SIGKILLs itself at a
 #      deterministic journal line (CCSIM_FAULTS="journal.kill@hit:N"), is
 #      resumed from the journal, and its CSVs are diffed against an
@@ -55,7 +57,7 @@ echo "=== bench smoke (fig03_04, short batches, CCSIM_JOBS=4) ==="
 CCSIM_JOBS=4 CCSIM_BATCHES=2 CCSIM_BATCH_SECONDS=1 CCSIM_WARMUP_SECONDS=1 \
   ./build-plain/bench/fig03_04_low_conflict >/dev/null
 
-echo "=== microbench smoke (BENCH_sim.json + fig03/04 reference diff) ==="
+echo "=== microbench smoke (BENCH_sim.json + perf gate + fig03/04 diff) ==="
 scripts/bench_smoke.sh build-plain
 
 echo "=== crash-resume smoke (SIGKILL mid-sweep, journal resume, CSV diff) ==="

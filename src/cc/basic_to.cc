@@ -25,17 +25,26 @@ CCDecision BasicTimestampOrderingCC::ReadRequest(TxnId txn, ObjectId obj) {
   if (state.ts < object.wts) {
     // A newer write already committed; this read is too late.
     ++stats_.timestamp_rejections;
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn, object.last_writer, obj, BlameKind::kTimestamp);
+    }
     return CCDecision::kRestart;
   }
   if (object.pending_writer != kInvalidTxn && object.pending_ts < state.ts &&
       object.pending_writer != txn) {
     // An older write is in flight; its value is the one this read must see.
     ++stats_.lock_conflicts;
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn, object.pending_writer, obj, BlameKind::kBlock);
+    }
     object.waiters.push_back(txn);
     state.waiting_on = obj;
     return CCDecision::kBlocked;
   }
-  object.rts = std::max(object.rts, state.ts);
+  if (state.ts >= object.rts) {
+    object.rts = state.ts;
+    object.last_reader = txn;
+  }
   return CCDecision::kGranted;
 }
 
@@ -48,6 +57,12 @@ CCDecision BasicTimestampOrderingCC::WriteRequest(TxnId txn, ObjectId obj) {
     // Someone with a larger timestamp already read/wrote the value this
     // write would supersede.
     ++stats_.timestamp_rejections;
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn,
+                          state.ts < object.rts ? object.last_reader
+                                                : object.last_writer,
+                          obj, BlameKind::kTimestamp);
+    }
     return CCDecision::kRestart;
   }
   if (object.pending_writer == txn) {
@@ -57,6 +72,10 @@ CCDecision BasicTimestampOrderingCC::WriteRequest(TxnId txn, ObjectId obj) {
     if (object.pending_ts < state.ts) {
       // Writes publish in timestamp order: wait for the older write.
       ++stats_.lock_conflicts;
+      if (callbacks_.on_blame) {
+        callbacks_.on_blame(txn, object.pending_writer, obj,
+                            BlameKind::kBlock);
+      }
       object.waiters.push_back(txn);
       state.waiting_on = obj;
       return CCDecision::kBlocked;
@@ -64,6 +83,10 @@ CCDecision BasicTimestampOrderingCC::WriteRequest(TxnId txn, ObjectId obj) {
     // A newer write is already pending; ordering this one before it would
     // require buffering multiple versions — restart instead (conservative).
     ++stats_.timestamp_rejections;
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn, object.pending_writer, obj,
+                          BlameKind::kTimestamp);
+    }
     return CCDecision::kRestart;
   }
   object.pending_writer = txn;
@@ -76,8 +99,9 @@ void BasicTimestampOrderingCC::ResolvePrewrites(TxnState& state, bool publish) {
   for (ObjectId obj : state.prewrites) {
     ObjectState& object = objects_.at(obj);
     CCSIM_CHECK_NE(object.pending_writer, kInvalidTxn);
-    if (publish) {
-      object.wts = std::max(object.wts, object.pending_ts);
+    if (publish && object.pending_ts >= object.wts) {
+      object.wts = object.pending_ts;
+      object.last_writer = object.pending_writer;
     }
     object.pending_writer = kInvalidTxn;
     object.pending_ts = 0;

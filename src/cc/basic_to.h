@@ -68,6 +68,10 @@ class BasicTimestampOrderingCC : public ConcurrencyControl {
   struct ObjectState {
     uint64_t rts = 0;  ///< Largest granted read timestamp.
     uint64_t wts = 0;  ///< Largest committed write timestamp.
+    /// Who set rts/wts last (blame attribution only — two plain assignments
+    /// on the grant paths; never consulted by any ordering decision).
+    TxnId last_reader = kInvalidTxn;
+    TxnId last_writer = kInvalidTxn;
     TxnId pending_writer = kInvalidTxn;
     uint64_t pending_ts = 0;
     /// Transactions waiting for the pending write to resolve.

@@ -46,13 +46,27 @@ CCDecision BlockingCC::HandleRequest(TxnId txn, ObjectId obj, LockMode mode) {
   for (TxnId victim : resolution.victims) {
     ++stats_.deadlock_victims;
     doomed_.insert(victim);
+    // The victim dies so the requester's cycle breaks: blame the requester.
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(victim, txn, obj, BlameKind::kWound);
+    }
     callbacks_.on_wound(victim);
   }
   if (resolution.requester_is_victim) {
     ++stats_.deadlock_victims;
+    if (callbacks_.on_blame) {
+      std::vector<TxnId> blockers = locks_.BlockersOf(txn);
+      callbacks_.on_blame(txn, blockers.empty() ? kInvalidTxn : blockers[0],
+                          obj, BlameKind::kWound);
+    }
     // The engine will call Abort(txn), which cancels the queued request and
     // releases the locks this incarnation holds.
     return CCDecision::kRestart;
+  }
+  if (callbacks_.on_blame) {
+    std::vector<TxnId> blockers = locks_.BlockersOf(txn);
+    callbacks_.on_blame(txn, blockers.empty() ? kInvalidTxn : blockers[0],
+                        obj, BlameKind::kBlock);
   }
   return CCDecision::kBlocked;
 }

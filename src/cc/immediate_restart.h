@@ -62,6 +62,13 @@ class ImmediateRestartCC : public ConcurrencyControl {
         locks_.Request(txn, obj, mode, /*enqueue_on_conflict=*/false);
     if (outcome == LockRequestOutcome::kGranted) return CCDecision::kGranted;
     ++stats_.lock_conflicts;
+    if (callbacks_.on_blame) {
+      // A denied request leaves no queue trace; the holders are the
+      // transactions the requester lost to.
+      std::vector<TxnId> holders = locks_.HoldersOf(obj);
+      callbacks_.on_blame(txn, holders.empty() ? kInvalidTxn : holders[0],
+                          obj, BlameKind::kDenied);
+    }
     return CCDecision::kRestart;
   }
 

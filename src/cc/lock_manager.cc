@@ -220,6 +220,15 @@ std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
   return blockers;
 }
 
+std::vector<TxnId> LockManager::HoldersOf(ObjectId obj) const {
+  std::vector<TxnId> holders;
+  auto it = table_.find(obj);
+  if (it == table_.end()) return holders;
+  holders.reserve(it->second.holders.size());
+  for (const Holder& h : it->second.holders) holders.push_back(h.txn);
+  return holders;
+}
+
 bool LockManager::HoldsAtLeast(TxnId txn, ObjectId obj, LockMode mode) const {
   auto it = table_.find(obj);
   if (it == table_.end()) return false;

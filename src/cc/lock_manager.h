@@ -87,6 +87,10 @@ class LockManager {
   /// waiters). Empty if `txn` is not waiting.
   std::vector<TxnId> BlockersOf(TxnId txn) const;
 
+  /// Current holders of `obj`, in acquisition order; empty if unlocked.
+  /// (Blame attribution for denied requests, which leave no queue trace.)
+  std::vector<TxnId> HoldersOf(ObjectId obj) const;
+
   /// True if `txn` holds `obj` in a mode at least as strong as `mode`.
   bool HoldsAtLeast(TxnId txn, ObjectId obj, LockMode mode) const;
 

@@ -62,6 +62,9 @@ class MultiversionTimestampOrderingCC : public ConcurrencyControl {
     uint64_t wts = 0;
     TxnId writer = kInvalidTxn;  ///< kInvalidTxn denotes the initial version.
     uint64_t max_rts = 0;        ///< Largest timestamp that read this version.
+    /// Who set max_rts (blame attribution only; one assignment on the read
+    /// grant path, never consulted by any ordering decision).
+    TxnId max_reader = kInvalidTxn;
   };
   struct PendingWrite {
     uint64_t ts = 0;

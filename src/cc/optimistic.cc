@@ -44,15 +44,24 @@ bool OptimisticCC::Validate(TxnId txn) {
   TxnState& state = active_.at(txn);
   for (ObjectId obj : state.reads) {
     auto committed = committed_writes_.find(obj);
-    if (committed != committed_writes_.end() && committed->second > state.start) {
+    if (committed != committed_writes_.end() &&
+        committed->second.time > state.start) {
       ++stats_.validation_failures;
+      if (callbacks_.on_blame) {
+        callbacks_.on_blame(txn, committed->second.writer, obj,
+                            BlameKind::kValidation);
+      }
       return false;
     }
     auto flushing = flushing_.find(obj);
-    if (flushing != flushing_.end() && flushing->second > 0) {
+    if (flushing != flushing_.end() && flushing->second.count > 0) {
       // A validated transaction is writing this object; it will commit before
       // us, inside our lifetime.
       ++stats_.validation_failures;
+      if (callbacks_.on_blame) {
+        callbacks_.on_blame(txn, flushing->second.writer, obj,
+                            BlameKind::kValidation);
+      }
       return false;
     }
   }
@@ -60,7 +69,9 @@ bool OptimisticCC::Validate(TxnId txn) {
   // validators see the in-flight writes.
   state.validated = true;
   for (ObjectId obj : state.writes) {
-    ++flushing_[obj];
+    FlushClaim& claim = flushing_[obj];
+    ++claim.count;
+    claim.writer = txn;
   }
   return true;
 }
@@ -72,10 +83,10 @@ void OptimisticCC::Commit(TxnId txn) {
   CCSIM_CHECK(state.validated) << "commit without successful validation";
   SimTime now = callbacks_.now();
   for (ObjectId obj : state.writes) {
-    committed_writes_[obj] = now;
+    committed_writes_[obj] = CommittedWrite{now, txn};
     auto flushing = flushing_.find(obj);
-    CCSIM_CHECK(flushing != flushing_.end() && flushing->second > 0);
-    if (--flushing->second == 0) flushing_.erase(flushing);
+    CCSIM_CHECK(flushing != flushing_.end() && flushing->second.count > 0);
+    if (--flushing->second.count == 0) flushing_.erase(flushing);
   }
   active_.erase(it);
 }
@@ -88,8 +99,8 @@ void OptimisticCC::Abort(TxnId txn) {
   if (it->second.validated) {
     for (ObjectId obj : it->second.writes) {
       auto flushing = flushing_.find(obj);
-      CCSIM_CHECK(flushing != flushing_.end() && flushing->second > 0);
-      if (--flushing->second == 0) flushing_.erase(flushing);
+      CCSIM_CHECK(flushing != flushing_.end() && flushing->second.count > 0);
+      if (--flushing->second.count == 0) flushing_.erase(flushing);
     }
   }
   active_.erase(it);
@@ -97,7 +108,7 @@ void OptimisticCC::Abort(TxnId txn) {
 
 SimTime OptimisticCC::LastCommittedWrite(ObjectId obj) const {
   auto it = committed_writes_.find(obj);
-  return it == committed_writes_.end() ? -1 : it->second;
+  return it == committed_writes_.end() ? -1 : it->second.time;
 }
 
 void OptimisticCC::AuditCheck() const {
@@ -111,12 +122,12 @@ void OptimisticCC::AuditCheck() const {
     if (!state.validated) continue;
     for (ObjectId obj : state.writes) ++expected[obj];
   }
-  for (const auto& [obj, count] : flushing_) {
+  for (const auto& [obj, claim] : flushing_) {
     auto it = expected.find(obj);
     int expected_count = it == expected.end() ? 0 : it->second;
-    if (count != expected_count || count <= 0) {
+    if (claim.count != expected_count || claim.count <= 0) {
       std::ostringstream detail;
-      detail << "object " << obj << " has " << count
+      detail << "object " << obj << " has " << claim.count
              << " flush claim(s) but " << expected_count
              << " validated writer(s)";
       auditor_->Report(AuditInvariant::kWaitsForConsistency, kInvalidTxn,

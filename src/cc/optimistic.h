@@ -47,13 +47,22 @@ class OptimisticCC : public ConcurrencyControl {
     bool validated = false;
   };
 
+  struct CommittedWrite {
+    SimTime time;  ///< Commit time of the last committed write.
+    TxnId writer;  ///< Who wrote it (blame attribution).
+  };
+  struct FlushClaim {
+    int count = 0;           ///< Validated writers flushing (at most 1).
+    TxnId writer = kInvalidTxn;  ///< The claiming writer.
+  };
+
   std::unordered_map<TxnId, TxnState> active_;
-  /// Commit time of the last committed write, per object.
-  std::unordered_map<ObjectId, SimTime> committed_writes_;
+  /// Last committed write per object (time + writer).
+  std::unordered_map<ObjectId, CommittedWrite> committed_writes_;
   /// Objects being flushed by validated-but-uncommitted transactions
-  /// (value = number of such writers; at most 1 by construction, since a
-  /// second validator conflicts and restarts).
-  std::unordered_map<ObjectId, int> flushing_;
+  /// (count is at most 1 by construction, since a second validator
+  /// conflicts and restarts).
+  std::unordered_map<ObjectId, FlushClaim> flushing_;
 };
 
 }  // namespace ccsim

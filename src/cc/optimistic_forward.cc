@@ -19,11 +19,15 @@ CCDecision ForwardOptimisticCC::ReadRequest(TxnId txn, ObjectId obj) {
   TxnState& state = active_.at(txn);
   state.waiting_on.reset();
   auto flushing = flushing_.find(obj);
-  if (flushing != flushing_.end() && flushing->second > 0) {
+  if (flushing != flushing_.end() && flushing->second.count > 0) {
     // The object is mid-flush by a validated transaction; reading now would
     // observe the pre-image with no later check to catch it. Wait out the
     // flush (it completes at the flusher's commit).
     ++stats_.lock_conflicts;
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn, flushing->second.writer, obj,
+                          BlameKind::kBlock);
+    }
     waiters_[obj].push_back(txn);
     state.waiting_on = obj;
     return CCDecision::kBlocked;
@@ -42,8 +46,12 @@ CCDecision ForwardOptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
   // catch it — the flusher's forward validation already ran and cannot
   // have wounded us.
   auto flushing = flushing_.find(obj);
-  if (flushing != flushing_.end() && flushing->second > 0) {
+  if (flushing != flushing_.end() && flushing->second.count > 0) {
     ++stats_.lock_conflicts;
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn, flushing->second.writer, obj,
+                          BlameKind::kBlock);
+    }
     waiters_[obj].push_back(txn);
     state.waiting_on = obj;
     return CCDecision::kBlocked;
@@ -63,8 +71,12 @@ bool ForwardOptimisticCC::Validate(TxnId txn) {
   // earlier validator serialized ahead of us on an object we already read.
   for (ObjectId obj : state.reads) {
     auto flushing = flushing_.find(obj);
-    if (flushing != flushing_.end() && flushing->second > 0) {
+    if (flushing != flushing_.end() && flushing->second.count > 0) {
       ++stats_.validation_failures;
+      if (callbacks_.on_blame) {
+        callbacks_.on_blame(txn, flushing->second.writer, obj,
+                            BlameKind::kValidation);
+      }
       return false;
     }
   }
@@ -78,12 +90,20 @@ bool ForwardOptimisticCC::Validate(TxnId txn) {
       if (other.reads.count(obj) > 0) {
         other.doomed = true;
         ++stats_.wounds;
+        // Forward validation sacrifices the reader in the validator's favor.
+        if (callbacks_.on_blame) {
+          callbacks_.on_blame(other_id, txn, obj, BlameKind::kWound);
+        }
         callbacks_.on_wound(other_id);
       }
     }
   }
   state.validated = true;
-  for (ObjectId obj : state.writes) ++flushing_[obj];
+  for (ObjectId obj : state.writes) {
+    FlushClaim& claim = flushing_[obj];
+    ++claim.count;
+    claim.writer = txn;
+  }
   return true;
 }
 
@@ -91,8 +111,8 @@ void ForwardOptimisticCC::ReleaseFlushClaims(TxnState& state) {
   if (!state.validated) return;
   for (ObjectId obj : state.writes) {
     auto flushing = flushing_.find(obj);
-    CCSIM_CHECK(flushing != flushing_.end() && flushing->second > 0);
-    if (--flushing->second > 0) continue;
+    CCSIM_CHECK(flushing != flushing_.end() && flushing->second.count > 0);
+    if (--flushing->second.count > 0) continue;
     flushing_.erase(flushing);
     auto waiting = waiters_.find(obj);
     if (waiting == waiters_.end()) continue;
@@ -154,13 +174,14 @@ void ForwardOptimisticCC::AuditCheck() const {
     if (!state.validated) continue;
     for (ObjectId obj : state.writes) ++expected[obj];
   }
-  for (const auto& [obj, count] : flushing_) {
+  for (const auto& [obj, claim] : flushing_) {
     auto it = expected.find(obj);
     int expected_count = it == expected.end() ? 0 : it->second;
-    if (count != expected_count || count <= 0) {
+    if (claim.count != expected_count || claim.count <= 0) {
       std::ostringstream detail;
-      detail << "object " << obj << " has " << count << " flush claim(s) but "
-             << expected_count << " validated writer(s)";
+      detail << "object " << obj << " has " << claim.count
+             << " flush claim(s) but " << expected_count
+             << " validated writer(s)";
       report(kInvalidTxn, detail.str());
     }
   }

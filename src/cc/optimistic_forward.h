@@ -63,9 +63,14 @@ class ForwardOptimisticCC : public ConcurrencyControl {
   void ReleaseFlushClaims(TxnState& state);
   void RemoveFromWaiters(TxnId txn, TxnState& state);
 
+  struct FlushClaim {
+    int count = 0;               ///< Validated writers flushing.
+    TxnId writer = kInvalidTxn;  ///< The claiming writer (blame attribution).
+  };
+
   std::unordered_map<TxnId, TxnState> active_;
   /// Objects being flushed by validated-but-uncommitted transactions.
-  std::unordered_map<ObjectId, int> flushing_;
+  std::unordered_map<ObjectId, FlushClaim> flushing_;
   /// Readers waiting for a flush to finish, per object.
   std::unordered_map<ObjectId, std::vector<TxnId>> waiters_;
 };

@@ -31,6 +31,42 @@ CCDecision StaticLockingCC::Predeclare(TxnId txn,
     return CCDecision::kGranted;
   }
   ++stats_.lock_conflicts;
+  if (callbacks_.on_blame) {
+    // First declared object with a conflicting holder, mirroring the
+    // CanAcquire walk; among readers the smallest id keeps the attribution
+    // deterministic.
+    TxnId holder = kInvalidTxn;
+    ObjectId conflict_obj = 0;
+    for (ObjectId obj : state.written) {
+      auto it = objects_.find(obj);
+      if (it == objects_.end()) continue;
+      if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
+        holder = it->second.writer;
+        conflict_obj = obj;
+        break;
+      }
+      for (TxnId reader : it->second.readers) {
+        if (reader == txn) continue;
+        if (holder == kInvalidTxn || reader < holder) holder = reader;
+      }
+      if (holder != kInvalidTxn) {
+        conflict_obj = obj;
+        break;
+      }
+    }
+    if (holder == kInvalidTxn) {
+      for (ObjectId obj : state.read_only) {
+        auto it = objects_.find(obj);
+        if (it == objects_.end()) continue;
+        if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
+          holder = it->second.writer;
+          conflict_obj = obj;
+          break;
+        }
+      }
+    }
+    callbacks_.on_blame(txn, holder, conflict_obj, BlameKind::kBlock);
+  }
   waiters_.push_back(txn);
   return CCDecision::kBlocked;
 }

@@ -44,7 +44,17 @@ CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
     // so every wait edge points old -> young and no cycle can form).
     for (TxnId blocker : blockers) {
       if (doomed_.count(blocker) > 0) continue;  // About to release anyway.
-      if (Older(blocker, txn)) return CCDecision::kRestart;
+      if (Older(blocker, txn)) {
+        // The requester dies in the older holder's favor.
+        if (callbacks_.on_blame) {
+          callbacks_.on_blame(txn, blocker, obj, BlameKind::kDenied);
+        }
+        return CCDecision::kRestart;
+      }
+    }
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn, blockers.empty() ? kInvalidTxn : blockers[0],
+                          obj, BlameKind::kBlock);
     }
     return CCDecision::kBlocked;
   }
@@ -55,6 +65,9 @@ CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
     if (Older(txn, blocker)) {
       ++stats_.wounds;
       doomed_.insert(blocker);
+      if (callbacks_.on_blame) {
+        callbacks_.on_blame(blocker, txn, obj, BlameKind::kWound);
+      }
       callbacks_.on_wound(blocker);
     }
   }
@@ -69,11 +82,22 @@ CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
   for (TxnId victim : resolution.victims) {
     ++stats_.deadlock_victims;
     doomed_.insert(victim);
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(victim, txn, obj, BlameKind::kWound);
+    }
     callbacks_.on_wound(victim);
   }
   if (resolution.requester_is_victim) {
     ++stats_.deadlock_victims;
+    if (callbacks_.on_blame) {
+      callbacks_.on_blame(txn, blockers.empty() ? kInvalidTxn : blockers[0],
+                          obj, BlameKind::kWound);
+    }
     return CCDecision::kRestart;
+  }
+  if (callbacks_.on_blame) {
+    callbacks_.on_blame(txn, blockers.empty() ? kInvalidTxn : blockers[0],
+                        obj, BlameKind::kBlock);
   }
   return CCDecision::kBlocked;
 }

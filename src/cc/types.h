@@ -24,6 +24,19 @@ enum class CCDecision {
   kRestart,  ///< Abort this incarnation and re-run the transaction.
 };
 
+/// Why a transaction is being charged for another's delay (causal blame
+/// attribution, docs/OBSERVABILITY.md). The opponent in an on_blame call is
+/// the transaction that caused the conflict; kInvalidTxn is legal where an
+/// algorithm does not record one (e.g. a pure timestamp rejection whose
+/// reader has already committed).
+enum class BlameKind {
+  kBlock,       ///< Victim blocked behind the opponent (holder / pending writer).
+  kWound,       ///< Victim killed in the opponent's favor (deadlock victim, wound).
+  kDenied,      ///< Victim's request denied outright (immediate restart, wait-die).
+  kValidation,  ///< Victim failed validation against the opponent's commit/flush.
+  kTimestamp,   ///< Victim rejected by a timestamp rule the opponent set.
+};
+
 /// Engine services available to concurrency control algorithms.
 ///
 /// Algorithms never mutate engine state directly; they signal through these
@@ -41,6 +54,15 @@ struct CCCallbacks {
   /// kInvalidTxn for the initial version.
   std::function<void(TxnId txn, ObjectId obj, TxnId version_writer)>
       on_version_read;
+  /// Optional (may be null): causal blame attribution. Fired at every
+  /// conflict the algorithm resolves — a block, a wound, a denial, a
+  /// validation failure, a timestamp rejection — naming the victim and the
+  /// opposing transaction (kInvalidTxn when unknown). Pure observer: the
+  /// engine installs it only when observability is on, and it must never
+  /// influence a decision.
+  std::function<void(TxnId victim, TxnId opponent, ObjectId obj,
+                     BlameKind kind)>
+      on_blame;
 };
 
 }  // namespace ccsim

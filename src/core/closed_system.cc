@@ -22,6 +22,15 @@ Rng NthStream(uint64_t seed, int n) {
   return stream;
 }
 
+/// Hot-granule sketch size: far above any workload's true heavy-hitter count
+/// yet O(1) memory regardless of db_size (obs/contention.h).
+constexpr size_t kHotGranuleCapacity = 4096;
+/// Rows written to the hot_<algo>_mpl<N>.csv table.
+constexpr size_t kHotGranuleTopK = 64;
+/// Chain-depth walks stop here; a depth this large means a waits-for cycle
+/// whose victim has not been chosen yet.
+constexpr int kMaxChainWalk = 64;
+
 }  // namespace
 
 ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
@@ -81,10 +90,17 @@ ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
       [this](TxnId id) { OnWound(id); },
       [this]() { return sim_->Now(); },
       nullptr,
+      nullptr,
   };
   if (config_.record_history) {
     callbacks.on_version_read = [this](TxnId id, ObjectId obj, TxnId writer) {
       history_.RecordVersionRead(id, GetTxn(id).incarnation, obj, writer);
+    };
+  }
+  if (config_.obs.enabled) {
+    callbacks.on_blame = [this](TxnId victim, TxnId opponent, ObjectId obj,
+                                BlameKind kind) {
+      OnBlame(victim, opponent, obj, kind);
     };
   }
   cc_->SetCallbacks(std::move(callbacks));
@@ -162,6 +178,12 @@ void ClosedSystem::SetupObservability() {
   registry_->AddGauge("cc_ts_rejections", [cc_stats] {
     return static_cast<double>(cc_stats->timestamp_rejections);
   });
+  // Blame / contention telemetry (obs/blame.h, obs/contention.h).
+  chain_depth_hist_ =
+      registry_->AddHistogram("block_chain_depth", 1.0, 33.0, 32);
+  genealogy_hist_ =
+      registry_->AddHistogram("restart_genealogy", 1.0, 33.0, 32);
+  contention_ = std::make_unique<ContentionProfiler>(kHotGranuleCapacity);
   cc_->RegisterStats(registry_.get());
   resources_.RegisterStats(registry_.get());
 
@@ -278,6 +300,9 @@ void ClosedSystem::Activate(TxnId id) {
     txn.ph_disk = 0;
     txn.ph_res_wait = 0;
     txn.ph_think = 0;
+    txn.blame_opponent = kInvalidTxn;
+    txn.blame_block_opponent = kInvalidTxn;
+    txn.blame_block_charges.clear();
   }
   ++active_count_;
   active_mpl_.Add(sim_->Now(), +1.0);
@@ -314,7 +339,10 @@ void ClosedSystem::Activate(TxnId id) {
         break;
       case CCDecision::kBlocked:
         txn.state = TxnState::kBlocked;
-        if (obs_on_) txn.blocked_since = sim_->Now();
+        if (obs_on_) {
+          txn.blocked_since = sim_->Now();
+          RecordBlockedEdge(id, sim_->Now());
+        }
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
@@ -443,7 +471,10 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
         return;
       case CCDecision::kBlocked:
         txn.state = TxnState::kBlocked;
-        if (obs_on_) txn.blocked_since = sim_->Now();
+        if (obs_on_) {
+          txn.blocked_since = sim_->Now();
+          RecordBlockedEdge(id, sim_->Now());
+        }
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
@@ -468,7 +499,10 @@ void ClosedSystem::HandleCcRequest(TxnId id) {
         return;
       case CCDecision::kBlocked:
         txn.state = TxnState::kBlocked;
-        if (obs_on_) txn.blocked_since = sim_->Now();
+        if (obs_on_) {
+          txn.blocked_since = sim_->Now();
+          RecordBlockedEdge(id, sim_->Now());
+        }
         ++batch_blocks_;
         ++measured_blocks_;
         Trace(txn, TxnEvent::kBlocked);
@@ -708,6 +742,17 @@ void ClosedSystem::Complete(TxnId id) {
     phase_sums_.other += final_active -
                          (txn.ph_cc_block + txn.ph_cpu + txn.ph_disk +
                           txn.ph_res_wait + txn.ph_think);
+    // Blame folds at the same instant as the phase sums, over the same
+    // charges that produced ph_wasted / ph_cc_block, so attribution and
+    // phase totals agree in exact integer µs (obs/blame.h).
+    for (const auto& [aborter, us] : txn.blame_wasted_charges) {
+      blame_ledger_.ChargeWasted(aborter, us);
+    }
+    for (const auto& [holder, us] : txn.blame_block_charges) {
+      blame_ledger_.ChargeBlocked(holder, us);
+    }
+    blame_ledger_.AddGenealogy(txn.incarnation);
+    genealogy_hist_->Add(static_cast<double>(txn.incarnation));
   }
 
   // History records deferred writes at commit, when they become visible, not
@@ -760,7 +805,14 @@ void ClosedSystem::Restart(TxnId id, RestartCause cause) {
   if (obs_on_) {
     // The whole aborted incarnation is wasted work, wall-to-wall: service,
     // waits, and thinks alike are repeated by the replay.
-    txn.ph_wasted += sim_->Now() - txn.incarnation_start;
+    const SimTime wasted = sim_->Now() - txn.incarnation_start;
+    txn.ph_wasted += wasted;
+    // Charge the incarnation to the opponent of the conflict that killed it
+    // (kInvalidTxn when the algorithm could not name one); the charge folds
+    // only if this transaction eventually commits in the window, mirroring
+    // ph_wasted exactly.
+    txn.blame_wasted_charges.emplace_back(txn.blame_opponent, wasted);
+    waits_for_obs_.erase(id);
     switch (cause) {
       case RestartCause::kWound: ctr_restarts_wound_->Inc(); break;
       case RestartCause::kDecision: ctr_restarts_decision_->Inc(); break;
@@ -821,7 +873,13 @@ void ClosedSystem::OnGranted(TxnId id) {
     t.grant_inflight = false;
     if (t.state != TxnState::kBlocked) return;  // Stale grant.
     t.state = TxnState::kRunning;
-    if (obs_on_) t.ph_cc_block += sim_->Now() - t.blocked_since;
+    if (obs_on_) {
+      const SimTime blocked = sim_->Now() - t.blocked_since;
+      t.ph_cc_block += blocked;
+      t.blame_block_charges.emplace_back(t.blame_block_opponent, blocked);
+      t.blame_block_opponent = kInvalidTxn;
+      waits_for_obs_.erase(id);
+    }
     Trace(t, TxnEvent::kResumed);
     AuditTransition();
     if (t.doomed) {
@@ -961,6 +1019,40 @@ void ClosedSystem::ChargePhase(Txn& txn, SimTime Txn::* bucket,
   txn.ph_res_wait += (sim_->Now() - requested_at) - service;
 }
 
+void ClosedSystem::OnBlame(TxnId victim, TxnId opponent, ObjectId obj,
+                           BlameKind kind) {
+  contention_->Record(obj, kind);
+  Txn& txn = GetTxn(victim);
+  if (kind == BlameKind::kBlock) {
+    txn.blame_block_opponent = opponent;
+  } else {
+    txn.blame_opponent = opponent;
+  }
+}
+
+void ClosedSystem::RecordBlockedEdge(TxnId id, SimTime now) {
+  Txn& txn = GetTxn(id);
+  const TxnId opponent = txn.blame_block_opponent;
+  if (opponent != kInvalidTxn && opponent != id) {
+    waits_for_obs_[id] = opponent;
+    if (perfetto_ != nullptr) perfetto_->OnBlockedBy(id, opponent, now);
+  }
+  // Chain depth = waits-for edges reachable from this transaction through
+  // opponents that are themselves blocked. An unknown opponent still counts
+  // as one edge: the transaction does wait behind *someone*.
+  int depth = 0;
+  TxnId cursor = id;
+  for (int hops = 0; hops < kMaxChainWalk; ++hops) {
+    auto it = waits_for_obs_.find(cursor);
+    if (it == waits_for_obs_.end()) break;
+    ++depth;
+    cursor = it->second;
+    if (cursor == id) break;  // Cycle: a deadlock awaiting victim selection.
+  }
+  if (depth == 0) depth = 1;
+  chain_depth_hist_->Add(static_cast<double>(depth));
+}
+
 void ClosedSystem::FinishObsArtifacts() {
   if (!obs_on_) return;
   if (sampler_ != nullptr) {
@@ -975,6 +1067,10 @@ void ClosedSystem::FinishObsArtifacts() {
     CCSIM_CHECK(trace_writer_->Finish())
         << "failed writing trace file " << config_.obs.trace_path;
     trace_writer_.reset();
+  }
+  if (contention_ != nullptr && !config_.obs.hot_path.empty()) {
+    CCSIM_CHECK(contention_->WriteCsv(config_.obs.hot_path, kHotGranuleTopK))
+        << "failed writing hot-granule csv " << config_.obs.hot_path;
   }
 }
 
@@ -1005,6 +1101,8 @@ void ClosedSystem::ResetMeasurement() {
   std::fill(class_commits_.begin(), class_commits_.end(), 0);
   std::fill(class_restarts_.begin(), class_restarts_.end(), 0);
   phase_sums_ = PhaseSums{};
+  blame_ledger_.Reset();
+  if (contention_ != nullptr) contention_->Reset();
   // Fresh interval estimators: a second RunExperiment must not inherit the
   // previous measurement's batches.
   throughput_bm_ = BatchMeans();
@@ -1104,6 +1202,8 @@ MetricsReport ClosedSystem::RunExperiment(int batches, SimTime batch_length,
       report.phases.wasted = ToSeconds(phase_sums_.wasted) / n;
       report.phases.other = ToSeconds(phase_sums_.other) / n;
     }
+    report.blame = blame_ledger_.Finish(phase_sums_.wasted,
+                                        phase_sums_.cc_block);
   }
   AuditFinal();
   if (auditor_ != nullptr) {

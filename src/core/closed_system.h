@@ -29,6 +29,8 @@
 #include "cc/restart_policy.h"
 #include "core/history.h"
 #include "core/metrics.h"
+#include "obs/blame.h"
+#include "obs/contention.h"
 #include "obs/engine_tracer.h"
 #include "obs/obs_config.h"
 #include "obs/registry.h"
@@ -245,6 +247,20 @@ class ClosedSystem {
     SimTime ph_disk = 0;
     SimTime ph_res_wait = 0;
     SimTime ph_think = 0;
+
+    // Blame attribution (obs/blame.h; maintained only when obs is on).
+    /// Opponent of the most recent restart-causing conflict (wound, denial,
+    /// validation failure, timestamp rejection). Reset at Activate.
+    TxnId blame_opponent = kInvalidTxn;
+    /// Holder behind the current (or just-resolved) cc block.
+    TxnId blame_block_opponent = kInvalidTxn;
+    /// (holder, µs) per resolved block of the current incarnation; folded
+    /// into the ledger at Complete, discarded at Restart — exactly the
+    /// lifecycle of ph_cc_block, so the blocked-µs identity is exact.
+    std::vector<std::pair<TxnId, SimTime>> blame_block_charges;
+    /// (aborter, µs) per restarted incarnation; whole-transaction, folded at
+    /// Complete — exactly the lifecycle of ph_wasted.
+    std::vector<std::pair<TxnId, SimTime>> blame_wasted_charges;
   };
 
   /// Why an incarnation restarted (observability: restarts by cause).
@@ -312,6 +328,12 @@ class ClosedSystem {
   /// Finishes the sampler CSV/.gp and the trace.json (hard error on a
   /// failed write). Called at the end of RunExperiment; idempotent.
   void FinishObsArtifacts();
+  /// cc on_blame callback (installed only when obs is on): stashes the
+  /// opponent on the victim and feeds the hot-granule sketch.
+  void OnBlame(TxnId victim, TxnId opponent, ObjectId obj, BlameKind kind);
+  /// Blocking-chain telemetry at a block site: records the waits-for edge,
+  /// samples the chain depth, and emits a Perfetto flow event when tracing.
+  void RecordBlockedEdge(TxnId id, SimTime now);
 
   /// The cc granule covering `obj`.
   ObjectId GranuleOf(ObjectId obj) const {
@@ -408,6 +430,16 @@ class ClosedSystem {
     SimTime cc_block = 0, cpu = 0, disk = 0, res_wait = 0, think = 0;
     SimTime other = 0;
   } phase_sums_;
+  /// Blame aggregation over the measurement window (obs/blame.h); reset with
+  /// the other measurement accumulators, folded per commit at Complete.
+  BlameLedger blame_ledger_;
+  /// Hot-granule conflict sketch; null unless obs is on.
+  std::unique_ptr<ContentionProfiler> contention_;
+  /// Observability-only waits-for edges (victim -> opponent) for chain-depth
+  /// sampling; never consulted by any scheduling or cc decision.
+  std::unordered_map<TxnId, TxnId> waits_for_obs_;
+  Histogram* chain_depth_hist_ = nullptr;
+  Histogram* genealogy_hist_ = nullptr;
   ProgressCell* progress_ = nullptr;
 
   /// Transactions whose commit records await the next group-commit flush

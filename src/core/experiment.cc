@@ -86,14 +86,30 @@ StatusOr<MetricsReport> TryRunOnePoint(const EngineConfig& config,
           static_cast<unsigned long long>(config.seed));
       heartbeat = std::make_unique<HeartbeatThread>(
           budget.heartbeat_seconds, [&progress, label] {
-            std::fprintf(
-                stderr, "[heartbeat] %s: sim=%.1fs events=%llu commits=%lld\n",
+            std::string line = StringPrintf(
+                "[heartbeat] %s: sim=%.1fs events=%llu commits=%lld",
                 label.c_str(),
                 ToSeconds(progress.sim_time_us.load(std::memory_order_relaxed)),
                 static_cast<unsigned long long>(
                     progress.events.load(std::memory_order_relaxed)),
                 static_cast<long long>(
                     progress.commits.load(std::memory_order_relaxed)));
+            // With a fault plan installed, a hung-looking run is often a
+            // fault loop; say how often the plan's sites were consulted and
+            // how often they fired.
+            if (FaultPlanActive()) {
+              uint64_t hits = 0;
+              uint64_t fires = 0;
+              for (FaultSite site : AllFaultSites()) {
+                hits += FaultHits(site);
+                fires += FaultFires(site);
+              }
+              line += StringPrintf(
+                  " fault_hits=%llu fault_fires=%llu",
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(fires));
+            }
+            std::fprintf(stderr, "%s\n", line.c_str());
           });
     }
     WatchdogTimer timer(budget.wall_timeout_seconds);

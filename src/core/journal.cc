@@ -162,6 +162,25 @@ std::string SerializeReport(const MetricsReport& r) {
   AppendField(&out, "other", r.phases.other);
   CloseObject(&out);
   out.push_back(',');
+  out += "\"blame\":{";
+  AppendField(&out, "collected", r.blame.collected);
+  AppendField(&out, "wasted_us", r.blame.wasted_us);
+  AppendField(&out, "wasted_attributed_us", r.blame.wasted_attributed_us);
+  AppendField(&out, "wasted_unattributed_us", r.blame.wasted_unattributed_us);
+  AppendField(&out, "blocked_us", r.blame.blocked_us);
+  AppendField(&out, "blocked_attributed_us", r.blame.blocked_attributed_us);
+  AppendField(&out, "blocked_unattributed_us",
+              r.blame.blocked_unattributed_us);
+  AppendField(&out, "restarts_charged", r.blame.restarts_charged);
+  AppendField(&out, "blocks_charged", r.blame.blocks_charged);
+  AppendField(&out, "genealogy_max", r.blame.genealogy_max);
+  AppendField(&out, "genealogy_mean", r.blame.genealogy_mean);
+  AppendField(&out, "top_aborter", static_cast<int64_t>(r.blame.top_aborter));
+  AppendField(&out, "top_aborter_wasted_us", r.blame.top_aborter_wasted_us);
+  AppendField(&out, "top_holder", static_cast<int64_t>(r.blame.top_holder));
+  AppendField(&out, "top_holder_blocked_us", r.blame.top_holder_blocked_us);
+  CloseObject(&out);
+  out.push_back(',');
   out += "\"per_class\":[";
   for (const ClassMetrics& cls : r.per_class) {
     out.push_back('{');
@@ -487,6 +506,36 @@ bool DeserializeReport(const JsonValue& object, MetricsReport* r) {
          GetDouble(phases, "restart_delay", &r->phases.restart_delay) &&
          GetDouble(phases, "wasted", &r->phases.wasted) &&
          GetDouble(phases, "other", &r->phases.other);
+    if (!ok) return false;
+  }
+
+  // Tolerate journals written before blame attribution existed (no "blame"
+  // object): the breakdown just stays uncollected.
+  auto blame_it = object.object.find("blame");
+  if (blame_it != object.object.end()) {
+    if (blame_it->second.kind != JsonValue::Kind::kObject) return false;
+    const JsonValue& blame = blame_it->second;
+    ok = GetBool(blame, "collected", &r->blame.collected) &&
+         GetI64(blame, "wasted_us", &r->blame.wasted_us) &&
+         GetI64(blame, "wasted_attributed_us",
+                &r->blame.wasted_attributed_us) &&
+         GetI64(blame, "wasted_unattributed_us",
+                &r->blame.wasted_unattributed_us) &&
+         GetI64(blame, "blocked_us", &r->blame.blocked_us) &&
+         GetI64(blame, "blocked_attributed_us",
+                &r->blame.blocked_attributed_us) &&
+         GetI64(blame, "blocked_unattributed_us",
+                &r->blame.blocked_unattributed_us) &&
+         GetI64(blame, "restarts_charged", &r->blame.restarts_charged) &&
+         GetI64(blame, "blocks_charged", &r->blame.blocks_charged) &&
+         GetI64(blame, "genealogy_max", &r->blame.genealogy_max) &&
+         GetDouble(blame, "genealogy_mean", &r->blame.genealogy_mean) &&
+         GetI64(blame, "top_aborter", &r->blame.top_aborter) &&
+         GetI64(blame, "top_aborter_wasted_us",
+                &r->blame.top_aborter_wasted_us) &&
+         GetI64(blame, "top_holder", &r->blame.top_holder) &&
+         GetI64(blame, "top_holder_blocked_us",
+                &r->blame.top_holder_blocked_us);
     if (!ok) return false;
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cc/concurrency_control.h"
+#include "obs/blame.h"
 #include "obs/phase.h"
 #include "stats/batch_means.h"
 
@@ -82,6 +83,11 @@ struct MetricsReport {
   /// `collected` is false — and every field zero — unless observability was
   /// on. The fields sum to the measured response mean.
   PhaseBreakdown phases;
+
+  /// Causal blame attribution (EngineConfig::obs; docs/OBSERVABILITY.md):
+  /// wasted µs charged to aborters, blocked µs charged to holders, restart
+  /// genealogy. Integer-µs totals reconcile exactly with `phases`.
+  BlameBreakdown blame;
 
   /// Per-class breakdown; one entry per TxnClass (a single entry named
   /// "default" for the paper's single-class workload).

@@ -10,11 +10,9 @@
 
 namespace ccsim {
 
-ReportColumns ReportColumns::FromEnv(const ReportColumns& defaults) {
-  auto spec = GetEnv("CCSIM_REPORT_COLUMNS");
-  if (!spec.has_value()) return defaults;
+ReportColumns ReportColumns::Parse(const std::string& spec) {
   ReportColumns columns = ThroughputOnly();
-  for (const std::string& token : Split(*spec, ',')) {
+  for (const std::string& token : Split(spec, ',')) {
     if (token.empty()) continue;  // Tolerate "a,,b" / trailing commas.
     if (token == "response") {
       columns.response = true;
@@ -30,16 +28,23 @@ ReportColumns ReportColumns::FromEnv(const ReportColumns& defaults) {
       columns.avg_mpl = true;
     } else if (token == "phases") {
       columns.phases = true;
+    } else if (token == "blame") {
+      columns.blame = true;
     } else if (token == "all") {
-      columns = ReportColumns{true, true, true, true, true, true, true};
+      columns = ReportColumns{true, true, true, true, true, true, true, true};
     } else {
-      CCSIM_CHECK(false) << "CCSIM_REPORT_COLUMNS: unknown column group '"
-                         << token
+      CCSIM_CHECK(false) << "report columns: unknown column group '" << token
                          << "' (expected response, percentiles, ratios, "
-                            "disk, cpu, mpl, phases, or all)";
+                            "disk, cpu, mpl, phases, blame, or all)";
     }
   }
   return columns;
+}
+
+ReportColumns ReportColumns::FromEnv(const ReportColumns& defaults) {
+  auto spec = GetEnv("CCSIM_REPORT_COLUMNS");
+  if (!spec.has_value()) return defaults;
+  return Parse(*spec);
 }
 
 void PrintReportTable(std::ostream& out, const std::string& title,
@@ -61,6 +66,10 @@ void PrintReportTable(std::ostream& out, const std::string& title,
     header += StringPrintf(" %7s %7s %7s %7s %7s %7s %7s %7s %7s", "ph_rdy",
                            "ph_blk", "ph_cpu", "ph_dsk", "ph_rwt", "ph_thk",
                            "ph_rdl", "ph_wst", "ph_oth");
+  }
+  if (columns.blame) {
+    header += StringPrintf(" %8s %8s %7s %7s", "wst_attr", "blk_attr",
+                           "gen_avg", "gen_max");
   }
   out << header << "\n" << std::string(header.size(), '-') << "\n";
 
@@ -95,6 +104,21 @@ void PrintReportTable(std::ostream& out, const std::string& title,
       row += StringPrintf(" %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f %7.2f",
                           p.ready, p.cc_block, p.cpu, p.disk, p.resource_wait,
                           p.think, p.restart_delay, p.wasted, p.other);
+    }
+    if (columns.blame) {
+      const BlameBreakdown& b = r.blame;
+      // Attribution fractions; 0/0 (no wasted/blocked time at all) prints 0.
+      const double wst_attr =
+          b.wasted_us > 0
+              ? static_cast<double>(b.wasted_attributed_us) / b.wasted_us
+              : 0.0;
+      const double blk_attr =
+          b.blocked_us > 0
+              ? static_cast<double>(b.blocked_attributed_us) / b.blocked_us
+              : 0.0;
+      row += StringPrintf(" %8.3f %8.3f %7.2f %7lld", wst_attr, blk_attr,
+                          b.genealogy_mean,
+                          static_cast<long long>(b.genealogy_max));
     }
     out << row << "\n";
   }
@@ -134,16 +158,35 @@ bool WriteReportCsv(const std::string& path,
   if (FaultPoint(FaultSite::kCsvWrite)) return false;
   CsvWriter csv(path);
   if (!csv.ok()) return false;
-  csv.WriteRow({"algorithm", "mpl", "throughput", "throughput_hw",
-                "response_mean", "response_sd", "response_p50", "response_p90",
-                "response_p99", "response_max", "block_ratio", "restart_ratio",
-                "disk_util_total", "disk_util_useful", "cpu_util_total",
-                "cpu_util_useful", "avg_active_mpl", "commits", "restarts",
-                "blocks", "measured_seconds", "phase_ready", "phase_cc_block",
-                "phase_cpu", "phase_disk", "phase_res_wait", "phase_think",
-                "phase_restart_delay", "phase_wasted", "phase_other"});
+  // Blame columns appear only when at least one report carries blame data
+  // (observability runs). Plain runs keep the historical 30-column layout
+  // byte-for-byte, which the reference-CSV diffs in scripts/bench_smoke.sh
+  // depend on.
+  bool any_blame = false;
+  for (const MetricsReport& r : reports) any_blame |= r.blame.collected;
+  std::vector<std::string> header = {
+      "algorithm", "mpl", "throughput", "throughput_hw", "response_mean",
+      "response_sd", "response_p50", "response_p90", "response_p99",
+      "response_max", "block_ratio", "restart_ratio", "disk_util_total",
+      "disk_util_useful", "cpu_util_total", "cpu_util_useful",
+      "avg_active_mpl", "commits", "restarts", "blocks", "measured_seconds",
+      "phase_ready", "phase_cc_block", "phase_cpu", "phase_disk",
+      "phase_res_wait", "phase_think", "phase_restart_delay", "phase_wasted",
+      "phase_other"};
+  if (any_blame) {
+    for (const char* name :
+         {"blame_wasted_us", "blame_wasted_attr_us", "blame_blocked_us",
+          "blame_blocked_attr_us", "blame_restarts_charged",
+          "blame_blocks_charged", "blame_genealogy_mean",
+          "blame_genealogy_max", "blame_top_aborter_us",
+          "blame_top_holder_us"}) {
+      header.push_back(name);
+    }
+  }
+  csv.WriteRow(header);
   for (const MetricsReport& r : reports) {
-    csv.WriteRow({r.algorithm, CsvWriter::Field(static_cast<int64_t>(r.mpl)),
+    std::vector<std::string> row =
+        {r.algorithm, CsvWriter::Field(static_cast<int64_t>(r.mpl)),
                   CsvWriter::Field(r.throughput.mean),
                   CsvWriter::Field(r.throughput.half_width),
                   CsvWriter::Field(r.response_mean.mean),
@@ -170,7 +213,20 @@ bool WriteReportCsv(const std::string& path,
                   CsvWriter::Field(r.phases.think),
                   CsvWriter::Field(r.phases.restart_delay),
                   CsvWriter::Field(r.phases.wasted),
-                  CsvWriter::Field(r.phases.other)});
+                  CsvWriter::Field(r.phases.other)};
+    if (any_blame) {
+      const BlameBreakdown& b = r.blame;
+      for (int64_t v :
+           {b.wasted_us, b.wasted_attributed_us, b.blocked_us,
+            b.blocked_attributed_us, b.restarts_charged, b.blocks_charged}) {
+        row.push_back(CsvWriter::Field(v));
+      }
+      row.push_back(CsvWriter::Field(b.genealogy_mean));
+      row.push_back(CsvWriter::Field(b.genealogy_max));
+      row.push_back(CsvWriter::Field(b.top_aborter_wasted_us));
+      row.push_back(CsvWriter::Field(b.top_holder_blocked_us));
+    }
+    csv.WriteRow(row);
   }
   // Finish() flushes and reports stream health, so a write that hit a full
   // disk or a vanished directory fails the call instead of silently

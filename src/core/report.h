@@ -21,16 +21,22 @@ struct ReportColumns {
   bool avg_mpl = true;
   bool percentiles = false;  ///< Response-time p50/p90/p99.
   bool phases = false;       ///< Per-phase response breakdown (obs runs).
+  bool blame = false;        ///< Blame attribution summary (obs runs).
 
   static ReportColumns ThroughputOnly() {
-    return ReportColumns{false, false, false, false, false, false, false};
+    return ReportColumns{false, false, false, false,
+                         false, false, false, false};
   }
 
-  /// Applies the CCSIM_REPORT_COLUMNS env knob: a comma-separated list of
-  /// column groups (response, percentiles, ratios, disk, cpu, mpl, phases,
-  /// or all) that *replaces* `defaults` when the variable is set. An unknown
-  /// token is a hard error — a typo must not silently drop a column. Unset,
-  /// returns `defaults` unchanged.
+  /// Parses a comma-separated column-group spec (response, percentiles,
+  /// ratios, disk, cpu, mpl, phases, blame, or all) into a ReportColumns
+  /// starting from ThroughputOnly(). An unknown token is a hard error — a
+  /// typo must not silently drop a column. Shared by the
+  /// CCSIM_REPORT_COLUMNS env knob and the `columns=` config key.
+  static ReportColumns Parse(const std::string& spec);
+
+  /// Applies the CCSIM_REPORT_COLUMNS env knob: when set, Parse()s it and
+  /// *replaces* `defaults`; unset, returns `defaults` unchanged.
   static ReportColumns FromEnv(const ReportColumns& defaults);
 };
 

@@ -173,6 +173,10 @@ uint64_t FaultFires(FaultSite site) {
       std::memory_order_relaxed);
 }
 
+bool FaultPlanActive() {
+  return inject_internal::g_plan.load(std::memory_order_acquire) != nullptr;
+}
+
 void InstallFaultPlanFromEnv() {
   static std::once_flag once;
   std::call_once(once, [] {

@@ -120,6 +120,10 @@ inline bool FaultPoint(FaultSite site) {
 uint64_t FaultHits(FaultSite site);
 uint64_t FaultFires(FaultSite site);
 
+/// Whether a fault plan is currently installed (diagnostics: the heartbeat
+/// line reports per-site hit/fire counts only when one is).
+bool FaultPlanActive();
+
 /// Installs the plan parsed from CCSIM_FAULTS, once per process; later calls
 /// are no-ops (the first sweep to start wins, matching the once-per-process
 /// env discipline of core/experiment.cc). Unset/empty leaves injection

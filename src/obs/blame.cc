@@ -1,0 +1,80 @@
+#include "obs/blame.h"
+
+#include <algorithm>
+
+namespace ccsim {
+
+void BlameLedger::ChargeWasted(TxnId aborter, int64_t us) {
+  if (aborter == kInvalidTxn) return;
+  wasted_attributed_us_ += us;
+  ++restarts_charged_;
+  wasted_by_aborter_[aborter] += us;
+}
+
+void BlameLedger::ChargeBlocked(TxnId holder, int64_t us) {
+  if (holder == kInvalidTxn) return;
+  blocked_attributed_us_ += us;
+  ++blocks_charged_;
+  blocked_by_holder_[holder] += us;
+}
+
+void BlameLedger::AddGenealogy(int64_t incarnations) {
+  genealogy_sum_ += incarnations;
+  genealogy_max_ = std::max(genealogy_max_, incarnations);
+  ++genealogy_count_;
+}
+
+void BlameLedger::Reset() {
+  wasted_attributed_us_ = 0;
+  blocked_attributed_us_ = 0;
+  restarts_charged_ = 0;
+  blocks_charged_ = 0;
+  genealogy_sum_ = 0;
+  genealogy_max_ = 0;
+  genealogy_count_ = 0;
+  wasted_by_aborter_.clear();
+  blocked_by_holder_.clear();
+}
+
+namespace {
+
+/// Largest charge wins; ties break toward the smaller txn id so the report
+/// is a deterministic function of the run.
+void PickTop(const std::unordered_map<TxnId, int64_t>& charges, TxnId* who,
+             int64_t* amount) {
+  *who = kInvalidTxn;
+  *amount = 0;
+  for (const auto& [txn, charged] : charges) {
+    if (charged > *amount || (charged == *amount && *who != kInvalidTxn &&
+                              txn < *who)) {
+      *who = txn;
+      *amount = charged;
+    }
+  }
+}
+
+}  // namespace
+
+BlameBreakdown BlameLedger::Finish(int64_t wasted_total_us,
+                                   int64_t blocked_total_us) const {
+  BlameBreakdown b;
+  b.collected = true;
+  b.wasted_us = wasted_total_us;
+  b.blocked_us = blocked_total_us;
+  b.wasted_attributed_us = wasted_attributed_us_;
+  b.wasted_unattributed_us = wasted_total_us - wasted_attributed_us_;
+  b.blocked_attributed_us = blocked_attributed_us_;
+  b.blocked_unattributed_us = blocked_total_us - blocked_attributed_us_;
+  b.restarts_charged = restarts_charged_;
+  b.blocks_charged = blocks_charged_;
+  b.genealogy_max = genealogy_max_;
+  b.genealogy_mean =
+      genealogy_count_ > 0
+          ? static_cast<double>(genealogy_sum_) / genealogy_count_
+          : 0.0;
+  PickTop(wasted_by_aborter_, &b.top_aborter, &b.top_aborter_wasted_us);
+  PickTop(blocked_by_holder_, &b.top_holder, &b.top_holder_blocked_us);
+  return b;
+}
+
+}  // namespace ccsim

@@ -14,13 +14,12 @@ EngineTracer::EngineTracer(TraceEventWriter* out) : out_(out) {
   out_->NameProcess(kServerPid, "servers");
 }
 
-EngineTracer::TxnTrack& EngineTracer::TrackFor(const TraceRecord& record) {
-  TxnTrack& track = txns_[record.txn];
+EngineTracer::TxnTrack& EngineTracer::TrackFor(TxnId txn) {
+  TxnTrack& track = txns_[txn];
   if (!track.named) {
     track.named = true;
-    out_->NameThread(kTxnPid, record.txn,
-                     StringPrintf("txn %lld",
-                                  static_cast<long long>(record.txn)));
+    out_->NameThread(kTxnPid, txn,
+                     StringPrintf("txn %lld", static_cast<long long>(txn)));
   }
   return track;
 }
@@ -33,7 +32,7 @@ void EngineTracer::CloseBlocked(TxnTrack& track, TxnId txn, SimTime now) {
 }
 
 void EngineTracer::Record(const TraceRecord& record) {
-  TxnTrack& track = TrackFor(record);
+  TxnTrack& track = TrackFor(record.txn);
   switch (record.event) {
     case TxnEvent::kSubmitted:
       out_->Instant(kTxnPid, record.txn, "submitted", record.time);
@@ -72,6 +71,17 @@ void EngineTracer::Record(const TraceRecord& record) {
       }
       break;
   }
+}
+
+void EngineTracer::OnBlockedBy(TxnId blockee, TxnId blocker, SimTime time) {
+  TrackFor(blocker);
+  TrackFor(blockee);
+  // One arrow per block event; both halves share the id. The start sits on
+  // the blocker's open incarnation slice, the end binds to the "blocked"
+  // slice the blockee opens at the same instant.
+  const uint64_t id = ++next_flow_id_;
+  out_->FlowStart(kTxnPid, blocker, "waits-for", time, id);
+  out_->FlowEnd(kTxnPid, blockee, "waits-for", time, id);
 }
 
 int EngineTracer::RegisterTrack(const std::string& name) {

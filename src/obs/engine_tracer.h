@@ -40,6 +40,11 @@ class EngineTracer : public TraceSink, public ServiceSpanSink {
   /// drains, so most transactions are mid-flight when the run stops).
   void FlushOpen(SimTime end_time);
 
+  /// Blame hook: draws a waits-for flow arrow from `blocker`'s slice to the
+  /// "blocked" slice `blockee` opens at `time` (called by the engine at
+  /// each attributed block).
+  void OnBlockedBy(TxnId blockee, TxnId blocker, SimTime time);
+
  private:
   struct TxnTrack {
     bool named = false;
@@ -49,12 +54,13 @@ class EngineTracer : public TraceSink, public ServiceSpanSink {
     SimTime blocked_since = -1;  ///< -1: not blocked.
   };
 
-  TxnTrack& TrackFor(const TraceRecord& record);
+  TxnTrack& TrackFor(TxnId txn);
   void CloseBlocked(TxnTrack& track, TxnId txn, SimTime now);
 
   TraceEventWriter* out_;
   std::unordered_map<TxnId, TxnTrack> txns_;
   std::vector<std::string> server_tracks_;
+  uint64_t next_flow_id_ = 0;
 };
 
 }  // namespace ccsim

@@ -45,6 +45,12 @@ void ResolveObsPaths(ObsConfig* obs, const std::string& algorithm, int mpl,
       !obs->sample_dir.empty()) {
     obs->sample_path = obs->sample_dir + "/ts_" + point + ".csv";
   }
+  if (obs->SamplingOn() && obs->hot_path.empty() && !obs->sample_dir.empty()) {
+    // No seed in the name: the hot table is the per-(algorithm, mpl) story
+    // figure readers compare across seeds.
+    obs->hot_path = obs->sample_dir +
+                    StringPrintf("/hot_%s_mpl%d.csv", algorithm.c_str(), mpl);
+  }
   if (obs->trace_path.empty() && !obs->trace_dir.empty()) {
     obs->trace_path = obs->trace_dir + "/trace_" + point + ".json";
   }

@@ -43,6 +43,10 @@ struct ObsConfig {
   std::string sample_path;
   std::string trace_path;
 
+  /// Hot-granule contention CSV (docs/OBSERVABILITY.md): emitted next to
+  /// the time-series CSVs when sampling is on, or set directly by tests.
+  std::string hot_path;
+
   bool SamplingOn() const { return sample_interval > 0; }
   bool TracingOn() const { return !trace_path.empty() || !trace_dir.empty(); }
 
@@ -57,6 +61,7 @@ struct ObsConfig {
 
 /// Derives per-point artifact paths from the directory fields:
 ///   <sample_dir>/ts_<algorithm>_mpl<mpl>_seed<seed>.csv
+///   <sample_dir>/hot_<algorithm>_mpl<mpl>.csv
 ///   <trace_dir>/trace_<algorithm>_mpl<mpl>_seed<seed>.json
 /// Explicitly-set paths are left alone, so single-point callers (tests,
 /// run_config with one point) can name artifacts directly.

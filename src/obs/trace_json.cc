@@ -67,6 +67,19 @@ void TraceEventWriter::Counter(int pid, const std::string& name, SimTime time,
   out_ << StringPrintf(",\"args\":{\"value\":%.17g}}", value);
 }
 
+void TraceEventWriter::FlowStart(int pid, int64_t tid, const std::string& name,
+                                 SimTime time, uint64_t id) {
+  BeginEvent("s", pid, tid, name, time);
+  out_ << StringPrintf(",\"id\":%llu}", static_cast<unsigned long long>(id));
+}
+
+void TraceEventWriter::FlowEnd(int pid, int64_t tid, const std::string& name,
+                               SimTime time, uint64_t id) {
+  BeginEvent("f", pid, tid, name, time);
+  out_ << StringPrintf(",\"id\":%llu,\"bp\":\"e\"}",
+                       static_cast<unsigned long long>(id));
+}
+
 bool TraceEventWriter::Finish() {
   CCSIM_CHECK(!finished_) << "TraceEventWriter::Finish called twice";
   finished_ = true;

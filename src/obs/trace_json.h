@@ -42,6 +42,15 @@ class TraceEventWriter {
   /// graph). Counters are per-process; tid is ignored by viewers.
   void Counter(int pid, const std::string& name, SimTime time, double value);
 
+  /// Flow events ("s"/"f"): an arrow from the slice enclosing the start
+  /// point to the slice enclosing the end point. Both halves must share
+  /// `name` and `id`; the end binds to its enclosing slice ("bp":"e") so
+  /// blocker→blockee arrows land on the blocked slice itself.
+  void FlowStart(int pid, int64_t tid, const std::string& name, SimTime time,
+                 uint64_t id);
+  void FlowEnd(int pid, int64_t tid, const std::string& name, SimTime time,
+               uint64_t id);
+
   /// Closes the JSON array and the file. Returns stream health; call exactly
   /// once.
   bool Finish();

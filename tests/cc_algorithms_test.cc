@@ -34,6 +34,7 @@ struct FakeEngine {
         [this](TxnId, ObjectId obj, TxnId writer) {
           version_reads.emplace_back(obj, writer);
         },
+        nullptr,
     };
   }
 };

@@ -27,6 +27,7 @@
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "obs/trace_json.h"
+#include "res/server_pool.h"
 #include "sim/simulator.h"
 #include "util/check.h"
 #include "util/str.h"
@@ -326,6 +327,100 @@ TEST(SamplerTest, CsvHasMonotoneTimeAndFullSchema) {
   EXPECT_NE(gp.find("obs_sampler_test.csv"), std::string::npos);
   EXPECT_NE(gp.find("columnheader"), std::string::npos);
   std::remove(config.obs.sample_path.c_str());
+}
+
+// --- Sampler under resource fault windows --------------------------------
+
+TEST(SamplerFaultWindowTest, FaultedGaugeRegisteredOnlyWhenArmed) {
+  // Unfaulted run: no <pool>_faulted gauge anywhere, so the sampler CSV
+  // header is byte-identical to a build without the fault subsystem.
+  EngineConfig plain = ContendedConfig();
+  plain.obs.enabled = true;
+  Simulator sim_plain;
+  ClosedSystem system_plain(&sim_plain, plain);
+  system_plain.RunExperiment(/*batches=*/1, /*batch_length=*/2 * kSecond,
+                             /*warmup=*/0);
+  for (const std::string& name :
+       system_plain.stats_registry()->ColumnNames()) {
+    EXPECT_EQ(name.find("_faulted"), std::string::npos) << name;
+  }
+
+  // An armed disk window covers the whole array (every disk pool gains the
+  // gauge); the unfaulted cpu pool stays bare.
+  EngineConfig faulted = ContendedConfig();
+  faulted.obs.enabled = true;
+  faulted.resources.disk_fault =
+      FaultWindow{FaultWindowKind::kStall, 2 * kSecond, 3 * kSecond};
+  Simulator sim;
+  ClosedSystem system(&sim, faulted);
+  system.RunExperiment(/*batches=*/1, /*batch_length=*/2 * kSecond,
+                       /*warmup=*/0);
+  std::vector<std::string> names = system.stats_registry()->ColumnNames();
+  auto has = [&names](const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("disk0_faulted"));
+  EXPECT_TRUE(has("disk1_faulted"));
+  EXPECT_FALSE(has("cpu_faulted"));
+}
+
+TEST(SamplerFaultWindowTest, CsvTracksOutageWindowMonotonically) {
+  EngineConfig config = ContendedConfig();
+  config.obs.enabled = true;
+  config.obs.sample_interval = kSecond / 4;
+  config.obs.sample_path = testing::TempDir() + "obs_fault_sampler.csv";
+  config.resources.disk_fault =
+      FaultWindow{FaultWindowKind::kOutage, 2 * kSecond, 4 * kSecond};
+  Simulator sim;
+  ClosedSystem system(&sim, config);
+  MetricsReport report = system.RunExperiment(
+      /*batches=*/2, /*batch_length=*/4 * kSecond, /*warmup=*/0);
+  EXPECT_GT(report.commits, 0);
+
+  // Window arithmetic: every disk is out for 2 of the 8 simulated seconds
+  // of a disk-bound run, so requests were delayed and charged real delay,
+  // and the gauges read exactly the pools' counters.
+  EXPECT_GT(system.resources().faulted_requests(), 0);
+  EXPECT_GT(system.resources().fault_delay(), 0);
+  EXPECT_EQ(system.stats_registry()->ValueOf("disk0_faulted") +
+                system.stats_registry()->ValueOf("disk1_faulted"),
+            static_cast<double>(system.resources().faulted_requests()));
+
+  // The sampled time series: monotone time, and the faulted counters are
+  // cumulative — zero strictly before the window opens, non-decreasing,
+  // positive by the end of the run.
+  std::istringstream csv(ReadFile(config.obs.sample_path));
+  std::string line;
+  ASSERT_TRUE(std::getline(csv, line));
+  std::vector<std::string> header = Split(line, ',');
+  auto column = [&header](const std::string& name) {
+    auto it = std::find(header.begin(), header.end(), name);
+    EXPECT_NE(it, header.end()) << name;
+    return static_cast<size_t>(it - header.begin());
+  };
+  size_t disk0 = column("disk0_faulted");
+  size_t disk1 = column("disk1_faulted");
+
+  double last_time = -1.0;
+  double last_faulted = 0.0;
+  while (std::getline(csv, line)) {
+    std::vector<std::string> fields = Split(line, ',');
+    ASSERT_EQ(fields.size(), header.size());
+    double time = std::stod(fields[0]);
+    EXPECT_GT(time, last_time);
+    last_time = time;
+    double faulted = std::stod(fields[disk0]) + std::stod(fields[disk1]);
+    EXPECT_GE(faulted, last_faulted);
+    // A sample that lands exactly on the window-open instant may already
+    // see deferred requests, hence the strict bound.
+    if (time < 1.99) {
+      EXPECT_EQ(faulted, 0.0) << "at t=" << time;
+    }
+    last_faulted = faulted;
+  }
+  EXPECT_GT(last_faulted, 0.0);
+  std::remove(config.obs.sample_path.c_str());
+  std::remove((testing::TempDir() + "obs_fault_sampler.gp").c_str());
 }
 
 // --- Report columns ------------------------------------------------------

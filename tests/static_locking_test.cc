@@ -20,6 +20,7 @@ struct FakeEngine {
         [](TxnId) { FAIL() << "static locking never wounds"; },
         []() { return SimTime{0}; },
         nullptr,
+        nullptr,
     };
   }
 };

@@ -34,6 +34,12 @@ Rules (docs/VERIFICATION.md):
                    frames up by design) and the PrunedRunError throw in
                    verify/explorer.cc (the explorer's internal backtrack
                    signal).
+  R7 obs-catalog   Every instrument name registered with a string literal in
+                   src/ must appear in the docs/OBSERVABILITY.md instrument
+                   catalog. An instrument nobody can look up is a column
+                   nobody can interpret. (Dynamically composed names —
+                   "<pool>_busy" etc. — are documented as families in the
+                   same catalog but cannot be checked mechanically.)
 
 Usage: ccsim_lint.py [--root REPO] [--self-test]
 Exit status: 0 clean, 1 violations found, 2 usage error.
@@ -328,6 +334,31 @@ class Linter:
                     "(docs/FAULTS.md)",
                 )
 
+    # --- R7 -----------------------------------------------------------------
+
+    def check_obs_catalog(self):
+        catalog_path = self.root / "docs/OBSERVABILITY.md"
+        catalog = (
+            catalog_path.read_text(encoding="utf-8")
+            if catalog_path.is_file()
+            else ""
+        )
+        for path in self.cpp_files("src"):
+            text = path.read_text(encoding="utf-8")
+            rel = self.rel(path)
+            for match in R3_REGISTER.finditer(text):
+                name = match.group(1)
+                if f"`{name}`" in catalog:
+                    continue
+                self.report(
+                    rel,
+                    line_of(text, match.start()),
+                    "R7",
+                    f"obs instrument '{name}' is not in the "
+                    "docs/OBSERVABILITY.md instrument catalog; add a row "
+                    "(as `name`) so the column is interpretable",
+                )
+
     def run(self):
         self.check_determinism()
         self.check_env_knobs()
@@ -335,6 +366,7 @@ class Linter:
         self.check_layering()
         self.check_hot_path_callables()
         self.check_status_errors()
+        self.check_obs_catalog()
         return self.violations
 
 
@@ -363,6 +395,11 @@ SELF_TEST_SNIPPETS = {
         "void A() { throw PointTimeout(\"budget\"); }\n"  # Allowed (1st).
         "void B() { throw PointTimeout(\"again\"); }\n"  # Beyond: fires.
     ),
+    "R7": (
+        'registry->AddGauge("documented_gauge");\n'  # In the catalog: silent.
+        'registry->AddCounter("undocumented_counter");\n'  # Fires.
+    ),
+    "R7_catalog": "| `documented_gauge` | gauge | test | a documented one |\n",
 }
 
 
@@ -406,6 +443,13 @@ def self_test(tmp_root):
         (root / "src/core/experiment.cc").write_text(
             SELF_TEST_SNIPPETS["R6_allowlisted"]
         )
+        # R7: one documented and one undocumented instrument; the catalog
+        # documents only the former. (bad_obs.cc's "dup" registrations are
+        # also uncatalogued, adding two more R7 hits.)
+        (root / "src/core/obs_names.cc").write_text(SELF_TEST_SNIPPETS["R7"])
+        (root / "docs/OBSERVABILITY.md").write_text(
+            SELF_TEST_SNIPPETS["R7_catalog"]
+        )
         violations = Linter(root).run()
 
         def expect(substring, count):
@@ -429,6 +473,9 @@ def self_test(tmp_root):
         expect("experiment.cc:2", 1)  # Allowlisted first throw: silent.
         expect("check.cc", 0)  # util/ and inject/ own the escape hatches.
         expect("fault.cc", 0)
+        expect("[R7]", 3)  # undocumented_counter + both "dup" sites.
+        expect("undocumented_counter", 1)
+        expect("documented_gauge", 0)  # Catalogued: silent.
     if failures:
         for f in failures:
             print(f"ccsim-lint self-test FAIL: {f}", file=sys.stderr)

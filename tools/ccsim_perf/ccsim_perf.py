@@ -1,0 +1,336 @@
+#!/usr/bin/env python3
+"""ccsim-perf: noise-aware performance-regression gate over BENCH_sim.json.
+
+Each bench/micro_kernel run emits a BENCH_sim.json (schema ccsim-bench-v1,
+docs/PERFORMANCE.md). This tool maintains a *trajectory* — a JSONL file with
+one line per historical run — and gates a fresh run against that history
+with a noise model instead of a fixed threshold:
+
+  For each gated metric (higher is better), let the history be n past
+  values with mean m, sample standard deviation s, and median M. The new
+  value x is a regression iff BOTH hold:
+
+    1. x < m - t99(n-1) * s * sqrt(1 + 1/n)
+         (x falls below the lower edge of the two-sided 99% Student-t
+          prediction interval for a single new observation), and
+    2. x < (1 - MEDIAN_GUARD) * M
+         (x is also more than 5% below the history median — a guard
+          against flagging microscopic dips when the history happens to
+          have near-zero variance).
+
+  With fewer than MIN_HISTORY (3) entries there is no basis for a noise
+  estimate; the run is recorded (with --append) but never gated.
+
+Gated metrics (wall-clock rates; see docs/PERFORMANCE.md for the caveat
+that trajectories are only comparable on the same machine class):
+  event_churn.events_per_sec
+  lock_grant_release.requests_per_sec
+  end_to_end_fig03.commits_per_wall_sec
+
+Usage:
+  ccsim_perf.py --bench BENCH_sim.json --trajectory FILE [--append]
+  ccsim_perf.py --validate FILE
+  ccsim_perf.py --self-test
+
+Exit status: 0 ok, 1 regression detected or invalid input, 2 usage error.
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import statistics
+import sys
+
+BENCH_SCHEMA = "ccsim-bench-v1"
+TRAJECTORY_SCHEMA = "ccsim-perf-v1"
+
+#: (section, field) pairs gated out of BENCH_sim.json; all higher-is-better.
+GATED_METRICS = [
+    ("event_churn", "events_per_sec"),
+    ("lock_grant_release", "requests_per_sec"),
+    ("end_to_end_fig03", "commits_per_wall_sec"),
+]
+
+#: Below this many history entries the gate only records, never fails.
+MIN_HISTORY = 3
+
+#: Secondary guard: a value must also sit more than this fraction below the
+#: history median before it counts as a regression.
+MEDIAN_GUARD = 0.05
+
+#: Two-sided 99% Student-t critical values, indexed by degrees of freedom
+#: (df = 1..30); beyond 30 the normal approximation below is used.
+T99 = [
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+]
+T99_NORMAL = 2.576
+
+
+def t99(df):
+    if df < 1:
+        raise ValueError("t99 needs df >= 1")
+    return T99[df - 1] if df <= len(T99) else T99_NORMAL
+
+
+def metric_key(section, field):
+    return f"{section}.{field}"
+
+
+def extract_metrics(bench_doc):
+    """Pulls the gated metrics out of a parsed BENCH_sim.json; raises
+    ValueError on a missing schema tag, missing field, or non-positive
+    value (a zero rate means the bench broke, not that the machine is
+    slow — micro_kernel asserts the same)."""
+    if bench_doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"bench schema {bench_doc.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    metrics = {}
+    for section, field in GATED_METRICS:
+        value = bench_doc.get(section, {}).get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(
+                f"bench metric {metric_key(section, field)} missing or "
+                f"non-positive: {value!r}"
+            )
+        metrics[metric_key(section, field)] = float(value)
+    return metrics
+
+
+def load_trajectory(path):
+    """Parses a trajectory JSONL file into a list of metric dicts; raises
+    ValueError naming the first malformed line."""
+    entries = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}:{lineno}: not JSON: {err}") from err
+        if doc.get("schema") != TRAJECTORY_SCHEMA:
+            raise ValueError(
+                f"{path}:{lineno}: schema {doc.get('schema')!r} != "
+                f"{TRAJECTORY_SCHEMA!r}"
+            )
+        metrics = doc.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError(f"{path}:{lineno}: missing metrics object")
+        for section, field in GATED_METRICS:
+            key = metric_key(section, field)
+            value = metrics.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(
+                    f"{path}:{lineno}: metric {key} missing or non-positive: "
+                    f"{value!r}"
+                )
+        entries.append({k: float(v) for k, v in metrics.items()})
+    return entries
+
+
+def judge(history, value):
+    """Gates one metric value against its history. Returns (verdict, detail)
+    with verdict one of 'ok', 'recorded' (history too short to gate), or
+    'REGRESSION'."""
+    n = len(history)
+    if n < MIN_HISTORY:
+        return "recorded", f"history has {n} < {MIN_HISTORY} entries; not gated"
+    mean = statistics.fmean(history)
+    stddev = statistics.stdev(history)
+    median = statistics.median(history)
+    lower = mean - t99(n - 1) * stddev * math.sqrt(1.0 + 1.0 / n)
+    guard = (1.0 - MEDIAN_GUARD) * median
+    detail = (
+        f"value={value:.0f} n={n} mean={mean:.0f} sd={stddev:.0f} "
+        f"t99_lower={lower:.0f} median_guard={guard:.0f}"
+    )
+    if value < lower and value < guard:
+        return "REGRESSION", detail
+    return "ok", detail
+
+
+def check(bench_path, trajectory_path, append):
+    """The gate: compares the bench run at `bench_path` against the
+    trajectory, optionally appending it on a pass. Returns the exit code."""
+    try:
+        with open(bench_path, encoding="utf-8") as f:
+            bench_doc = json.load(f)
+        metrics = extract_metrics(bench_doc)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"ccsim-perf: bad bench file {bench_path}: {err}",
+              file=sys.stderr)
+        return 1
+
+    trajectory = pathlib.Path(trajectory_path)
+    try:
+        entries = load_trajectory(trajectory) if trajectory.exists() else []
+    except ValueError as err:
+        print(f"ccsim-perf: bad trajectory: {err}", file=sys.stderr)
+        return 1
+
+    regressions = 0
+    for section, field in GATED_METRICS:
+        key = metric_key(section, field)
+        history = [e[key] for e in entries]
+        verdict, detail = judge(history, metrics[key])
+        print(f"ccsim-perf: {key}: {verdict} ({detail})")
+        if verdict == "REGRESSION":
+            regressions += 1
+    if regressions:
+        print(
+            f"ccsim-perf: {regressions} metric(s) regressed vs "
+            f"{trajectory_path} (noise model: 99% Student-t prediction "
+            f"interval AND >{MEDIAN_GUARD:.0%} below median — "
+            "docs/PERFORMANCE.md)",
+            file=sys.stderr,
+        )
+        return 1
+    if append:
+        entry = {"schema": TRAJECTORY_SCHEMA, "metrics": metrics}
+        with open(trajectory, "a", encoding="utf-8") as f:
+            f.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"ccsim-perf: appended run to {trajectory_path} "
+              f"({len(entries) + 1} entries)")
+    return 0
+
+
+def validate(trajectory_path):
+    try:
+        entries = load_trajectory(trajectory_path)
+    except (OSError, ValueError) as err:
+        print(f"ccsim-perf: invalid trajectory: {err}", file=sys.stderr)
+        return 1
+    if not entries:
+        print(f"ccsim-perf: {trajectory_path} has no entries", file=sys.stderr)
+        return 1
+    print(f"ccsim-perf: {trajectory_path} OK ({len(entries)} entries)")
+    return 0
+
+
+# --- Self-test ---------------------------------------------------------------
+
+#: Deterministic per-run jitter for the synthetic history, as fractions of
+#: the base rate (~±1.5%, realistic same-machine noise).
+SELF_TEST_JITTER = [0.000, 0.012, -0.009, 0.005, -0.014, 0.008, -0.003, 0.010]
+
+
+def self_test():
+    """Builds a synthetic trajectory with deterministic jitter, then asserts
+    (a) a re-run at the base rate passes, and (b) a planted 20% slowdown in
+    events_per_sec is caught."""
+    import tempfile
+
+    base = {
+        metric_key("event_churn", "events_per_sec"): 40_000_000.0,
+        metric_key("lock_grant_release", "requests_per_sec"): 8_000_000.0,
+        metric_key("end_to_end_fig03", "commits_per_wall_sec"): 50_000.0,
+    }
+
+    def bench_doc(scale_events):
+        return {
+            "schema": BENCH_SCHEMA,
+            "event_churn": {
+                "events_per_sec":
+                    base["event_churn.events_per_sec"] * scale_events,
+            },
+            "lock_grant_release": {
+                "requests_per_sec":
+                    base["lock_grant_release.requests_per_sec"],
+            },
+            "end_to_end_fig03": {
+                "commits_per_wall_sec":
+                    base["end_to_end_fig03.commits_per_wall_sec"],
+            },
+        }
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        trajectory = root / "BENCH_trajectory.jsonl"
+        with open(trajectory, "w", encoding="utf-8") as f:
+            for jitter in SELF_TEST_JITTER:
+                entry = {
+                    "schema": TRAJECTORY_SCHEMA,
+                    "metrics": {k: v * (1.0 + jitter)
+                                for k, v in base.items()},
+                }
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
+        if validate(trajectory) != 0:
+            failures.append("synthetic trajectory failed --validate")
+
+        good = root / "bench_good.json"
+        good.write_text(json.dumps(bench_doc(1.0)))
+        if check(good, trajectory, append=False) != 0:
+            failures.append("identical re-run flagged as a regression")
+
+        slow = root / "bench_slow.json"
+        slow.write_text(json.dumps(bench_doc(0.8)))
+        if check(slow, trajectory, append=False) != 1:
+            failures.append("planted 20% events_per_sec slowdown NOT caught")
+
+        # Short-history behavior: two entries must record, never gate.
+        short = root / "short.jsonl"
+        with open(short, "w", encoding="utf-8") as f:
+            for jitter in SELF_TEST_JITTER[:2]:
+                entry = {
+                    "schema": TRAJECTORY_SCHEMA,
+                    "metrics": {k: v * (1.0 + jitter)
+                                for k, v in base.items()},
+                }
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
+        if check(slow, short, append=False) != 0:
+            failures.append("short history gated despite < MIN_HISTORY")
+
+        # --append must grow the trajectory by exactly one valid entry.
+        before = len(load_trajectory(trajectory))
+        if check(good, trajectory, append=True) != 0:
+            failures.append("append run unexpectedly failed")
+        if len(load_trajectory(trajectory)) != before + 1:
+            failures.append("--append did not add exactly one entry")
+
+    if failures:
+        for f in failures:
+            print(f"ccsim-perf self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("ccsim-perf self-test: gate catches the planted regression and "
+          "passes the clean re-run")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", help="BENCH_sim.json to gate")
+    parser.add_argument("--trajectory", help="trajectory JSONL file")
+    parser.add_argument(
+        "--append", action="store_true",
+        help="append the bench run to the trajectory when the gate passes",
+    )
+    parser.add_argument(
+        "--validate", metavar="FILE",
+        help="validate a trajectory file (schema + positive metrics), then "
+             "exit",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify the gate catches a planted 20%% slowdown, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if args.validate:
+        return validate(args.validate)
+    if not args.bench or not args.trajectory:
+        parser.print_usage(sys.stderr)
+        print("ccsim-perf: need --bench and --trajectory (or --validate / "
+              "--self-test)", file=sys.stderr)
+        return 2
+    return check(args.bench, args.trajectory, args.append)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
