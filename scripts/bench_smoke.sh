@@ -38,10 +38,19 @@ assert doc["schema"] == "ccsim-bench-v1", doc.get("schema")
 assert doc["event_churn"]["events_per_sec"] > 0
 assert doc["event_churn"]["peak_heap_entries"] > 0
 assert doc["lock_grant_release"]["requests_per_sec"] > 0
+algos = ["blocking", "immediate_restart", "optimistic", "optimistic_forward",
+         "wound_wait", "wait_die", "basic_to", "mvto", "static_locking"]
+cc = doc["cc_decision"]
+entries = [k for k in cc if k != "budget"]
+assert sorted(entries) == sorted(algos), entries
+for algo in algos:
+    assert cc[algo]["decisions_per_sec"] > 0, algo
+    assert cc[algo]["commits"] > 0, algo
 assert doc["end_to_end_fig03"]["throughput_txn_per_sim_sec"] > 0
 assert doc["end_to_end_fig03"]["commits"] > 0
 assert int(doc["end_to_end_fig03"]["replay_digest"], 16) != 0
-print("BENCH_sim.json OK: %.1fM events/sec churn, %.1f txn/s end-to-end"
+print("BENCH_sim.json OK: %.1fM events/sec churn, 9-algorithm cc_decision, "
+      "%.1f txn/s end-to-end"
       % (doc["event_churn"]["events_per_sec"] / 1e6,
          doc["end_to_end_fig03"]["throughput_txn_per_sim_sec"]))
 EOF

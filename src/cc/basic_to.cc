@@ -12,15 +12,15 @@ void BasicTimestampOrderingCC::OnBegin(TxnId txn, SimTime first_start,
                                        SimTime incarnation_start) {
   (void)first_start;
   (void)incarnation_start;
-  TxnState state;
+  TxnState& state = active_.Upsert(txn);
+  state.Recycle();  // Fresh incarnation state; buffers keep their capacity.
   state.ts = next_ts_++;  // Fresh timestamp per incarnation (standard BTO).
-  active_[txn] = std::move(state);
 }
 
 CCDecision BasicTimestampOrderingCC::ReadRequest(TxnId txn, ObjectId obj) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   state.waiting_on.reset();
-  ObjectState& object = objects_[obj];
+  ObjectState& object = objects_.Touch(obj);
 
   if (state.ts < object.wts) {
     // A newer write already committed; this read is too late.
@@ -49,9 +49,9 @@ CCDecision BasicTimestampOrderingCC::ReadRequest(TxnId txn, ObjectId obj) {
 }
 
 CCDecision BasicTimestampOrderingCC::WriteRequest(TxnId txn, ObjectId obj) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   state.waiting_on.reset();
-  ObjectState& object = objects_[obj];
+  ObjectState& object = objects_.Touch(obj);
 
   if (state.ts < object.rts || state.ts < object.wts) {
     // Someone with a larger timestamp already read/wrote the value this
@@ -97,23 +97,27 @@ CCDecision BasicTimestampOrderingCC::WriteRequest(TxnId txn, ObjectId obj) {
 
 void BasicTimestampOrderingCC::ResolvePrewrites(TxnState& state, bool publish) {
   for (ObjectId obj : state.prewrites) {
-    ObjectState& object = objects_.at(obj);
-    CCSIM_CHECK_NE(object.pending_writer, kInvalidTxn);
-    if (publish && object.pending_ts >= object.wts) {
-      object.wts = object.pending_ts;
-      object.last_writer = object.pending_writer;
+    ObjectState* object = objects_.Find(obj);
+    CCSIM_CHECK(object != nullptr);
+    CCSIM_CHECK_NE(object->pending_writer, kInvalidTxn);
+    if (publish && object->pending_ts >= object->wts) {
+      object->wts = object->pending_ts;
+      object->last_writer = object->pending_writer;
     }
-    object.pending_writer = kInvalidTxn;
-    object.pending_ts = 0;
+    object->pending_writer = kInvalidTxn;
+    object->pending_ts = 0;
     // Wake everyone; each re-issues its request and re-runs the checks.
     // Smallest timestamps first so the next pending writer is the oldest.
-    std::vector<TxnId> waiters = std::move(object.waiters);
-    object.waiters.clear();
-    std::sort(waiters.begin(), waiters.end(), [this](TxnId a, TxnId b) {
-      return active_.at(a).ts < active_.at(b).ts;
-    });
-    for (TxnId waiter : waiters) {
-      active_.at(waiter).waiting_on.reset();
+    // Swapping with the scratch buffer (instead of moving to a temporary)
+    // keeps both vectors' capacity in circulation: no steady-state churn.
+    waiters_scratch_.clear();
+    waiters_scratch_.swap(object->waiters);
+    std::sort(waiters_scratch_.begin(), waiters_scratch_.end(),
+              [this](TxnId a, TxnId b) {
+                return active_.At(a).ts < active_.At(b).ts;
+              });
+    for (TxnId waiter : waiters_scratch_) {
+      active_.At(waiter).waiting_on.reset();
       callbacks_.on_granted(waiter);
     }
   }
@@ -122,35 +126,36 @@ void BasicTimestampOrderingCC::ResolvePrewrites(TxnState& state, bool publish) {
 
 void BasicTimestampOrderingCC::RemoveFromWaiters(TxnId txn, TxnState& state) {
   if (!state.waiting_on.has_value()) return;
-  ObjectState& object = objects_.at(*state.waiting_on);
-  object.waiters.erase(
-      std::remove(object.waiters.begin(), object.waiters.end(), txn),
-      object.waiters.end());
+  ObjectState* object = objects_.Find(*state.waiting_on);
+  CCSIM_CHECK(object != nullptr);
+  object->waiters.erase(
+      std::remove(object->waiters.begin(), object->waiters.end(), txn),
+      object->waiters.end());
   state.waiting_on.reset();
 }
 
 void BasicTimestampOrderingCC::Commit(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  CCSIM_CHECK(!it->second.waiting_on.has_value()) << "committing while waiting";
-  ResolvePrewrites(it->second, /*publish=*/true);
-  active_.erase(it);
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  CCSIM_CHECK(!state->waiting_on.has_value()) << "committing while waiting";
+  ResolvePrewrites(*state, /*publish=*/true);
+  active_.Erase(txn);
 }
 
 void BasicTimestampOrderingCC::Abort(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  RemoveFromWaiters(txn, it->second);
-  ResolvePrewrites(it->second, /*publish=*/false);
-  active_.erase(it);
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  RemoveFromWaiters(txn, *state);
+  ResolvePrewrites(*state, /*publish=*/false);
+  active_.Erase(txn);
 }
 
 bool BasicTimestampOrderingCC::AuditTracksWaiter(TxnId txn) const {
-  auto it = active_.find(txn);
-  if (it == active_.end() || !it->second.waiting_on.has_value()) return false;
-  auto object = objects_.find(*it->second.waiting_on);
-  if (object == objects_.end()) return false;
-  const std::vector<TxnId>& waiters = object->second.waiters;
+  const TxnState* state = active_.Find(txn);
+  if (state == nullptr || !state->waiting_on.has_value()) return false;
+  const ObjectState* object = objects_.Find(*state->waiting_on);
+  if (object == nullptr) return false;
+  const std::vector<TxnId>& waiters = object->waiters;
   return std::find(waiters.begin(), waiters.end(), txn) != waiters.end();
 }
 
@@ -159,21 +164,21 @@ void BasicTimestampOrderingCC::AuditCheck() const {
   auto report = [this](TxnId txn, const std::string& detail) {
     auditor_->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
   };
-  for (const auto& [obj, object] : objects_) {
+  objects_.ForEachTouched([&](ObjectId obj, const ObjectState& object) {
     if (object.pending_writer != kInvalidTxn) {
-      auto writer = active_.find(object.pending_writer);
-      if (writer == active_.end()) {
+      const TxnState* writer = active_.Find(object.pending_writer);
+      if (writer == nullptr) {
         std::ostringstream detail;
         detail << "object " << obj << " has a pending write by an inactive txn";
         report(object.pending_writer, detail.str());
       } else {
-        if (writer->second.ts != object.pending_ts) {
+        if (writer->ts != object.pending_ts) {
           std::ostringstream detail;
           detail << "object " << obj << " pending ts " << object.pending_ts
-                 << " != writer ts " << writer->second.ts;
+                 << " != writer ts " << writer->ts;
           report(object.pending_writer, detail.str());
         }
-        const std::vector<ObjectId>& prewrites = writer->second.prewrites;
+        const std::vector<ObjectId>& prewrites = writer->prewrites;
         if (std::find(prewrites.begin(), prewrites.end(), obj) ==
             prewrites.end()) {
           std::ostringstream detail;
@@ -192,15 +197,15 @@ void BasicTimestampOrderingCC::AuditCheck() const {
                        detail.str());
     }
     for (TxnId waiter : object.waiters) {
-      auto it = active_.find(waiter);
-      if (it == active_.end()) {
+      const TxnState* waiter_state = active_.Find(waiter);
+      if (waiter_state == nullptr) {
         std::ostringstream detail;
         detail << "inactive txn among waiters of object " << obj;
         report(waiter, detail.str());
         continue;
       }
-      if (!it->second.waiting_on.has_value() ||
-          *it->second.waiting_on != obj) {
+      if (!waiter_state->waiting_on.has_value() ||
+          *waiter_state->waiting_on != obj) {
         std::ostringstream detail;
         detail << "waiter on object " << obj
                << " does not record it as its waiting_on";
@@ -209,27 +214,27 @@ void BasicTimestampOrderingCC::AuditCheck() const {
       // Waits point only at strictly older pending writes, which keeps the
       // wait graph acyclic (the algorithm's deadlock-freedom argument).
       if (object.pending_writer != kInvalidTxn &&
-          it->second.ts <= object.pending_ts) {
+          waiter_state->ts <= object.pending_ts) {
         std::ostringstream detail;
-        detail << "waiter ts " << it->second.ts
+        detail << "waiter ts " << waiter_state->ts
                << " not younger than pending ts " << object.pending_ts
                << " on object " << obj;
         auditor_->Report(AuditInvariant::kPermanentBlock, waiter, detail.str());
       }
     }
-  }
+  });
   // txn -> object direction.
-  for (const auto& [txn, state] : active_) {
+  active_.ForEach([&](TxnId txn, const TxnState& state) {
     for (ObjectId obj : state.prewrites) {
-      auto it = objects_.find(obj);
-      if (it == objects_.end() || it->second.pending_writer != txn) {
+      const ObjectState* object = objects_.Find(obj);
+      if (object == nullptr || object->pending_writer != txn) {
         std::ostringstream detail;
         detail << "prewrite of object " << obj
                << " has no matching pending record";
         report(txn, detail.str());
       }
     }
-  }
+  });
 }
 
 }  // namespace ccsim

@@ -30,10 +30,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cc/concurrency_control.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -42,6 +42,11 @@ class BasicTimestampOrderingCC : public ConcurrencyControl {
   BasicTimestampOrderingCC() = default;
 
   std::string name() const override { return "basic_to"; }
+
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    objects_.Reserve(static_cast<size_t>(num_objects));
+    active_.Reserve(static_cast<size_t>(num_txns));
+  }
 
   void OnBegin(TxnId txn, SimTime first_start,
                SimTime incarnation_start) override;
@@ -55,7 +60,7 @@ class BasicTimestampOrderingCC : public ConcurrencyControl {
   void AuditCheck() const override;
 
   /// The logical timestamp of an active transaction (tests).
-  uint64_t TimestampOf(TxnId txn) const { return active_.at(txn).ts; }
+  uint64_t TimestampOf(TxnId txn) const { return active_.At(txn).ts; }
 
  private:
   struct TxnState {
@@ -64,6 +69,12 @@ class BasicTimestampOrderingCC : public ConcurrencyControl {
     std::vector<ObjectId> prewrites;
     /// Object whose pending write this transaction is waiting on, if any.
     std::optional<ObjectId> waiting_on;
+    /// Slot-reuse reset; keeps the prewrite buffer's capacity.
+    void Recycle() {
+      ts = 0;
+      prewrites.clear();
+      waiting_on.reset();
+    }
   };
   struct ObjectState {
     uint64_t rts = 0;  ///< Largest granted read timestamp.
@@ -76,6 +87,16 @@ class BasicTimestampOrderingCC : public ConcurrencyControl {
     uint64_t pending_ts = 0;
     /// Transactions waiting for the pending write to resolve.
     std::vector<TxnId> waiters;
+    /// Epoch-reuse reset; keeps the waiter buffer's capacity.
+    void Recycle() {
+      rts = 0;
+      wts = 0;
+      last_reader = kInvalidTxn;
+      last_writer = kInvalidTxn;
+      pending_writer = kInvalidTxn;
+      pending_ts = 0;
+      waiters.clear();
+    }
   };
 
   /// Resolves (commits with publish=true, discards otherwise) txn's pending
@@ -84,9 +105,11 @@ class BasicTimestampOrderingCC : public ConcurrencyControl {
 
   void RemoveFromWaiters(TxnId txn, TxnState& state);
 
-  std::unordered_map<TxnId, TxnState> active_;
-  std::unordered_map<ObjectId, ObjectState> objects_;
+  TxnSlotMap<TxnState> active_;
+  GranuleTable<ObjectState> objects_;
   uint64_t next_ts_ = 1;
+  /// Waiter wake-up scratch (capacity circulates with object waiter lists).
+  std::vector<TxnId> waiters_scratch_;
 };
 
 }  // namespace ccsim

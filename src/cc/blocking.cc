@@ -10,7 +10,7 @@ BlockingCC::BlockingCC(VictimPolicy victim_policy)
 void BlockingCC::OnBegin(TxnId txn, SimTime first_start,
                          SimTime incarnation_start) {
   (void)first_start;
-  start_times_[txn] = incarnation_start;
+  start_times_.Upsert(txn) = incarnation_start;
   doomed_.erase(txn);
 }
 
@@ -31,7 +31,7 @@ CCDecision BlockingCC::HandleRequest(TxnId txn, ObjectId obj, LockMode mode) {
 
   // Deadlock detection runs each time a transaction blocks.
   VictimContext context{
-      [this](TxnId t) { return start_times_.at(t); },
+      [this](TxnId t) { return start_times_.At(t); },
       [this](TxnId t) { return locks_.NumHeld(t); },
   };
   if (deadlock_searches_ != nullptr) deadlock_searches_->Inc();
@@ -55,31 +55,33 @@ CCDecision BlockingCC::HandleRequest(TxnId txn, ObjectId obj, LockMode mode) {
   if (resolution.requester_is_victim) {
     ++stats_.deadlock_victims;
     if (callbacks_.on_blame) {
-      std::vector<TxnId> blockers = locks_.BlockersOf(txn);
-      callbacks_.on_blame(txn, blockers.empty() ? kInvalidTxn : blockers[0],
-                          obj, BlameKind::kWound);
+      locks_.AppendBlockersOf(txn, &blockers_scratch_);
+      callbacks_.on_blame(
+          txn, blockers_scratch_.empty() ? kInvalidTxn : blockers_scratch_[0],
+          obj, BlameKind::kWound);
     }
     // The engine will call Abort(txn), which cancels the queued request and
     // releases the locks this incarnation holds.
     return CCDecision::kRestart;
   }
   if (callbacks_.on_blame) {
-    std::vector<TxnId> blockers = locks_.BlockersOf(txn);
-    callbacks_.on_blame(txn, blockers.empty() ? kInvalidTxn : blockers[0],
-                        obj, BlameKind::kBlock);
+    locks_.AppendBlockersOf(txn, &blockers_scratch_);
+    callbacks_.on_blame(
+        txn, blockers_scratch_.empty() ? kInvalidTxn : blockers_scratch_[0],
+        obj, BlameKind::kBlock);
   }
   return CCDecision::kBlocked;
 }
 
 void BlockingCC::Commit(TxnId txn) {
   CCSIM_CHECK_EQ(doomed_.count(txn), 0u) << "doomed txn reached commit";
-  start_times_.erase(txn);
+  start_times_.Erase(txn);
   ReleaseAndNotify(txn);
 }
 
 void BlockingCC::Abort(TxnId txn) {
   doomed_.erase(txn);
-  start_times_.erase(txn);
+  start_times_.Erase(txn);
   ReleaseAndNotify(txn);
 }
 

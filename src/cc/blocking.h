@@ -7,13 +7,11 @@
 #ifndef CCSIM_CC_BLOCKING_H_
 #define CCSIM_CC_BLOCKING_H_
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "cc/concurrency_control.h"
 #include "cc/deadlock.h"
 #include "cc/lock_manager.h"
 #include "obs/registry.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -26,7 +24,8 @@ class BlockingCC : public ConcurrencyControl {
   void ReserveCapacity(int64_t num_objects, int num_txns) override {
     locks_.Reserve(static_cast<size_t>(num_objects),
                    static_cast<size_t>(num_txns));
-    start_times_.reserve(static_cast<size_t>(num_txns));
+    start_times_.Reserve(static_cast<size_t>(num_txns));
+    doomed_.reserve(static_cast<size_t>(num_txns));
   }
 
   void OnBegin(TxnId txn, SimTime first_start,
@@ -59,10 +58,12 @@ class BlockingCC : public ConcurrencyControl {
   LockManager locks_;
   DeadlockDetector detector_;
   /// Incarnation start per active transaction (victim selection).
-  std::unordered_map<TxnId, SimTime> start_times_;
+  TxnSlotMap<SimTime> start_times_;
   /// Victims announced via on_wound whose Abort() has not arrived yet; the
   /// detector treats them as already gone.
-  std::unordered_set<TxnId> doomed_;
+  SmallIdSet doomed_;
+  /// Blame-attribution scratch (reused; obs-only path).
+  std::vector<TxnId> blockers_scratch_;
 
   // Observability (null unless RegisterStats was called).
   ObsCounter* deadlock_searches_ = nullptr;

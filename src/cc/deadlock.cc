@@ -14,45 +14,43 @@ constexpr int kMaxVictimAlternatives = 6;
 }  // namespace
 
 std::vector<TxnId> DeadlockDetector::FindCycle(
-    TxnId start, const std::unordered_set<TxnId>& excluded) const {
+    TxnId start, const SmallIdSet& excluded) const {
   // Iterative DFS over the waits-for relation looking for a path back to
-  // `start`. Path state lets us return the cycle members themselves.
-  struct Frame {
-    TxnId txn;
-    std::vector<TxnId> blockers;
-    size_t next = 0;
+  // `start`. Path state lets us return the cycle members themselves. Frames
+  // (and their blocker buffers) are pooled by depth, so a search that finds
+  // no cycle allocates nothing once the pool is warm.
+  size_t depth = 0;
+  auto push = [&](TxnId txn) {
+    if (depth == frames_.size()) frames_.emplace_back();
+    Frame& frame = frames_[depth++];
+    frame.txn = txn;
+    frame.next = 0;
+    locks_->AppendBlockersOf(txn, &frame.blockers);
+    frame.blockers.erase(
+        std::remove_if(frame.blockers.begin(), frame.blockers.end(),
+                       [&](TxnId b) { return excluded.count(b) > 0; }),
+        frame.blockers.end());
   };
-  std::vector<Frame> stack;
-  std::unordered_set<TxnId> visited;
 
-  auto blockers_of = [&](TxnId txn) {
-    std::vector<TxnId> blockers = locks_->BlockersOf(txn);
-    blockers.erase(std::remove_if(blockers.begin(), blockers.end(),
-                                  [&](TxnId b) { return excluded.count(b) > 0; }),
-                   blockers.end());
-    return blockers;
-  };
+  visited_.clear();
+  visited_.insert(start);
+  push(start);
 
-  stack.push_back(Frame{start, blockers_of(start)});
-  visited.insert(start);
-
-  while (!stack.empty()) {
-    Frame& frame = stack.back();
+  while (depth > 0) {
+    Frame& frame = frames_[depth - 1];
     if (frame.next >= frame.blockers.size()) {
-      stack.pop_back();
+      --depth;
       continue;
     }
     TxnId next = frame.blockers[frame.next++];
     if (next == start) {
       // Found a cycle: the current DFS path is the cycle body.
       std::vector<TxnId> cycle;
-      cycle.reserve(stack.size());
-      for (const Frame& f : stack) cycle.push_back(f.txn);
+      cycle.reserve(depth);
+      for (size_t i = 0; i < depth; ++i) cycle.push_back(frames_[i].txn);
       return cycle;
     }
-    if (visited.insert(next).second) {
-      stack.push_back(Frame{next, blockers_of(next)});
-    }
+    if (visited_.insert(next)) push(next);
   }
   return {};
 }
@@ -108,13 +106,13 @@ TxnId DeadlockDetector::PickVictim(const std::vector<TxnId>& cycle,
 }
 
 DeadlockResolution DeadlockDetector::Resolve(
-    TxnId requester, const std::unordered_set<TxnId>& doomed,
+    TxnId requester, const SmallIdSet& doomed,
     const VictimContext& context) const {
   DeadlockResolution resolution;
-  std::unordered_set<TxnId> excluded = doomed;
+  excluded_scratch_ = doomed;  // Capacity-reusing copy-assign.
 
   while (true) {
-    std::vector<TxnId> cycle = FindCycle(requester, excluded);
+    std::vector<TxnId> cycle = FindCycle(requester, excluded_scratch_);
     if (cycle.empty()) break;
     ++resolution.cycles_found;
     resolution.cycle_lengths.push_back(static_cast<int>(cycle.size()));
@@ -124,7 +122,7 @@ DeadlockResolution DeadlockDetector::Resolve(
       break;  // Restarting the requester clears every cycle through it.
     }
     resolution.victims.push_back(victim);
-    excluded.insert(victim);
+    excluded_scratch_.insert(victim);
   }
   return resolution;
 }

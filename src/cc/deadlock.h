@@ -11,11 +11,11 @@
 #define CCSIM_CC_DEADLOCK_H_
 
 #include <functional>
-#include <unordered_set>
 #include <vector>
 
 #include "cc/lock_manager.h"
 #include "cc/types.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -47,7 +47,10 @@ struct DeadlockResolution {
   std::vector<int> cycle_lengths;
 };
 
-/// Stateless detector over a LockManager's waits-for relation.
+/// Detector over a LockManager's waits-for relation. Logically stateless:
+/// the mutable members are pooled scratch (DFS frames, visited/excluded
+/// sets) reused across searches so the no-cycle fast path — the common case,
+/// run on every block — allocates nothing.
 class DeadlockDetector {
  public:
   DeadlockDetector(const LockManager* locks, VictimPolicy policy)
@@ -58,21 +61,30 @@ class DeadlockDetector {
   /// but not yet aborted by the engine) are treated as absent, since their
   /// locks are about to be released. If the requester is ever selected, the
   /// search stops: restarting the requester removes all cycles through it.
-  DeadlockResolution Resolve(TxnId requester,
-                             const std::unordered_set<TxnId>& doomed,
+  DeadlockResolution Resolve(TxnId requester, const SmallIdSet& doomed,
                              const VictimContext& context) const;
 
   /// Finds one cycle through `start` (ignoring `excluded` transactions);
   /// returns the cycle's members, or empty if none. Exposed for tests.
-  std::vector<TxnId> FindCycle(TxnId start,
-                               const std::unordered_set<TxnId>& excluded) const;
+  std::vector<TxnId> FindCycle(TxnId start, const SmallIdSet& excluded) const;
 
  private:
+  /// DFS path frame; `blockers` keeps its capacity across searches (frames
+  /// are pooled by depth).
+  struct Frame {
+    TxnId txn = kInvalidTxn;
+    std::vector<TxnId> blockers;
+    size_t next = 0;
+  };
+
   TxnId PickVictim(const std::vector<TxnId>& cycle,
                    const VictimContext& context) const;
 
   const LockManager* locks_;
   VictimPolicy policy_;
+  mutable std::vector<Frame> frames_;  ///< Pooled DFS stack.
+  mutable SmallIdSet visited_;
+  mutable SmallIdSet excluded_scratch_;  ///< doomed ∪ victims-so-far.
 };
 
 }  // namespace ccsim

@@ -8,12 +8,12 @@
 #ifndef CCSIM_CC_IMMEDIATE_RESTART_H_
 #define CCSIM_CC_IMMEDIATE_RESTART_H_
 
-#include <unordered_set>
 #include <vector>
 
 #include "cc/concurrency_control.h"
 #include "cc/lock_manager.h"
 #include "util/check.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -22,6 +22,11 @@ class ImmediateRestartCC : public ConcurrencyControl {
   ImmediateRestartCC() = default;
 
   std::string name() const override { return "immediate_restart"; }
+
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    locks_.Reserve(static_cast<size_t>(num_objects),
+                   static_cast<size_t>(num_txns));
+  }
 
   void OnBegin(TxnId txn, SimTime first_start,
                SimTime incarnation_start) override {
@@ -50,7 +55,7 @@ class ImmediateRestartCC : public ConcurrencyControl {
   // AuditTracksWaiter: base default (false) — requests never enqueue, so an
   // engine-side blocked transaction would itself be the violation.
   void AuditCheck() const override {
-    static const std::unordered_set<TxnId> kNoDoomed;
+    static const SmallIdSet kNoDoomed;
     locks_.AuditCheck(auditor_, kNoDoomed);
   }
 
@@ -74,7 +79,7 @@ class ImmediateRestartCC : public ConcurrencyControl {
 
   void Release(TxnId txn) {
     // No waiters can exist (requests never enqueue), so no grants to forward.
-    std::vector<TxnId> granted = locks_.ReleaseAll(txn);
+    const std::vector<TxnId>& granted = locks_.ReleaseAll(txn);
     CCSIM_CHECK(granted.empty());
   }
 

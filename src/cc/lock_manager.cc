@@ -18,9 +18,13 @@ bool ModeConflicts(LockMode held, LockMode wanted) {
 }  // namespace
 
 void LockManager::Reserve(size_t num_objects, size_t num_txns) {
-  table_.reserve(num_objects);
-  held_.reserve(num_txns);
-  waiting_.reserve(num_txns);
+  table_.Reserve(num_objects);
+  txns_.Reserve(num_txns);
+  // Each transaction waits on at most one object, so num_txns bounds the
+  // number of live waiter nodes.
+  nodes_.reserve(num_txns);
+  granted_scratch_.reserve(num_txns);
+  affected_scratch_.reserve(num_txns);
 }
 
 bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
@@ -39,11 +43,92 @@ bool LockManager::CompatibleWithHolders(const Entry& entry, TxnId txn,
   return true;
 }
 
+LockManager::TxnRec& LockManager::RecOf(TxnId txn) {
+  TxnRec* rec = txns_.Find(txn);
+  return rec != nullptr ? *rec : txns_.Insert(txn);
+}
+
+int32_t LockManager::AllocNode(const Waiter& w) {
+  int32_t node;
+  if (free_node_ >= 0) {
+    node = free_node_;
+    free_node_ = nodes_[static_cast<size_t>(node)].next;
+  } else {
+    node = static_cast<int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[static_cast<size_t>(node)].w = w;
+  nodes_[static_cast<size_t>(node)].next = -1;
+  return node;
+}
+
+void LockManager::FreeNode(int32_t node) {
+  nodes_[static_cast<size_t>(node)].next = free_node_;
+  free_node_ = node;
+}
+
+void LockManager::PushWaiterBack(Entry& entry, const Waiter& w) {
+  const int32_t node = AllocNode(w);
+  if (entry.queue_tail >= 0) {
+    nodes_[static_cast<size_t>(entry.queue_tail)].next = node;
+  } else {
+    entry.queue_head = node;
+  }
+  entry.queue_tail = node;
+}
+
+void LockManager::PushUpgradeWaiter(Entry& entry, const Waiter& w) {
+  const int32_t node = AllocNode(w);
+  int32_t prev = -1;
+  int32_t cur = entry.queue_head;
+  while (cur >= 0 && nodes_[static_cast<size_t>(cur)].w.upgrade) {
+    prev = cur;
+    cur = nodes_[static_cast<size_t>(cur)].next;
+  }
+  nodes_[static_cast<size_t>(node)].next = cur;
+  if (prev >= 0) {
+    nodes_[static_cast<size_t>(prev)].next = node;
+  } else {
+    entry.queue_head = node;
+  }
+  if (cur < 0) entry.queue_tail = node;
+}
+
+void LockManager::UnlinkWaiter(Entry& entry, TxnId txn) {
+  int32_t prev = -1;
+  int32_t cur = entry.queue_head;
+  while (cur >= 0 && nodes_[static_cast<size_t>(cur)].w.txn != txn) {
+    prev = cur;
+    cur = nodes_[static_cast<size_t>(cur)].next;
+  }
+  CCSIM_CHECK_GE(cur, 0) << "txn " << txn << " not found in wait queue";
+  const int32_t next = nodes_[static_cast<size_t>(cur)].next;
+  if (prev >= 0) {
+    nodes_[static_cast<size_t>(prev)].next = next;
+  } else {
+    entry.queue_head = next;
+  }
+  if (entry.queue_tail == cur) entry.queue_tail = prev;
+  FreeNode(cur);
+}
+
+void LockManager::SyncOccupancy(Entry& entry) {
+  const bool now = !entry.holders.empty() || entry.queue_head >= 0;
+  if (now != entry.occupied) {
+    entry.occupied = now;
+    if (now) {
+      ++occupied_count_;
+    } else {
+      --occupied_count_;
+    }
+  }
+}
+
 LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
                                         bool enqueue_on_conflict) {
   CCSIM_CHECK(!IsWaiting(txn)) << "txn " << txn << " issued a request while waiting";
   ++stats_.requests;
-  Entry& entry = table_[obj];
+  Entry& entry = table_.Touch(obj);
 
   // Locate an existing holder record for idempotent re-requests and upgrades.
   Holder* mine = nullptr;
@@ -73,20 +158,19 @@ LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
       ++stats_.denials;
       return LockRequestOutcome::kDenied;
     }
-    // Upgraders wait ahead of ordinary waiters, FIFO among themselves.
-    auto pos = entry.queue.begin();
-    while (pos != entry.queue.end() && pos->upgrade) ++pos;
-    entry.queue.insert(pos, Waiter{txn, LockMode::kExclusive, /*upgrade=*/true});
-    waiting_[txn] = obj;
+    PushUpgradeWaiter(entry, Waiter{txn, LockMode::kExclusive, /*upgrade=*/true});
+    RecOf(txn).waiting_on = obj;
+    ++waiting_count_;
     ++stats_.waits;
     return LockRequestOutcome::kWaiting;
   }
 
   // Fresh request: no queue jumping.
-  if (entry.queue.empty() &&
+  if (entry.queue_head < 0 &&
       CompatibleWithHolders(entry, txn, mode, /*upgrade=*/false)) {
     entry.holders.push_back(Holder{txn, mode});
-    held_[txn].push_back(obj);
+    RecOf(txn).held.push_back(obj);
+    SyncOccupancy(entry);
     ++stats_.immediate_grants;
     if (auditor_ != nullptr) {
       auditor_->OnLockAcquired(txn, obj, mode == LockMode::kExclusive);
@@ -95,19 +179,20 @@ LockRequestOutcome LockManager::Request(TxnId txn, ObjectId obj, LockMode mode,
   }
   if (!enqueue_on_conflict) {
     ++stats_.denials;
-    MaybeErase(obj);
     return LockRequestOutcome::kDenied;
   }
-  entry.queue.push_back(Waiter{txn, mode, /*upgrade=*/false});
-  waiting_[txn] = obj;
+  PushWaiterBack(entry, Waiter{txn, mode, /*upgrade=*/false});
+  RecOf(txn).waiting_on = obj;
+  SyncOccupancy(entry);
+  ++waiting_count_;
   ++stats_.waits;
   return LockRequestOutcome::kWaiting;
 }
 
 void LockManager::ProcessQueue(ObjectId obj, Entry& entry,
                                std::vector<TxnId>* granted) {
-  while (!entry.queue.empty()) {
-    const Waiter& w = entry.queue.front();
+  while (entry.queue_head >= 0) {
+    const Waiter w = nodes_[static_cast<size_t>(entry.queue_head)].w;
     if (w.upgrade) {
       if (!CompatibleWithHolders(entry, w.txn, LockMode::kExclusive,
                                  /*upgrade=*/true)) {
@@ -124,115 +209,123 @@ void LockManager::ProcessQueue(ObjectId obj, Entry& entry,
         return;
       }
       entry.holders.push_back(Holder{w.txn, w.mode});
-      held_[w.txn].push_back(obj);
+      txns_.At(w.txn).held.push_back(obj);
       if (auditor_ != nullptr) {
         auditor_->OnLockAcquired(w.txn, obj, w.mode == LockMode::kExclusive);
       }
     }
-    waiting_.erase(w.txn);
+    txns_.At(w.txn).waiting_on = -1;
+    --waiting_count_;
     granted->push_back(w.txn);
     ++stats_.deferred_grants;
-    entry.queue.pop_front();
+    const int32_t front = entry.queue_head;
+    entry.queue_head = nodes_[static_cast<size_t>(front)].next;
+    if (entry.queue_head < 0) entry.queue_tail = -1;
+    FreeNode(front);
   }
 }
 
-std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
-  std::vector<TxnId> granted;
-  std::vector<ObjectId> affected;
+const std::vector<TxnId>& LockManager::ReleaseAll(TxnId txn) {
+  granted_scratch_.clear();
+  affected_scratch_.clear();
+
+  TxnRec* rec = txns_.Find(txn);
+  if (rec == nullptr) return granted_scratch_;
 
   // Cancel a pending request, if any.
-  bool had_pending = false;
-  ObjectId pending_obj = 0;
-  auto wait_it = waiting_.find(txn);
-  if (wait_it != waiting_.end()) {
-    ObjectId obj = wait_it->second;
-    Entry& entry = table_.at(obj);
-    auto pos = std::find_if(entry.queue.begin(), entry.queue.end(),
-                            [txn](const Waiter& w) { return w.txn == txn; });
-    CCSIM_CHECK(pos != entry.queue.end());
-    entry.queue.erase(pos);
-    waiting_.erase(wait_it);
-    had_pending = true;
-    pending_obj = obj;
-    affected.push_back(obj);
+  const bool had_pending = rec->waiting_on >= 0;
+  const ObjectId pending_obj = rec->waiting_on;
+  if (had_pending) {
+    Entry* entry = table_.Find(pending_obj);
+    CCSIM_CHECK(entry != nullptr);
+    UnlinkWaiter(*entry, txn);
+    --waiting_count_;
+    affected_scratch_.push_back(pending_obj);
   }
 
   // Release held locks. A cancelled upgrade's object is both the pending
   // object and a held one; skip the duplicate so each object is processed
   // exactly once (the first occurrence keeps its place in the order).
-  auto held_it = held_.find(txn);
-  if (auditor_ != nullptr && held_it != held_.end()) {
+  if (auditor_ != nullptr && !rec->held.empty()) {
     auditor_->OnLockReleased(txn);
   }
-  if (held_it != held_.end()) {
-    for (ObjectId obj : held_it->second) {
-      Entry& entry = table_.at(obj);
-      auto pos = std::find_if(entry.holders.begin(), entry.holders.end(),
-                              [txn](const Holder& h) { return h.txn == txn; });
-      CCSIM_CHECK(pos != entry.holders.end());
-      entry.holders.erase(pos);
-      if (!had_pending || obj != pending_obj) affected.push_back(obj);
-    }
-    held_.erase(held_it);
+  for (ObjectId obj : rec->held) {
+    Entry* entry = table_.Find(obj);
+    CCSIM_CHECK(entry != nullptr);
+    auto pos = std::find_if(entry->holders.begin(), entry->holders.end(),
+                            [txn](const Holder& h) { return h.txn == txn; });
+    CCSIM_CHECK(pos != entry->holders.end());
+    entry->holders.erase(pos);
+    if (!had_pending || obj != pending_obj) affected_scratch_.push_back(obj);
   }
+  txns_.Erase(txn);
 
-  for (ObjectId obj : affected) {
-    auto it = table_.find(obj);
-    if (it == table_.end()) continue;  // Released entries may already be gone.
-    ProcessQueue(obj, it->second, &granted);
-    MaybeErase(obj);
+  for (ObjectId obj : affected_scratch_) {
+    Entry* entry = table_.Find(obj);
+    CCSIM_CHECK(entry != nullptr);
+    ProcessQueue(obj, *entry, &granted_scratch_);
+    SyncOccupancy(*entry);
   }
-  return granted;
+  return granted_scratch_;
 }
 
-bool LockManager::IsWaiting(TxnId txn) const { return waiting_.count(txn) > 0; }
+bool LockManager::IsWaiting(TxnId txn) const {
+  const TxnRec* rec = txns_.Find(txn);
+  return rec != nullptr && rec->waiting_on >= 0;
+}
 
 std::optional<ObjectId> LockManager::WaitingOn(TxnId txn) const {
-  auto it = waiting_.find(txn);
-  if (it == waiting_.end()) return std::nullopt;
-  return it->second;
+  const TxnRec* rec = txns_.Find(txn);
+  if (rec == nullptr || rec->waiting_on < 0) return std::nullopt;
+  return rec->waiting_on;
 }
 
 std::vector<TxnId> LockManager::BlockersOf(TxnId txn) const {
   std::vector<TxnId> blockers;
-  auto wait_it = waiting_.find(txn);
-  if (wait_it == waiting_.end()) return blockers;
-  const Entry& entry = table_.at(wait_it->second);
+  AppendBlockersOf(txn, &blockers);
+  return blockers;
+}
 
-  auto pos = std::find_if(entry.queue.begin(), entry.queue.end(),
-                          [txn](const Waiter& w) { return w.txn == txn; });
-  CCSIM_CHECK(pos != entry.queue.end());
+void LockManager::AppendBlockersOf(TxnId txn, std::vector<TxnId>* out) const {
+  out->clear();
+  const TxnRec* rec = txns_.Find(txn);
+  if (rec == nullptr || rec->waiting_on < 0) return;
+  const Entry* entry = table_.Find(rec->waiting_on);
+  CCSIM_CHECK(entry != nullptr);
 
   // Every earlier waiter blocks us (prefix-grant policy).
-  for (auto it = entry.queue.begin(); it != pos; ++it) {
-    blockers.push_back(it->txn);
+  int32_t cur = entry->queue_head;
+  while (cur >= 0 && nodes_[static_cast<size_t>(cur)].w.txn != txn) {
+    out->push_back(nodes_[static_cast<size_t>(cur)].w.txn);
+    cur = nodes_[static_cast<size_t>(cur)].next;
   }
+  CCSIM_CHECK_GE(cur, 0);
   // Conflicting holders block us.
-  bool upgrade = pos->upgrade;
-  LockMode mode = pos->mode;
-  for (const Holder& h : entry.holders) {
+  const Waiter& mine = nodes_[static_cast<size_t>(cur)].w;
+  for (const Holder& h : entry->holders) {
     if (h.txn == txn) continue;
-    if (upgrade || ModeConflicts(h.mode, mode)) blockers.push_back(h.txn);
+    if (mine.upgrade || ModeConflicts(h.mode, mine.mode)) {
+      out->push_back(h.txn);
+    }
   }
   // De-duplicate (a txn could be both holder and earlier waiter on upgrades).
-  std::sort(blockers.begin(), blockers.end());
-  blockers.erase(std::unique(blockers.begin(), blockers.end()), blockers.end());
-  return blockers;
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
 }
 
 std::vector<TxnId> LockManager::HoldersOf(ObjectId obj) const {
   std::vector<TxnId> holders;
-  auto it = table_.find(obj);
-  if (it == table_.end()) return holders;
-  holders.reserve(it->second.holders.size());
-  for (const Holder& h : it->second.holders) holders.push_back(h.txn);
+  const Entry* entry = table_.Find(obj);
+  if (entry == nullptr) return holders;
+  holders.reserve(entry->holders.size());
+  for (const Holder& h : entry->holders) holders.push_back(h.txn);
   return holders;
 }
 
 bool LockManager::HoldsAtLeast(TxnId txn, ObjectId obj, LockMode mode) const {
-  auto it = table_.find(obj);
-  if (it == table_.end()) return false;
-  for (const Holder& h : it->second.holders) {
+  const Entry* entry = table_.Find(obj);
+  if (entry == nullptr) return false;
+  for (const Holder& h : entry->holders) {
     if (h.txn == txn) {
       return mode == LockMode::kShared || h.mode == LockMode::kExclusive;
     }
@@ -241,47 +334,43 @@ bool LockManager::HoldsAtLeast(TxnId txn, ObjectId obj, LockMode mode) const {
 }
 
 size_t LockManager::NumHeld(TxnId txn) const {
-  auto it = held_.find(txn);
-  return it == held_.end() ? 0 : it->second.size();
+  const TxnRec* rec = txns_.Find(txn);
+  return rec == nullptr ? 0 : rec->held.size();
 }
 
-void LockManager::MaybeErase(ObjectId obj) {
-  auto it = table_.find(obj);
-  if (it != table_.end() && it->second.holders.empty() &&
-      it->second.queue.empty()) {
-    table_.erase(it);
-  }
-}
-
-void LockManager::AuditCheck(Auditor* auditor,
-                             const std::unordered_set<TxnId>& doomed) const {
+void LockManager::AuditCheck(Auditor* auditor, const SmallIdSet& doomed) const {
   if (auditor == nullptr) return;
   auto report = [auditor](TxnId txn, const std::string& detail) {
     auditor->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
   };
 
-  // table_ -> held_/waiting_ direction.
-  for (const auto& [obj, entry] : table_) {
-    if (entry.holders.empty() && entry.queue.empty()) {
+  // table_ -> txns_ direction. Empty entries are normal with dense slots
+  // (granules keep their slot after the last holder leaves); what must hold
+  // is that the occupancy flag and counter agree with the contents.
+  size_t occupied_seen = 0;
+  table_.ForEachTouched([&](ObjectId obj, const Entry& entry) {
+    const bool nonempty = !entry.holders.empty() || entry.queue_head >= 0;
+    if (entry.occupied) ++occupied_seen;
+    if (entry.occupied != nonempty) {
       std::ostringstream detail;
-      detail << "object " << obj << " has an empty lock-table entry";
+      detail << "object " << obj << " occupancy flag disagrees with contents";
       report(kInvalidTxn, detail.str());
     }
-    std::unordered_set<TxnId> seen_holders;
+    SmallIdSet seen_holders;
     int exclusive_holders = 0;
     for (const Holder& h : entry.holders) {
-      if (!seen_holders.insert(h.txn).second) {
+      if (!seen_holders.insert(h.txn)) {
         std::ostringstream detail;
         detail << "txn appears twice among holders of object " << obj;
         report(h.txn, detail.str());
       }
       if (h.mode == LockMode::kExclusive) ++exclusive_holders;
-      auto held_it = held_.find(h.txn);
-      if (held_it == held_.end() ||
-          std::find(held_it->second.begin(), held_it->second.end(), obj) ==
-              held_it->second.end()) {
+      const TxnRec* rec = txns_.Find(h.txn);
+      if (rec == nullptr ||
+          std::find(rec->held.begin(), rec->held.end(), obj) ==
+              rec->held.end()) {
         std::ostringstream detail;
-        detail << "holder of object " << obj << " missing from held_ index";
+        detail << "holder of object " << obj << " missing from held index";
         report(h.txn, detail.str());
       }
     }
@@ -291,12 +380,14 @@ void LockManager::AuditCheck(Auditor* auditor,
              << entry.holders.size() - 1 << " other holder(s)";
       report(entry.holders.front().txn, detail.str());
     }
-    for (const Waiter& w : entry.queue) {
-      auto wait_it = waiting_.find(w.txn);
-      if (wait_it == waiting_.end() || wait_it->second != obj) {
+    for (int32_t cur = entry.queue_head; cur >= 0;
+         cur = nodes_[static_cast<size_t>(cur)].next) {
+      const Waiter& w = nodes_[static_cast<size_t>(cur)].w;
+      const TxnRec* rec = txns_.Find(w.txn);
+      if (rec == nullptr || rec->waiting_on != obj) {
         std::ostringstream detail;
         detail << "queued waiter on object " << obj
-               << " missing from waiting_ index";
+               << " missing from waiting index";
         report(w.txn, detail.str());
       }
       if (w.upgrade) {
@@ -314,45 +405,56 @@ void LockManager::AuditCheck(Auditor* auditor,
         }
       }
     }
+  });
+  if (occupied_seen != occupied_count_) {
+    std::ostringstream detail;
+    detail << "occupancy counter " << occupied_count_ << " disagrees with "
+           << occupied_seen << " occupied entries";
+    report(kInvalidTxn, detail.str());
   }
 
-  // held_/waiting_ -> table_ direction.
-  for (const auto& [txn, objects] : held_) {
-    std::unordered_set<ObjectId> seen_objects;
-    for (ObjectId obj : objects) {
-      if (!seen_objects.insert(obj).second) {
+  // txns_ -> table_ direction.
+  size_t waiting_seen = 0;
+  WaitsForSnapshot waits_for;
+  txns_.ForEach([&](TxnId txn, const TxnRec& rec) {
+    SmallIdSet seen_objects;
+    for (ObjectId obj : rec.held) {
+      if (!seen_objects.insert(obj)) {
         std::ostringstream detail;
-        detail << "held_ index lists object " << obj << " twice";
+        detail << "held index lists object " << obj << " twice";
         report(txn, detail.str());
       }
     }
-    for (ObjectId obj : objects) {
-      auto it = table_.find(obj);
+    for (ObjectId obj : rec.held) {
+      const Entry* entry = table_.Find(obj);
       bool found = false;
-      if (it != table_.end()) {
-        for (const Holder& h : it->second.holders) found |= h.txn == txn;
+      if (entry != nullptr) {
+        for (const Holder& h : entry->holders) found |= h.txn == txn;
       }
       if (!found) {
         std::ostringstream detail;
-        detail << "held_ index lists object " << obj
+        detail << "held index lists object " << obj
                << " without a matching table holder";
         report(txn, detail.str());
       }
     }
-  }
-  WaitsForSnapshot waits_for;
-  for (const auto& [txn, obj] : waiting_) {
-    auto it = table_.find(obj);
+    if (rec.waiting_on < 0) return;
+    ++waiting_seen;
+    const ObjectId obj = rec.waiting_on;
+    const Entry* entry = table_.Find(obj);
     bool queued = false;
-    if (it != table_.end()) {
-      for (const Waiter& w : it->second.queue) queued |= w.txn == txn;
+    if (entry != nullptr) {
+      for (int32_t cur = entry->queue_head; cur >= 0;
+           cur = nodes_[static_cast<size_t>(cur)].next) {
+        queued |= nodes_[static_cast<size_t>(cur)].w.txn == txn;
+      }
     }
     if (!queued) {
       std::ostringstream detail;
-      detail << "waiting_ index points at object " << obj
+      detail << "waiting index points at object " << obj
              << " whose queue does not contain the txn";
       report(txn, detail.str());
-      continue;
+      return;
     }
     std::vector<TxnId> blockers = BlockersOf(txn);
     if (blockers.empty()) {
@@ -362,12 +464,18 @@ void LockManager::AuditCheck(Auditor* auditor,
       detail << "waiter on object " << obj
              << " has no blockers yet was never granted";
       auditor->Report(AuditInvariant::kPermanentBlock, txn, detail.str());
-      continue;
+      return;
     }
-    if (doomed.count(txn) > 0) continue;
+    if (doomed.count(txn) > 0) return;
     for (TxnId blocker : blockers) {
       if (doomed.count(blocker) == 0) waits_for.AddEdge(txn, blocker);
     }
+  });
+  if (waiting_seen != waiting_count_) {
+    std::ostringstream detail;
+    detail << "waiting counter " << waiting_count_ << " disagrees with "
+           << waiting_seen << " queued waiters";
+    report(kInvalidTxn, detail.str());
   }
 
   // A waits-for cycle among non-doomed transactions is a permanent block:

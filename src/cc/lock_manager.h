@@ -15,17 +15,21 @@
 // (a) the holders its mode conflicts with, and (b) every waiter ahead of it.
 // BlockersOf() reports precisely that set, which makes the waits-for graph
 // used for deadlock detection exact rather than conservative.
+//
+// Storage layout (docs/PERFORMANCE.md "Dense CC state"): the lock table is a
+// GranuleTable directly indexed by ObjectId; per-transaction state lives in a
+// TxnSlotMap of reusable slots; and wait queues are intrusive FIFO lists
+// threaded through a pooled, free-listed node vector — no per-object deque,
+// no hashing, and no allocation in steady state once the pools are warm.
 #ifndef CCSIM_CC_LOCK_MANAGER_H_
 #define CCSIM_CC_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cc/types.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -60,8 +64,9 @@ class LockManager {
   LockManager& operator=(const LockManager&) = delete;
 
   /// Capacity hint (workload granule count and transaction population).
-  /// Pre-reserves the hash tables so the steady state never rehashes; purely
-  /// a performance hint with no behavioral effect.
+  /// Pre-sizes the granule table, transaction slots, waiter-node pool, and
+  /// scratch buffers so the steady state never allocates; purely a
+  /// performance hint with no behavioral effect.
   void Reserve(size_t num_objects, size_t num_txns);
 
   /// Requests `mode` on `obj` for `txn`. Re-requesting an already-sufficient
@@ -74,7 +79,9 @@ class LockManager {
 
   /// Releases all locks held by `txn` and cancels its pending request, if
   /// any. Returns the transactions whose pending requests became granted.
-  std::vector<TxnId> ReleaseAll(TxnId txn);
+  /// The returned reference points at an internal scratch buffer that stays
+  /// valid until the next ReleaseAll call; copy it to keep it longer.
+  const std::vector<TxnId>& ReleaseAll(TxnId txn);
 
   /// True if `txn` has a pending (queued) request.
   bool IsWaiting(TxnId txn) const;
@@ -87,6 +94,11 @@ class LockManager {
   /// waiters). Empty if `txn` is not waiting.
   std::vector<TxnId> BlockersOf(TxnId txn) const;
 
+  /// Allocation-free variant: clears `out`, then appends the same sorted,
+  /// de-duplicated blocker set BlockersOf returns. Lets callers (the
+  /// deadlock detector's DFS frames, wound-wait) reuse their buffers.
+  void AppendBlockersOf(TxnId txn, std::vector<TxnId>* out) const;
+
   /// Current holders of `obj`, in acquisition order; empty if unlocked.
   /// (Blame attribution for denied requests, which leave no queue trace.)
   std::vector<TxnId> HoldersOf(ObjectId obj) const;
@@ -98,10 +110,11 @@ class LockManager {
   size_t NumHeld(TxnId txn) const;
 
   /// Total transactions currently waiting.
-  size_t waiting_txns() const { return waiting_.size(); }
+  size_t waiting_txns() const { return waiting_count_; }
 
-  /// Total objects with at least one holder or waiter.
-  size_t locked_objects() const { return table_.size(); }
+  /// Total objects with at least one holder or waiter (dense occupancy, not
+  /// table capacity: granule slots persist after their last holder leaves).
+  size_t locked_objects() const { return occupied_count_; }
 
   const LockManagerStats& stats() const { return stats_; }
 
@@ -110,12 +123,12 @@ class LockManager {
   void SetAuditor(Auditor* auditor) { auditor_ = auditor; }
 
   /// Deep structural self-check, reporting violations into `auditor`:
-  /// held_ ↔ table_ agreement, holder compatibility, waiter bookkeeping, and
-  /// waits-for acyclicity. `doomed` lists transactions already selected as
-  /// deadlock/wound victims whose aborts are still in flight; cycles made
-  /// only of doomed members are in-resolution, not permanent blocks.
-  void AuditCheck(Auditor* auditor,
-                  const std::unordered_set<TxnId>& doomed) const;
+  /// per-txn ↔ table agreement, holder compatibility, waiter bookkeeping,
+  /// occupancy accounting, and waits-for acyclicity. `doomed` lists
+  /// transactions already selected as deadlock/wound victims whose aborts
+  /// are still in flight; cycles made only of doomed members are
+  /// in-resolution, not permanent blocks.
+  void AuditCheck(Auditor* auditor, const SmallIdSet& doomed) const;
 
  private:
   struct Holder {
@@ -130,9 +143,33 @@ class LockManager {
     LockMode mode;
     bool upgrade;  ///< Requester already holds S on this object.
   };
+  /// Pooled wait-queue node; `next` indexes nodes_ (-1 terminates the list).
+  struct WaiterNode {
+    Waiter w;
+    int32_t next = -1;
+  };
   struct Entry {
     std::vector<Holder> holders;
-    std::deque<Waiter> queue;
+    int32_t queue_head = -1;  ///< nodes_ index of the front waiter, or -1.
+    int32_t queue_tail = -1;
+    bool occupied = false;  ///< Counted in occupied_count_.
+    /// Slot reuse across GranuleTable epochs keeps holder capacity.
+    void Recycle() {
+      holders.clear();
+      queue_head = queue_tail = -1;
+      occupied = false;
+    }
+  };
+  /// Per-transaction state: held objects in acquisition order (a txn holds
+  /// each object at most once, so a flat vector beats a hash set) plus the
+  /// single pending request.
+  struct TxnRec {
+    std::vector<ObjectId> held;
+    ObjectId waiting_on = -1;
+    void Recycle() {
+      held.clear();
+      waiting_on = -1;
+    }
   };
 
   /// True if a (possibly upgrade) exclusive/shared request by `txn` is
@@ -140,21 +177,37 @@ class LockManager {
   static bool CompatibleWithHolders(const Entry& entry, TxnId txn,
                                     LockMode mode, bool upgrade);
 
+  /// The txn's record, created on demand.
+  TxnRec& RecOf(TxnId txn);
+
+  /// Pops a node from the pool's free list (or grows the pool).
+  int32_t AllocNode(const Waiter& w);
+  void FreeNode(int32_t node);
+
+  /// Appends `w` at the back of `entry`'s wait queue.
+  void PushWaiterBack(Entry& entry, const Waiter& w);
+  /// Inserts an upgrade waiter after the last leading upgrader (upgraders
+  /// wait ahead of ordinary waiters, FIFO among themselves).
+  void PushUpgradeWaiter(Entry& entry, const Waiter& w);
+  /// Unlinks `txn`'s node from `entry`'s queue (it must be present).
+  void UnlinkWaiter(Entry& entry, TxnId txn);
+
   /// Grants the longest grantable prefix of `entry`'s queue, appending the
   /// beneficiaries to `granted`.
   void ProcessQueue(ObjectId obj, Entry& entry, std::vector<TxnId>* granted);
 
-  /// Removes `obj` from the table if it has no holders and no waiters.
-  void MaybeErase(ObjectId obj);
+  /// Keeps occupied_count_ in sync after `entry` gains or loses its last
+  /// holder/waiter.
+  void SyncOccupancy(Entry& entry);
 
-  std::unordered_map<ObjectId, Entry> table_;
-  /// Objects held per transaction (for ReleaseAll), in acquisition order. A
-  /// transaction holds each object at most once, so a flat vector beats a
-  /// hash set: cheaper insert, cache-friendly release scan, and a
-  /// deterministic iteration order to boot.
-  std::unordered_map<TxnId, std::vector<ObjectId>> held_;
-  /// Pending request per waiting transaction.
-  std::unordered_map<TxnId, ObjectId> waiting_;
+  GranuleTable<Entry> table_;
+  TxnSlotMap<TxnRec> txns_;
+  std::vector<WaiterNode> nodes_;  ///< Waiter-node pool shared by all queues.
+  int32_t free_node_ = -1;         ///< Head of the pool's free list.
+  size_t waiting_count_ = 0;
+  size_t occupied_count_ = 0;
+  std::vector<TxnId> granted_scratch_;    ///< ReleaseAll result buffer.
+  std::vector<ObjectId> affected_scratch_;
   LockManagerStats stats_;
   Auditor* auditor_ = nullptr;
 };

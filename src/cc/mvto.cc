@@ -13,14 +13,14 @@ void MultiversionTimestampOrderingCC::OnBegin(TxnId txn, SimTime first_start,
                                               SimTime incarnation_start) {
   (void)first_start;
   (void)incarnation_start;
-  TxnState state;
+  TxnState& state = active_.Upsert(txn);
+  state.Recycle();  // Fresh incarnation state; buffers keep their capacity.
   state.ts = next_ts_++;
-  active_[txn] = std::move(state);
 }
 
 MultiversionTimestampOrderingCC::Version&
 MultiversionTimestampOrderingCC::VersionFor(ObjectId obj, uint64_t ts) {
-  ObjectState& object = objects_[obj];
+  ObjectState& object = objects_.Touch(obj);
   if (object.versions.empty()) {
     object.versions.push_back(Version{0, kInvalidTxn, 0});
   }
@@ -35,10 +35,10 @@ MultiversionTimestampOrderingCC::VersionFor(ObjectId obj, uint64_t ts) {
 
 CCDecision MultiversionTimestampOrderingCC::ReadRequest(TxnId txn,
                                                         ObjectId obj) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   state.waiting_on.reset();
   Version& version = VersionFor(obj, state.ts);
-  ObjectState& object = objects_.at(obj);
+  ObjectState& object = *objects_.Find(obj);
 
   // If an older pending write would create the version this read must
   // actually observe, wait for it to resolve.
@@ -66,10 +66,10 @@ CCDecision MultiversionTimestampOrderingCC::ReadRequest(TxnId txn,
 
 CCDecision MultiversionTimestampOrderingCC::WriteRequest(TxnId txn,
                                                          ObjectId obj) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   state.waiting_on.reset();
   Version& version = VersionFor(obj, state.ts);
-  ObjectState& object = objects_.at(obj);
+  ObjectState& object = *objects_.Find(obj);
 
   if (version.max_rts > state.ts) {
     // A later reader already observed the version this write would follow;
@@ -92,7 +92,9 @@ CCDecision MultiversionTimestampOrderingCC::WriteRequest(TxnId txn,
 void MultiversionTimestampOrderingCC::ResolvePrewrites(TxnState& state,
                                                        bool publish) {
   for (ObjectId obj : state.prewrites) {
-    ObjectState& object = objects_.at(obj);
+    ObjectState* found = objects_.Find(obj);
+    CCSIM_CHECK(found != nullptr);
+    ObjectState& object = *found;
     auto pending = std::find_if(
         object.pending.begin(), object.pending.end(),
         [&](const PendingWrite& p) { return p.ts == state.ts; });
@@ -107,13 +109,16 @@ void MultiversionTimestampOrderingCC::ResolvePrewrites(TxnState& state,
     }
     object.pending.erase(pending);
 
-    std::vector<TxnId> waiters = std::move(object.waiters);
-    object.waiters.clear();
-    std::sort(waiters.begin(), waiters.end(), [this](TxnId a, TxnId b) {
-      return active_.at(a).ts < active_.at(b).ts;
-    });
-    for (TxnId waiter : waiters) {
-      active_.at(waiter).waiting_on.reset();
+    // Swap with the scratch buffer (not a temporary) so both vectors'
+    // capacity stays in circulation: no steady-state churn.
+    waiters_scratch_.clear();
+    waiters_scratch_.swap(object.waiters);
+    std::sort(waiters_scratch_.begin(), waiters_scratch_.end(),
+              [this](TxnId a, TxnId b) {
+                return active_.At(a).ts < active_.At(b).ts;
+              });
+    for (TxnId waiter : waiters_scratch_) {
+      active_.At(waiter).waiting_on.reset();
       callbacks_.on_granted(waiter);
     }
   }
@@ -123,7 +128,9 @@ void MultiversionTimestampOrderingCC::ResolvePrewrites(TxnState& state,
 void MultiversionTimestampOrderingCC::RemoveFromWaiters(TxnId txn,
                                                         TxnState& state) {
   if (!state.waiting_on.has_value()) return;
-  ObjectState& object = objects_.at(*state.waiting_on);
+  ObjectState* found = objects_.Find(*state.waiting_on);
+  CCSIM_CHECK(found != nullptr);
+  ObjectState& object = *found;
   object.waiters.erase(
       std::remove(object.waiters.begin(), object.waiters.end(), txn),
       object.waiters.end());
@@ -132,10 +139,10 @@ void MultiversionTimestampOrderingCC::RemoveFromWaiters(TxnId txn,
 
 void MultiversionTimestampOrderingCC::CollectGarbage(ObjectState& object) {
   uint64_t min_active = std::numeric_limits<uint64_t>::max();
-  for (const auto& [txn, state] : active_) {
+  active_.ForEach([&](TxnId txn, const TxnState& state) {
     (void)txn;
     min_active = std::min(min_active, state.ts);
-  }
+  });
   // The latest version with wts <= min_active must stay (someone may still
   // read it); everything older is unreachable.
   auto it = std::upper_bound(
@@ -146,32 +153,32 @@ void MultiversionTimestampOrderingCC::CollectGarbage(ObjectState& object) {
 }
 
 void MultiversionTimestampOrderingCC::Commit(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  CCSIM_CHECK(!it->second.waiting_on.has_value()) << "committing while waiting";
-  ResolvePrewrites(it->second, /*publish=*/true);
-  active_.erase(it);
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  CCSIM_CHECK(!state->waiting_on.has_value()) << "committing while waiting";
+  ResolvePrewrites(*state, /*publish=*/true);
+  active_.Erase(txn);
 }
 
 void MultiversionTimestampOrderingCC::Abort(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  RemoveFromWaiters(txn, it->second);
-  ResolvePrewrites(it->second, /*publish=*/false);
-  active_.erase(it);
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  RemoveFromWaiters(txn, *state);
+  ResolvePrewrites(*state, /*publish=*/false);
+  active_.Erase(txn);
 }
 
 size_t MultiversionTimestampOrderingCC::VersionCount(ObjectId obj) const {
-  auto it = objects_.find(obj);
-  return it == objects_.end() ? 0 : it->second.versions.size();
+  const ObjectState* object = objects_.Find(obj);
+  return object == nullptr ? 0 : object->versions.size();
 }
 
 bool MultiversionTimestampOrderingCC::AuditTracksWaiter(TxnId txn) const {
-  auto it = active_.find(txn);
-  if (it == active_.end() || !it->second.waiting_on.has_value()) return false;
-  auto object = objects_.find(*it->second.waiting_on);
-  if (object == objects_.end()) return false;
-  const std::vector<TxnId>& waiters = object->second.waiters;
+  const TxnState* state = active_.Find(txn);
+  if (state == nullptr || !state->waiting_on.has_value()) return false;
+  const ObjectState* object = objects_.Find(*state->waiting_on);
+  if (object == nullptr) return false;
+  const std::vector<TxnId>& waiters = object->waiters;
   return std::find(waiters.begin(), waiters.end(), txn) != waiters.end();
 }
 
@@ -180,7 +187,7 @@ void MultiversionTimestampOrderingCC::AuditCheck() const {
   auto report = [this](TxnId txn, const std::string& detail) {
     auditor_->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
   };
-  for (const auto& [obj, object] : objects_) {
+  objects_.ForEachTouched([&](ObjectId obj, const ObjectState& object) {
     for (size_t i = 1; i < object.versions.size(); ++i) {
       if (object.versions[i - 1].wts >= object.versions[i].wts) {
         std::ostringstream detail;
@@ -191,20 +198,20 @@ void MultiversionTimestampOrderingCC::AuditCheck() const {
       }
     }
     for (const PendingWrite& pending : object.pending) {
-      auto writer = active_.find(pending.writer);
-      if (writer == active_.end()) {
+      const TxnState* writer = active_.Find(pending.writer);
+      if (writer == nullptr) {
         std::ostringstream detail;
         detail << "object " << obj << " has a pending version by an inactive txn";
         report(pending.writer, detail.str());
         continue;
       }
-      if (writer->second.ts != pending.ts) {
+      if (writer->ts != pending.ts) {
         std::ostringstream detail;
         detail << "object " << obj << " pending ts " << pending.ts
-               << " != writer ts " << writer->second.ts;
+               << " != writer ts " << writer->ts;
         report(pending.writer, detail.str());
       }
-      const std::vector<ObjectId>& prewrites = writer->second.prewrites;
+      const std::vector<ObjectId>& prewrites = writer->prewrites;
       if (std::find(prewrites.begin(), prewrites.end(), obj) ==
           prewrites.end()) {
         std::ostringstream detail;
@@ -214,15 +221,15 @@ void MultiversionTimestampOrderingCC::AuditCheck() const {
       }
     }
     for (TxnId waiter : object.waiters) {
-      auto it = active_.find(waiter);
-      if (it == active_.end()) {
+      const TxnState* waiter_state = active_.Find(waiter);
+      if (waiter_state == nullptr) {
         std::ostringstream detail;
         detail << "inactive txn among waiters of object " << obj;
         report(waiter, detail.str());
         continue;
       }
-      if (!it->second.waiting_on.has_value() ||
-          *it->second.waiting_on != obj) {
+      if (!waiter_state->waiting_on.has_value() ||
+          *waiter_state->waiting_on != obj) {
         std::ostringstream detail;
         detail << "waiter on object " << obj
                << " does not record it as its waiting_on";
@@ -234,22 +241,22 @@ void MultiversionTimestampOrderingCC::AuditCheck() const {
       // wait edge points from younger to older).
       bool has_older_pending = false;
       for (const PendingWrite& pending : object.pending) {
-        has_older_pending |= pending.ts < it->second.ts;
+        has_older_pending |= pending.ts < waiter_state->ts;
       }
       if (!has_older_pending) {
         std::ostringstream detail;
-        detail << "waiter ts " << it->second.ts << " on object " << obj
+        detail << "waiter ts " << waiter_state->ts << " on object " << obj
                << " has no older pending version to wait for";
         auditor_->Report(AuditInvariant::kPermanentBlock, waiter, detail.str());
       }
     }
-  }
-  for (const auto& [txn, state] : active_) {
+  });
+  active_.ForEach([&](TxnId txn, const TxnState& state) {
     for (ObjectId obj : state.prewrites) {
-      auto it = objects_.find(obj);
+      const ObjectState* object = objects_.Find(obj);
       bool pending_found = false;
-      if (it != objects_.end()) {
-        for (const PendingWrite& pending : it->second.pending) {
+      if (object != nullptr) {
+        for (const PendingWrite& pending : object->pending) {
           pending_found |= pending.writer == txn;
         }
       }
@@ -260,7 +267,7 @@ void MultiversionTimestampOrderingCC::AuditCheck() const {
         report(txn, detail.str());
       }
     }
-  }
+  });
 }
 
 }  // namespace ccsim

@@ -28,10 +28,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cc/concurrency_control.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -40,6 +40,11 @@ class MultiversionTimestampOrderingCC : public ConcurrencyControl {
   MultiversionTimestampOrderingCC() = default;
 
   std::string name() const override { return "mvto"; }
+
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    objects_.Reserve(static_cast<size_t>(num_objects));
+    active_.Reserve(static_cast<size_t>(num_txns));
+  }
 
   void OnBegin(TxnId txn, SimTime first_start,
                SimTime incarnation_start) override;
@@ -55,7 +60,7 @@ class MultiversionTimestampOrderingCC : public ConcurrencyControl {
   /// Number of committed versions currently kept for `obj` (tests/GC).
   size_t VersionCount(ObjectId obj) const;
 
-  uint64_t TimestampOf(TxnId txn) const { return active_.at(txn).ts; }
+  uint64_t TimestampOf(TxnId txn) const { return active_.At(txn).ts; }
 
  private:
   struct Version {
@@ -77,11 +82,23 @@ class MultiversionTimestampOrderingCC : public ConcurrencyControl {
     std::vector<Version> versions;
     std::vector<PendingWrite> pending;
     std::vector<TxnId> waiters;
+    /// Epoch-reuse reset; keeps every buffer's capacity.
+    void Recycle() {
+      versions.clear();
+      pending.clear();
+      waiters.clear();
+    }
   };
   struct TxnState {
     uint64_t ts = 0;
     std::vector<ObjectId> prewrites;
     std::optional<ObjectId> waiting_on;
+    /// Slot-reuse reset; keeps the prewrite buffer's capacity.
+    void Recycle() {
+      ts = 0;
+      prewrites.clear();
+      waiting_on.reset();
+    }
   };
 
   /// The latest committed version with wts <= ts; creates the object entry
@@ -95,9 +112,11 @@ class MultiversionTimestampOrderingCC : public ConcurrencyControl {
   /// newest reachable one per object.
   void CollectGarbage(ObjectState& object);
 
-  std::unordered_map<TxnId, TxnState> active_;
-  std::unordered_map<ObjectId, ObjectState> objects_;
+  TxnSlotMap<TxnState> active_;
+  GranuleTable<ObjectState> objects_;
   uint64_t next_ts_ = 1;
+  /// Waiter wake-up scratch (capacity circulates with object waiter lists).
+  std::vector<TxnId> waiters_scratch_;
   /// GC trigger: collect when an object's version list exceeds this.
   static constexpr size_t kGcThreshold = 64;
 };

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
 
 #include "audit/audit.h"
 #include "util/check.h"
@@ -12,9 +12,9 @@ namespace ccsim {
 void OptimisticCC::OnBegin(TxnId txn, SimTime first_start,
                            SimTime incarnation_start) {
   (void)first_start;
-  TxnState state;
+  TxnState& state = active_.Upsert(txn);
+  state.Recycle();  // Fresh incarnation state; buffers keep their capacity.
   state.start = incarnation_start;
-  active_[txn] = std::move(state);
 }
 
 namespace {
@@ -26,12 +26,12 @@ void InsertUnique(std::vector<ObjectId>& set, ObjectId obj) {
 }  // namespace
 
 CCDecision OptimisticCC::ReadRequest(TxnId txn, ObjectId obj) {
-  InsertUnique(active_.at(txn).reads, obj);
+  InsertUnique(active_.At(txn).reads, obj);
   return CCDecision::kGranted;
 }
 
 CCDecision OptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   // In this model every written object is also read (and under static write
   // locking the engine declares the write *instead of* the read), so a write
   // declaration implies readset membership for validation purposes.
@@ -41,25 +41,24 @@ CCDecision OptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
 }
 
 bool OptimisticCC::Validate(TxnId txn) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   for (ObjectId obj : state.reads) {
-    auto committed = committed_writes_.find(obj);
-    if (committed != committed_writes_.end() &&
-        committed->second.time > state.start) {
+    const CommittedWrite* committed = committed_writes_.Find(obj);
+    if (committed != nullptr && committed->time > state.start) {
       ++stats_.validation_failures;
       if (callbacks_.on_blame) {
-        callbacks_.on_blame(txn, committed->second.writer, obj,
+        callbacks_.on_blame(txn, committed->writer, obj,
                             BlameKind::kValidation);
       }
       return false;
     }
-    auto flushing = flushing_.find(obj);
-    if (flushing != flushing_.end() && flushing->second.count > 0) {
+    const FlushClaim* flushing = flushing_.Find(obj);
+    if (flushing != nullptr && flushing->count > 0) {
       // A validated transaction is writing this object; it will commit before
       // us, inside our lifetime.
       ++stats_.validation_failures;
       if (callbacks_.on_blame) {
-        callbacks_.on_blame(txn, flushing->second.writer, obj,
+        callbacks_.on_blame(txn, flushing->writer, obj,
                             BlameKind::kValidation);
       }
       return false;
@@ -69,7 +68,7 @@ bool OptimisticCC::Validate(TxnId txn) {
   // validators see the in-flight writes.
   state.validated = true;
   for (ObjectId obj : state.writes) {
-    FlushClaim& claim = flushing_[obj];
+    FlushClaim& claim = flushing_.Touch(obj);
     ++claim.count;
     claim.writer = txn;
   }
@@ -77,38 +76,37 @@ bool OptimisticCC::Validate(TxnId txn) {
 }
 
 void OptimisticCC::Commit(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  TxnState& state = it->second;
-  CCSIM_CHECK(state.validated) << "commit without successful validation";
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  CCSIM_CHECK(state->validated) << "commit without successful validation";
   SimTime now = callbacks_.now();
-  for (ObjectId obj : state.writes) {
-    committed_writes_[obj] = CommittedWrite{now, txn};
-    auto flushing = flushing_.find(obj);
-    CCSIM_CHECK(flushing != flushing_.end() && flushing->second.count > 0);
-    if (--flushing->second.count == 0) flushing_.erase(flushing);
+  for (ObjectId obj : state->writes) {
+    committed_writes_.Touch(obj) = CommittedWrite{now, txn};
+    FlushClaim* flushing = flushing_.Find(obj);
+    CCSIM_CHECK(flushing != nullptr && flushing->count > 0);
+    --flushing->count;  // A drained claim (count 0) reads as absent.
   }
-  active_.erase(it);
+  active_.Erase(txn);
 }
 
 void OptimisticCC::Abort(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
   // Aborts only happen at validation time, before the write set is claimed —
   // but release any claim defensively if an engine extension aborts later.
-  if (it->second.validated) {
-    for (ObjectId obj : it->second.writes) {
-      auto flushing = flushing_.find(obj);
-      CCSIM_CHECK(flushing != flushing_.end() && flushing->second.count > 0);
-      if (--flushing->second.count == 0) flushing_.erase(flushing);
+  if (state->validated) {
+    for (ObjectId obj : state->writes) {
+      FlushClaim* flushing = flushing_.Find(obj);
+      CCSIM_CHECK(flushing != nullptr && flushing->count > 0);
+      --flushing->count;
     }
   }
-  active_.erase(it);
+  active_.Erase(txn);
 }
 
 SimTime OptimisticCC::LastCommittedWrite(ObjectId obj) const {
-  auto it = committed_writes_.find(obj);
-  return it == committed_writes_.end() ? -1 : it->second.time;
+  const CommittedWrite* committed = committed_writes_.Find(obj);
+  return committed == nullptr ? -1 : committed->time;
 }
 
 void OptimisticCC::AuditCheck() const {
@@ -116,26 +114,45 @@ void OptimisticCC::AuditCheck() const {
   // The flush claims must be exactly the write sets of the validated
   // transactions — a leaked claim blocks future validators forever, a lost
   // claim lets a stale read pass validation.
-  std::unordered_map<ObjectId, int> expected;
-  for (const auto& [txn, state] : active_) {
+  std::vector<std::pair<ObjectId, int>> expected;
+  active_.ForEach([&](TxnId txn, const TxnState& state) {
     (void)txn;
-    if (!state.validated) continue;
-    for (ObjectId obj : state.writes) ++expected[obj];
+    if (!state.validated) return;
+    for (ObjectId obj : state.writes) expected.emplace_back(obj, 1);
+  });
+  std::sort(expected.begin(), expected.end());
+  // Merge duplicate objects, summing their claim counts.
+  size_t merged = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (merged > 0 && expected[merged - 1].first == expected[i].first) {
+      expected[merged - 1].second += expected[i].second;
+    } else {
+      expected[merged++] = expected[i];
+    }
   }
-  for (const auto& [obj, claim] : flushing_) {
-    auto it = expected.find(obj);
-    int expected_count = it == expected.end() ? 0 : it->second;
-    if (claim.count != expected_count || claim.count <= 0) {
+  expected.resize(merged);
+  auto expected_count_of = [&](ObjectId obj) {
+    auto it = std::lower_bound(
+        expected.begin(), expected.end(), std::make_pair(obj, 0),
+        [](const std::pair<ObjectId, int>& a, const std::pair<ObjectId, int>& b) {
+          return a.first < b.first;
+        });
+    return it != expected.end() && it->first == obj ? it->second : 0;
+  };
+  flushing_.ForEachTouched([&](ObjectId obj, const FlushClaim& claim) {
+    if (claim.count == 0) return;  // Dormant slot: logically absent.
+    if (claim.count != expected_count_of(obj)) {
       std::ostringstream detail;
       detail << "object " << obj << " has " << claim.count
-             << " flush claim(s) but " << expected_count
+             << " flush claim(s) but " << expected_count_of(obj)
              << " validated writer(s)";
       auditor_->Report(AuditInvariant::kWaitsForConsistency, kInvalidTxn,
                        detail.str());
     }
-  }
+  });
   for (const auto& [obj, count] : expected) {
-    if (flushing_.count(obj) == 0 && count > 0) {
+    const FlushClaim* claim = flushing_.Find(obj);
+    if ((claim == nullptr || claim->count == 0) && count > 0) {
       std::ostringstream detail;
       detail << "validated write of object " << obj << " holds no flush claim";
       auditor_->Report(AuditInvariant::kWaitsForConsistency, kInvalidTxn,

@@ -11,10 +11,10 @@
 #ifndef CCSIM_CC_OPTIMISTIC_H_
 #define CCSIM_CC_OPTIMISTIC_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "cc/concurrency_control.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -23,6 +23,12 @@ class OptimisticCC : public ConcurrencyControl {
   OptimisticCC() = default;
 
   std::string name() const override { return "optimistic"; }
+
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    committed_writes_.Reserve(static_cast<size_t>(num_objects));
+    flushing_.Reserve(static_cast<size_t>(num_objects));
+    active_.Reserve(static_cast<size_t>(num_txns));
+  }
 
   void OnBegin(TxnId txn, SimTime first_start,
                SimTime incarnation_start) override;
@@ -41,28 +47,39 @@ class OptimisticCC : public ConcurrencyControl {
 
  private:
   struct TxnState {
-    SimTime start;
+    SimTime start = 0;
     std::vector<ObjectId> reads;
     std::vector<ObjectId> writes;
     bool validated = false;
+    /// Slot-reuse reset; keeps the access-set buffers' capacity.
+    void Recycle() {
+      start = 0;
+      reads.clear();
+      writes.clear();
+      validated = false;
+    }
   };
 
   struct CommittedWrite {
-    SimTime time;  ///< Commit time of the last committed write.
-    TxnId writer;  ///< Who wrote it (blame attribution).
+    /// Commit time of the last committed write; -1 (before every transaction
+    /// start) doubles as "never written" so a default-materialized dense
+    /// slot behaves exactly like an absent map entry.
+    SimTime time = -1;
+    TxnId writer = kInvalidTxn;  ///< Who wrote it (blame attribution).
   };
   struct FlushClaim {
-    int count = 0;           ///< Validated writers flushing (at most 1).
+    int count = 0;  ///< Validated writers flushing (at most 1); 0 = absent.
     TxnId writer = kInvalidTxn;  ///< The claiming writer.
   };
 
-  std::unordered_map<TxnId, TxnState> active_;
+  TxnSlotMap<TxnState> active_;
   /// Last committed write per object (time + writer).
-  std::unordered_map<ObjectId, CommittedWrite> committed_writes_;
+  GranuleTable<CommittedWrite> committed_writes_;
   /// Objects being flushed by validated-but-uncommitted transactions
   /// (count is at most 1 by construction, since a second validator
-  /// conflicts and restarts).
-  std::unordered_map<ObjectId, FlushClaim> flushing_;
+  /// conflicts and restarts). A dormant slot with count 0 is equivalent to
+  /// an absent entry.
+  GranuleTable<FlushClaim> flushing_;
 };
 
 }  // namespace ccsim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "audit/audit.h"
 #include "util/check.h"
@@ -12,23 +13,22 @@ void ForwardOptimisticCC::OnBegin(TxnId txn, SimTime first_start,
                                   SimTime incarnation_start) {
   (void)first_start;
   (void)incarnation_start;
-  active_[txn] = TxnState{};
+  active_.Upsert(txn).Recycle();  // Fresh state; buffers keep their capacity.
 }
 
 CCDecision ForwardOptimisticCC::ReadRequest(TxnId txn, ObjectId obj) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   state.waiting_on.reset();
-  auto flushing = flushing_.find(obj);
-  if (flushing != flushing_.end() && flushing->second.count > 0) {
+  const FlushClaim* flushing = flushing_.Find(obj);
+  if (flushing != nullptr && flushing->count > 0) {
     // The object is mid-flush by a validated transaction; reading now would
     // observe the pre-image with no later check to catch it. Wait out the
     // flush (it completes at the flusher's commit).
     ++stats_.lock_conflicts;
     if (callbacks_.on_blame) {
-      callbacks_.on_blame(txn, flushing->second.writer, obj,
-                          BlameKind::kBlock);
+      callbacks_.on_blame(txn, flushing->writer, obj, BlameKind::kBlock);
     }
-    waiters_[obj].push_back(txn);
+    waiters_.Touch(obj).push_back(txn);
     state.waiting_on = obj;
     return CCDecision::kBlocked;
   }
@@ -37,7 +37,7 @@ CCDecision ForwardOptimisticCC::ReadRequest(TxnId txn, ObjectId obj) {
 }
 
 CCDecision ForwardOptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   state.waiting_on.reset();
   // Written objects are also read in this model (and under static write
   // locking the engine declares the write *instead of* the read), so a
@@ -45,14 +45,13 @@ CCDecision ForwardOptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
   // proceeding now would observe the pre-image with no later check to
   // catch it — the flusher's forward validation already ran and cannot
   // have wounded us.
-  auto flushing = flushing_.find(obj);
-  if (flushing != flushing_.end() && flushing->second.count > 0) {
+  const FlushClaim* flushing = flushing_.Find(obj);
+  if (flushing != nullptr && flushing->count > 0) {
     ++stats_.lock_conflicts;
     if (callbacks_.on_blame) {
-      callbacks_.on_blame(txn, flushing->second.writer, obj,
-                          BlameKind::kBlock);
+      callbacks_.on_blame(txn, flushing->writer, obj, BlameKind::kBlock);
     }
-    waiters_[obj].push_back(txn);
+    waiters_.Touch(obj).push_back(txn);
     state.waiting_on = obj;
     return CCDecision::kBlocked;
   }
@@ -65,16 +64,16 @@ CCDecision ForwardOptimisticCC::WriteRequest(TxnId txn, ObjectId obj) {
 }
 
 bool ForwardOptimisticCC::Validate(TxnId txn) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   CCSIM_CHECK(!state.waiting_on.has_value()) << "validating while waiting";
   // Defensive: a read admitted before an overlapping flush began means an
   // earlier validator serialized ahead of us on an object we already read.
   for (ObjectId obj : state.reads) {
-    auto flushing = flushing_.find(obj);
-    if (flushing != flushing_.end() && flushing->second.count > 0) {
+    const FlushClaim* flushing = flushing_.Find(obj);
+    if (flushing != nullptr && flushing->count > 0) {
       ++stats_.validation_failures;
       if (callbacks_.on_blame) {
-        callbacks_.on_blame(txn, flushing->second.writer, obj,
+        callbacks_.on_blame(txn, flushing->writer, obj,
                             BlameKind::kValidation);
       }
       return false;
@@ -83,10 +82,11 @@ bool ForwardOptimisticCC::Validate(TxnId txn) {
   // Forward check: kill every still-running transaction that has read
   // anything we are about to overwrite. Validated (flushing) transactions
   // are never wounded — they serialized before us; their reads of our write
-  // set saw the pre-image, which is consistent with that order.
+  // set saw the pre-image, which is consistent with that order. Visits run
+  // in slot order (see header): deterministic wound order.
   for (ObjectId obj : state.writes) {
-    for (auto& [other_id, other] : active_) {
-      if (other_id == txn || other.validated || other.doomed) continue;
+    active_.ForEach([&](TxnId other_id, TxnState& other) {
+      if (other_id == txn || other.validated || other.doomed) return;
       if (other.reads.count(obj) > 0) {
         other.doomed = true;
         ++stats_.wounds;
@@ -96,11 +96,11 @@ bool ForwardOptimisticCC::Validate(TxnId txn) {
         }
         callbacks_.on_wound(other_id);
       }
-    }
+    });
   }
   state.validated = true;
   for (ObjectId obj : state.writes) {
-    FlushClaim& claim = flushing_[obj];
+    FlushClaim& claim = flushing_.Touch(obj);
     ++claim.count;
     claim.writer = txn;
   }
@@ -110,16 +110,17 @@ bool ForwardOptimisticCC::Validate(TxnId txn) {
 void ForwardOptimisticCC::ReleaseFlushClaims(TxnState& state) {
   if (!state.validated) return;
   for (ObjectId obj : state.writes) {
-    auto flushing = flushing_.find(obj);
-    CCSIM_CHECK(flushing != flushing_.end() && flushing->second.count > 0);
-    if (--flushing->second.count > 0) continue;
-    flushing_.erase(flushing);
-    auto waiting = waiters_.find(obj);
-    if (waiting == waiters_.end()) continue;
-    std::vector<TxnId> woken = std::move(waiting->second);
-    waiters_.erase(waiting);
-    for (TxnId reader : woken) {
-      active_.at(reader).waiting_on.reset();
+    FlushClaim* flushing = flushing_.Find(obj);
+    CCSIM_CHECK(flushing != nullptr && flushing->count > 0);
+    if (--flushing->count > 0) continue;
+    std::vector<TxnId>* waiting = waiters_.Find(obj);
+    if (waiting == nullptr || waiting->empty()) continue;
+    // Swap with the scratch buffer so both vectors' capacity stays in
+    // circulation: no steady-state churn.
+    woken_scratch_.clear();
+    woken_scratch_.swap(*waiting);
+    for (TxnId reader : woken_scratch_) {
+      active_.At(reader).waiting_on.reset();
       callbacks_.on_granted(reader);
     }
   }
@@ -127,39 +128,37 @@ void ForwardOptimisticCC::ReleaseFlushClaims(TxnState& state) {
 
 void ForwardOptimisticCC::RemoveFromWaiters(TxnId txn, TxnState& state) {
   if (!state.waiting_on.has_value()) return;
-  auto waiting = waiters_.find(*state.waiting_on);
-  if (waiting != waiters_.end()) {
-    auto& list = waiting->second;
-    list.erase(std::remove(list.begin(), list.end(), txn), list.end());
-    if (list.empty()) waiters_.erase(waiting);
+  std::vector<TxnId>* waiting = waiters_.Find(*state.waiting_on);
+  if (waiting != nullptr) {
+    waiting->erase(std::remove(waiting->begin(), waiting->end(), txn),
+                   waiting->end());
   }
   state.waiting_on.reset();
 }
 
 void ForwardOptimisticCC::Commit(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  CCSIM_CHECK(it->second.validated) << "commit without validation";
-  CCSIM_CHECK(!it->second.doomed) << "doomed txn reached commit";
-  ReleaseFlushClaims(it->second);
-  active_.erase(it);
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  CCSIM_CHECK(state->validated) << "commit without validation";
+  CCSIM_CHECK(!state->doomed) << "doomed txn reached commit";
+  ReleaseFlushClaims(*state);
+  active_.Erase(txn);
 }
 
 void ForwardOptimisticCC::Abort(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  RemoveFromWaiters(txn, it->second);
-  ReleaseFlushClaims(it->second);
-  active_.erase(it);
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  RemoveFromWaiters(txn, *state);
+  ReleaseFlushClaims(*state);
+  active_.Erase(txn);
 }
 
 bool ForwardOptimisticCC::AuditTracksWaiter(TxnId txn) const {
-  auto it = active_.find(txn);
-  if (it == active_.end() || !it->second.waiting_on.has_value()) return false;
-  auto waiting = waiters_.find(*it->second.waiting_on);
-  if (waiting == waiters_.end()) return false;
-  const std::vector<TxnId>& list = waiting->second;
-  return std::find(list.begin(), list.end(), txn) != list.end();
+  const TxnState* state = active_.Find(txn);
+  if (state == nullptr || !state->waiting_on.has_value()) return false;
+  const std::vector<TxnId>* waiting = waiters_.Find(*state->waiting_on);
+  if (waiting == nullptr) return false;
+  return std::find(waiting->begin(), waiting->end(), txn) != waiting->end();
 }
 
 void ForwardOptimisticCC::AuditCheck() const {
@@ -168,48 +167,75 @@ void ForwardOptimisticCC::AuditCheck() const {
     auditor_->Report(AuditInvariant::kWaitsForConsistency, txn, detail);
   };
   // Flush claims must be exactly the validated transactions' write sets.
-  std::unordered_map<ObjectId, int> expected;
-  for (const auto& [txn, state] : active_) {
+  std::vector<std::pair<ObjectId, int>> expected;
+  active_.ForEach([&](TxnId txn, const TxnState& state) {
     (void)txn;
-    if (!state.validated) continue;
-    for (ObjectId obj : state.writes) ++expected[obj];
+    if (!state.validated) return;
+    for (ObjectId obj : state.writes) expected.emplace_back(obj, 1);
+  });
+  std::sort(expected.begin(), expected.end());
+  size_t merged = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (merged > 0 && expected[merged - 1].first == expected[i].first) {
+      expected[merged - 1].second += expected[i].second;
+    } else {
+      expected[merged++] = expected[i];
+    }
   }
-  for (const auto& [obj, claim] : flushing_) {
-    auto it = expected.find(obj);
-    int expected_count = it == expected.end() ? 0 : it->second;
-    if (claim.count != expected_count || claim.count <= 0) {
+  expected.resize(merged);
+  auto expected_count_of = [&](ObjectId obj) {
+    auto it = std::lower_bound(
+        expected.begin(), expected.end(), std::make_pair(obj, 0),
+        [](const std::pair<ObjectId, int>& a, const std::pair<ObjectId, int>& b) {
+          return a.first < b.first;
+        });
+    return it != expected.end() && it->first == obj ? it->second : 0;
+  };
+  flushing_.ForEachTouched([&](ObjectId obj, const FlushClaim& claim) {
+    if (claim.count == 0) return;  // Dormant slot: logically absent.
+    if (claim.count != expected_count_of(obj)) {
       std::ostringstream detail;
       detail << "object " << obj << " has " << claim.count
-             << " flush claim(s) but " << expected_count
+             << " flush claim(s) but " << expected_count_of(obj)
              << " validated writer(s)";
+      report(kInvalidTxn, detail.str());
+    }
+  });
+  for (const auto& [obj, count] : expected) {
+    const FlushClaim* claim = flushing_.Find(obj);
+    if ((claim == nullptr || claim->count == 0) && count > 0) {
+      std::ostringstream detail;
+      detail << "validated write of object " << obj << " holds no flush claim";
       report(kInvalidTxn, detail.str());
     }
   }
   // Waiters wait only on objects actually mid-flush; anything else never
   // gets a wake-up.
-  for (const auto& [obj, list] : waiters_) {
-    if (flushing_.count(obj) == 0) {
+  waiters_.ForEachTouched([&](ObjectId obj, const std::vector<TxnId>& list) {
+    if (list.empty()) return;  // Drained slot: logically absent.
+    const FlushClaim* claim = flushing_.Find(obj);
+    if (claim == nullptr || claim->count == 0) {
       std::ostringstream detail;
       detail << list.size() << " waiter(s) on object " << obj
              << " which is not being flushed";
-      auditor_->Report(AuditInvariant::kPermanentBlock,
-                       list.empty() ? kInvalidTxn : list.front(), detail.str());
+      auditor_->Report(AuditInvariant::kPermanentBlock, list.front(),
+                       detail.str());
     }
     for (TxnId waiter : list) {
-      auto it = active_.find(waiter);
-      if (it == active_.end()) {
+      const TxnState* state = active_.Find(waiter);
+      if (state == nullptr) {
         std::ostringstream detail;
         detail << "inactive txn among waiters of object " << obj;
         report(waiter, detail.str());
-      } else if (!it->second.waiting_on.has_value() ||
-                 *it->second.waiting_on != obj) {
+      } else if (!state->waiting_on.has_value() ||
+                 *state->waiting_on != obj) {
         std::ostringstream detail;
         detail << "waiter on object " << obj
                << " does not record it as its waiting_on";
         report(waiter, detail.str());
       }
     }
-  }
+  });
 }
 
 }  // namespace ccsim

@@ -19,15 +19,20 @@
 // restarts), but a long transaction near its commit point can still be
 // killed by a short writer — neither variant protects completed work the
 // way blocking does.
+//
+// The forward check visits still-running transactions in the TxnSlotMap's
+// slot order — a deterministic function of the begin/commit/abort history
+// (unlike the old unordered_map order, which depended on the hash layout),
+// so wound order and hence replay digests are stable across runs and
+// platforms.
 #ifndef CCSIM_CC_OPTIMISTIC_FORWARD_H_
 #define CCSIM_CC_OPTIMISTIC_FORWARD_H_
 
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cc/concurrency_control.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -36,6 +41,12 @@ class ForwardOptimisticCC : public ConcurrencyControl {
   ForwardOptimisticCC() = default;
 
   std::string name() const override { return "optimistic_forward"; }
+
+  void ReserveCapacity(int64_t num_objects, int num_txns) override {
+    flushing_.Reserve(static_cast<size_t>(num_objects));
+    waiters_.Reserve(static_cast<size_t>(num_objects));
+    active_.Reserve(static_cast<size_t>(num_txns));
+  }
 
   void OnBegin(TxnId txn, SimTime first_start,
                SimTime incarnation_start) override;
@@ -50,12 +61,20 @@ class ForwardOptimisticCC : public ConcurrencyControl {
 
  private:
   struct TxnState {
-    std::unordered_set<ObjectId> reads;
+    SmallIdSet reads;
     std::vector<ObjectId> writes;
     bool validated = false;
     bool doomed = false;  ///< Wounded by a validator; engine abort pending.
     /// Flushing object this transaction's read is waiting on, if any.
     std::optional<ObjectId> waiting_on;
+    /// Slot-reuse reset; keeps the access-set buffers' capacity.
+    void Recycle() {
+      reads.clear();
+      writes.clear();
+      validated = false;
+      doomed = false;
+      waiting_on.reset();
+    }
   };
 
   /// Releases txn's flush claims (validated transactions only) and wakes the
@@ -64,15 +83,19 @@ class ForwardOptimisticCC : public ConcurrencyControl {
   void RemoveFromWaiters(TxnId txn, TxnState& state);
 
   struct FlushClaim {
-    int count = 0;               ///< Validated writers flushing.
+    int count = 0;               ///< Validated writers flushing; 0 = absent.
     TxnId writer = kInvalidTxn;  ///< The claiming writer (blame attribution).
   };
 
-  std::unordered_map<TxnId, TxnState> active_;
-  /// Objects being flushed by validated-but-uncommitted transactions.
-  std::unordered_map<ObjectId, FlushClaim> flushing_;
-  /// Readers waiting for a flush to finish, per object.
-  std::unordered_map<ObjectId, std::vector<TxnId>> waiters_;
+  TxnSlotMap<TxnState> active_;
+  /// Objects being flushed by validated-but-uncommitted transactions. A
+  /// dormant slot with count 0 is equivalent to an absent entry.
+  GranuleTable<FlushClaim> flushing_;
+  /// Readers waiting for a flush to finish, per object (an empty list is
+  /// equivalent to an absent entry).
+  GranuleTable<std::vector<TxnId>> waiters_;
+  /// Wake-up scratch (capacity circulates with the per-object lists).
+  std::vector<TxnId> woken_scratch_;
 };
 
 }  // namespace ccsim

@@ -12,13 +12,13 @@ void StaticLockingCC::OnBegin(TxnId txn, SimTime first_start,
                               SimTime incarnation_start) {
   (void)first_start;
   (void)incarnation_start;
-  active_[txn] = TxnState{};
+  active_.Upsert(txn).Recycle();  // Fresh state; buffers keep their capacity.
 }
 
 CCDecision StaticLockingCC::Predeclare(TxnId txn,
                                        const std::vector<ObjectId>& reads,
                                        const std::vector<ObjectId>& writes) {
-  TxnState& state = active_.at(txn);
+  TxnState& state = active_.At(txn);
   state.written = writes;
   state.read_only.clear();
   for (ObjectId obj : reads) {
@@ -38,14 +38,14 @@ CCDecision StaticLockingCC::Predeclare(TxnId txn,
     TxnId holder = kInvalidTxn;
     ObjectId conflict_obj = 0;
     for (ObjectId obj : state.written) {
-      auto it = objects_.find(obj);
-      if (it == objects_.end()) continue;
-      if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
-        holder = it->second.writer;
+      const ObjectLocks* locks = objects_.Find(obj);
+      if (locks == nullptr) continue;
+      if (locks->writer != kInvalidTxn && locks->writer != txn) {
+        holder = locks->writer;
         conflict_obj = obj;
         break;
       }
-      for (TxnId reader : it->second.readers) {
+      for (TxnId reader : locks->readers) {
         if (reader == txn) continue;
         if (holder == kInvalidTxn || reader < holder) holder = reader;
       }
@@ -56,10 +56,10 @@ CCDecision StaticLockingCC::Predeclare(TxnId txn,
     }
     if (holder == kInvalidTxn) {
       for (ObjectId obj : state.read_only) {
-        auto it = objects_.find(obj);
-        if (it == objects_.end()) continue;
-        if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
-          holder = it->second.writer;
+        const ObjectLocks* locks = objects_.Find(obj);
+        if (locks == nullptr) continue;
+        if (locks->writer != kInvalidTxn && locks->writer != txn) {
+          holder = locks->writer;
           conflict_obj = obj;
           break;
         }
@@ -73,20 +73,20 @@ CCDecision StaticLockingCC::Predeclare(TxnId txn,
 
 bool StaticLockingCC::CanAcquire(const TxnState& state, TxnId txn) const {
   for (ObjectId obj : state.written) {
-    auto it = objects_.find(obj);
-    if (it == objects_.end()) continue;
+    const ObjectLocks* locks = objects_.Find(obj);
+    if (locks == nullptr) continue;
     // An exclusive lock needs the object completely free of others.
-    if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
+    if (locks->writer != kInvalidTxn && locks->writer != txn) {
       return false;
     }
-    for (TxnId reader : it->second.readers) {
+    for (TxnId reader : locks->readers) {
       if (reader != txn) return false;
     }
   }
   for (ObjectId obj : state.read_only) {
-    auto it = objects_.find(obj);
-    if (it == objects_.end()) continue;
-    if (it->second.writer != kInvalidTxn && it->second.writer != txn) {
+    const ObjectLocks* locks = objects_.Find(obj);
+    if (locks == nullptr) continue;
+    if (locks->writer != kInvalidTxn && locks->writer != txn) {
       return false;
     }
   }
@@ -95,15 +95,18 @@ bool StaticLockingCC::CanAcquire(const TxnState& state, TxnId txn) const {
 
 void StaticLockingCC::Acquire(TxnState& state, TxnId txn) {
   for (ObjectId obj : state.written) {
-    ObjectLocks& locks = objects_[obj];
+    ObjectLocks& locks = objects_.Touch(obj);
     CCSIM_CHECK_EQ(locks.writer, kInvalidTxn);
+    if (locks.empty()) ++occupied_count_;
     locks.writer = txn;
     if (auditor_ != nullptr) {
       auditor_->OnLockAcquired(txn, obj, /*exclusive=*/true);
     }
   }
   for (ObjectId obj : state.read_only) {
-    objects_[obj].readers.insert(txn);
+    ObjectLocks& locks = objects_.Touch(obj);
+    if (locks.empty()) ++occupied_count_;
+    locks.readers.insert(txn);
     if (auditor_ != nullptr) {
       auditor_->OnLockAcquired(txn, obj, /*exclusive=*/false);
     }
@@ -115,37 +118,35 @@ void StaticLockingCC::Release(TxnState& state, TxnId txn) {
   if (!state.holding) return;
   if (auditor_ != nullptr) auditor_->OnLockReleased(txn);
   for (ObjectId obj : state.written) {
-    auto it = objects_.find(obj);
-    CCSIM_CHECK(it != objects_.end() && it->second.writer == txn);
-    it->second.writer = kInvalidTxn;
-    if (it->second.readers.empty()) objects_.erase(it);
+    ObjectLocks* locks = objects_.Find(obj);
+    CCSIM_CHECK(locks != nullptr && locks->writer == txn);
+    locks->writer = kInvalidTxn;
+    if (locks->empty()) --occupied_count_;
   }
   for (ObjectId obj : state.read_only) {
-    auto it = objects_.find(obj);
-    CCSIM_CHECK(it != objects_.end());
-    it->second.readers.erase(txn);
-    if (it->second.readers.empty() && it->second.writer == kInvalidTxn) {
-      objects_.erase(it);
-    }
+    ObjectLocks* locks = objects_.Find(obj);
+    CCSIM_CHECK(locks != nullptr);
+    locks->readers.erase(txn);
+    if (locks->empty()) --occupied_count_;
   }
   state.holding = false;
 }
 
 CCDecision StaticLockingCC::ReadRequest(TxnId txn, ObjectId obj) {
   (void)obj;
-  CCSIM_CHECK(active_.at(txn).holding) << "access before predeclared grant";
+  CCSIM_CHECK(active_.At(txn).holding) << "access before predeclared grant";
   return CCDecision::kGranted;
 }
 
 CCDecision StaticLockingCC::WriteRequest(TxnId txn, ObjectId obj) {
   (void)obj;
-  CCSIM_CHECK(active_.at(txn).holding) << "access before predeclared grant";
+  CCSIM_CHECK(active_.At(txn).holding) << "access before predeclared grant";
   return CCDecision::kGranted;
 }
 
 void StaticLockingCC::ScanWaiters() {
   for (auto it = waiters_.begin(); it != waiters_.end();) {
-    TxnState& state = active_.at(*it);
+    TxnState& state = active_.At(*it);
     if (CanAcquire(state, *it)) {
       Acquire(state, *it);
       TxnId granted = *it;
@@ -158,20 +159,20 @@ void StaticLockingCC::ScanWaiters() {
 }
 
 void StaticLockingCC::Commit(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
-  CCSIM_CHECK(it->second.holding) << "commit without locks";
-  Release(it->second, txn);
-  active_.erase(it);
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
+  CCSIM_CHECK(state->holding) << "commit without locks";
+  Release(*state, txn);
+  active_.Erase(txn);
   ScanWaiters();
 }
 
 void StaticLockingCC::Abort(TxnId txn) {
-  auto it = active_.find(txn);
-  CCSIM_CHECK(it != active_.end());
+  TxnState* state = active_.Find(txn);
+  CCSIM_CHECK(state != nullptr);
   waiters_.remove(txn);
-  Release(it->second, txn);
-  active_.erase(it);
+  Release(*state, txn);
+  active_.Erase(txn);
   ScanWaiters();
 }
 
@@ -186,10 +187,10 @@ void StaticLockingCC::AuditCheck() const {
   };
   // active_ -> objects_ direction: a holding transaction's declared set must
   // be registered exactly; a waiter must hold nothing.
-  for (const auto& [txn, state] : active_) {
+  active_.ForEach([&](TxnId txn, const TxnState& state) {
     for (ObjectId obj : state.written) {
-      auto it = objects_.find(obj);
-      bool writes = it != objects_.end() && it->second.writer == txn;
+      const ObjectLocks* locks = objects_.Find(obj);
+      bool writes = locks != nullptr && locks->writer == txn;
       if (state.holding != writes) {
         std::ostringstream detail;
         detail << (state.holding ? "holding txn not registered as writer of "
@@ -199,8 +200,8 @@ void StaticLockingCC::AuditCheck() const {
       }
     }
     for (ObjectId obj : state.read_only) {
-      auto it = objects_.find(obj);
-      bool reads = it != objects_.end() && it->second.readers.count(txn) > 0;
+      const ObjectLocks* locks = objects_.Find(obj);
+      bool reads = locks != nullptr && locks->readers.count(txn) > 0;
       if (state.holding != reads) {
         std::ostringstream detail;
         detail << (state.holding ? "holding txn not registered as reader of "
@@ -209,12 +210,15 @@ void StaticLockingCC::AuditCheck() const {
         report(txn, detail.str());
       }
     }
-  }
+  });
   // objects_ -> active_ direction, plus the compatibility matrix (a writer
-  // excludes every other holder).
-  for (const auto& [obj, locks] : objects_) {
+  // excludes every other holder). Empty dense slots are logically absent.
+  size_t occupied = 0;
+  objects_.ForEachTouched([&](ObjectId obj, const ObjectLocks& locks) {
+    if (locks.empty()) return;
+    ++occupied;
     if (locks.writer != kInvalidTxn) {
-      if (active_.count(locks.writer) == 0) {
+      if (!active_.Contains(locks.writer)) {
         std::ostringstream detail;
         detail << "object " << obj << " written by an unknown transaction";
         report(locks.writer, detail.str());
@@ -229,19 +233,25 @@ void StaticLockingCC::AuditCheck() const {
       }
     }
     for (TxnId reader : locks.readers) {
-      if (active_.count(reader) == 0) {
+      if (!active_.Contains(reader)) {
         std::ostringstream detail;
         detail << "object " << obj << " read-locked by an unknown transaction";
         report(reader, detail.str());
       }
     }
+  });
+  if (occupied != occupied_count_) {
+    std::ostringstream detail;
+    detail << "occupancy counter " << occupied_count_ << " but " << occupied
+           << " object(s) hold locks";
+    report(kInvalidTxn, detail.str());
   }
   // Every waiter must be known and must not be holding.
   for (TxnId waiter : waiters_) {
-    auto it = active_.find(waiter);
-    if (it == active_.end()) {
+    const TxnState* state = active_.Find(waiter);
+    if (state == nullptr) {
       report(waiter, "waiter is not an active transaction");
-    } else if (it->second.holding) {
+    } else if (state->holding) {
       // All-or-nothing acquisition: waiting while holding is the deadlock
       // static locking exists to rule out.
       auditor_->Report(AuditInvariant::kPermanentBlock, waiter,

@@ -21,12 +21,11 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cc/concurrency_control.h"
 #include "obs/registry.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -37,8 +36,8 @@ class StaticLockingCC : public ConcurrencyControl {
   std::string name() const override { return "static_locking"; }
 
   void ReserveCapacity(int64_t num_objects, int num_txns) override {
-    objects_.reserve(static_cast<size_t>(num_objects));
-    active_.reserve(static_cast<size_t>(num_txns));
+    objects_.Reserve(static_cast<size_t>(num_objects));
+    active_.Reserve(static_cast<size_t>(num_txns));
   }
 
   bool needs_predeclaration() const override { return true; }
@@ -60,7 +59,7 @@ class StaticLockingCC : public ConcurrencyControl {
 
   void RegisterStats(StatsRegistry* registry) override {
     registry->AddGauge("lock_table_objects", [this] {
-      return static_cast<double>(objects_.size());
+      return static_cast<double>(occupied_count_);
     });
     registry->AddGauge("lock_waiters", [this] {
       return static_cast<double>(waiters_.size());
@@ -75,10 +74,22 @@ class StaticLockingCC : public ConcurrencyControl {
     std::vector<ObjectId> read_only;  ///< Read but not written.
     std::vector<ObjectId> written;
     bool holding = false;
+    /// Slot-reuse reset; keeps the declared-set buffers' capacity.
+    void Recycle() {
+      read_only.clear();
+      written.clear();
+      holding = false;
+    }
   };
+  /// A slot with no writer and no readers is equivalent to an absent entry.
   struct ObjectLocks {
-    std::unordered_set<TxnId> readers;
+    SmallIdSet readers;
     TxnId writer = kInvalidTxn;
+    bool empty() const { return writer == kInvalidTxn && readers.empty(); }
+    void Recycle() {
+      readers.clear();
+      writer = kInvalidTxn;
+    }
   };
 
   /// True if txn's full declared set is currently acquirable.
@@ -89,8 +100,11 @@ class StaticLockingCC : public ConcurrencyControl {
   /// Grants every waiter (in arrival order) whose set has become available.
   void ScanWaiters();
 
-  std::unordered_map<TxnId, TxnState> active_;
-  std::unordered_map<ObjectId, ObjectLocks> objects_;
+  TxnSlotMap<TxnState> active_;
+  GranuleTable<ObjectLocks> objects_;
+  /// Objects currently holding at least one lock (the dense slots are never
+  /// erased, so the "lock table size" gauge counts occupancy instead).
+  size_t occupied_count_ = 0;
   /// Arrival-ordered waiters.
   std::list<TxnId> waiters_;
 };

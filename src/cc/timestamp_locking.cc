@@ -9,14 +9,14 @@ TimestampLockingCC::TimestampLockingCC(Flavor flavor)
 
 void TimestampLockingCC::OnBegin(TxnId txn, SimTime first_start,
                                  SimTime incarnation_start) {
-  first_starts_[txn] = first_start;
-  incarnation_starts_[txn] = incarnation_start;
+  first_starts_.Upsert(txn) = first_start;
+  incarnation_starts_.Upsert(txn) = incarnation_start;
   doomed_.erase(txn);
 }
 
 bool TimestampLockingCC::Older(TxnId a, TxnId b) const {
-  SimTime ta = first_starts_.at(a);
-  SimTime tb = first_starts_.at(b);
+  SimTime ta = first_starts_.At(a);
+  SimTime tb = first_starts_.At(b);
   if (ta != tb) return ta < tb;
   return a < b;  // Smaller id was created first.
 }
@@ -37,7 +37,8 @@ CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
   CCSIM_CHECK(outcome == LockRequestOutcome::kWaiting);
   ++stats_.lock_conflicts;
 
-  std::vector<TxnId> blockers = locks_.BlockersOf(txn);
+  locks_.AppendBlockersOf(txn, &blockers_scratch_);
+  const std::vector<TxnId>& blockers = blockers_scratch_;
 
   if (flavor_ == Flavor::kWaitDie) {
     // Die if any live blocker is older; otherwise wait (all blockers younger,
@@ -73,7 +74,7 @@ CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
   }
   // Safety net against queue-fairness cycles (see header).
   VictimContext context{
-      [this](TxnId t) { return incarnation_starts_.at(t); },
+      [this](TxnId t) { return incarnation_starts_.At(t); },
       [this](TxnId t) { return locks_.NumHeld(t); },
   };
   if (deadlock_searches_ != nullptr) deadlock_searches_->Inc();
@@ -104,8 +105,8 @@ CCDecision TimestampLockingCC::HandleRequest(TxnId txn, ObjectId obj,
 
 void TimestampLockingCC::Commit(TxnId txn) {
   CCSIM_CHECK_EQ(doomed_.count(txn), 0u) << "doomed txn reached commit";
-  first_starts_.erase(txn);
-  incarnation_starts_.erase(txn);
+  first_starts_.Erase(txn);
+  incarnation_starts_.Erase(txn);
   ReleaseAndNotify(txn);
 }
 
@@ -113,8 +114,8 @@ void TimestampLockingCC::Abort(TxnId txn) {
   doomed_.erase(txn);
   // first_starts_ survives restarts via OnBegin re-registration; erase here
   // and let the next incarnation's OnBegin restore it from the engine.
-  first_starts_.erase(txn);
-  incarnation_starts_.erase(txn);
+  first_starts_.Erase(txn);
+  incarnation_starts_.Erase(txn);
   ReleaseAndNotify(txn);
 }
 

@@ -19,13 +19,11 @@
 #ifndef CCSIM_CC_TIMESTAMP_LOCKING_H_
 #define CCSIM_CC_TIMESTAMP_LOCKING_H_
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "cc/concurrency_control.h"
 #include "cc/deadlock.h"
 #include "cc/lock_manager.h"
 #include "obs/registry.h"
+#include "util/dense_table.h"
 
 namespace ccsim {
 
@@ -42,8 +40,9 @@ class TimestampLockingCC : public ConcurrencyControl {
   void ReserveCapacity(int64_t num_objects, int num_txns) override {
     locks_.Reserve(static_cast<size_t>(num_objects),
                    static_cast<size_t>(num_txns));
-    first_starts_.reserve(static_cast<size_t>(num_txns));
-    incarnation_starts_.reserve(static_cast<size_t>(num_txns));
+    first_starts_.Reserve(static_cast<size_t>(num_txns));
+    incarnation_starts_.Reserve(static_cast<size_t>(num_txns));
+    doomed_.reserve(static_cast<size_t>(num_txns));
   }
 
   void OnBegin(TxnId txn, SimTime first_start,
@@ -77,9 +76,11 @@ class TimestampLockingCC : public ConcurrencyControl {
   Flavor flavor_;
   LockManager locks_;
   DeadlockDetector detector_;
-  std::unordered_map<TxnId, SimTime> first_starts_;
-  std::unordered_map<TxnId, SimTime> incarnation_starts_;
-  std::unordered_set<TxnId> doomed_;
+  TxnSlotMap<SimTime> first_starts_;
+  TxnSlotMap<SimTime> incarnation_starts_;
+  SmallIdSet doomed_;
+  /// Conflict-resolution scratch (reused across requests).
+  std::vector<TxnId> blockers_scratch_;
 
   // Observability (null unless RegisterStats was called).
   ObsCounter* deadlock_searches_ = nullptr;

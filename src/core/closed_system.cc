@@ -80,6 +80,11 @@ ClosedSystem::ClosedSystem(Simulator* sim, const EngineConfig& config)
       (config_.workload.db_size + config_.lock_granule_size - 1) /
           config_.lock_granule_size,
       config_.workload.mpl);
+  // Live-transaction hint: at most one per terminal (kClosed) plus the mpl
+  // headroom; open mode grows past the hint amortized.
+  txns_.Reserve(static_cast<size_t>(
+      std::max(config_.workload.num_terms, config_.workload.mpl)));
+  waits_for_obs_.Reserve(static_cast<size_t>(config_.workload.mpl));
   terminal_commits_.assign(
       static_cast<size_t>(std::max(config_.workload.num_terms, 1)), 0);
   class_response_.resize(static_cast<size_t>(config_.workload.ClassCount()));
@@ -133,10 +138,10 @@ void ClosedSystem::SetupObservability() {
   });
   auto count_state = [this](TxnState state) {
     int64_t n = 0;
-    for (const auto& [id, txn] : txns_) {
+    txns_.ForEach([&](TxnId id, const Txn& txn) {
       (void)id;
       if (txn.state == state) ++n;
-    }
+    });
     return static_cast<double>(n);
   };
   registry_->AddGauge("blocked", [count_state] {
@@ -241,7 +246,9 @@ void ClosedSystem::ScheduleNextArrival() {
 
 void ClosedSystem::SubmitFromTerminal(int terminal) {
   TxnId id = next_txn_id_++;
-  Txn txn;
+  // Insert recycles a retired transaction's slot, so the new transaction
+  // inherits its buffers' capacity.
+  Txn& txn = txns_.Insert(id);
   txn.id = id;
   txn.terminal = terminal;
   txn.spec = workload_.NextTransaction();
@@ -250,7 +257,6 @@ void ClosedSystem::SubmitFromTerminal(int terminal) {
   txn.state = TxnState::kReady;
   if (obs_on_) txn.ready_since = sim_->Now();
   Trace(txn, TxnEvent::kSubmitted);
-  txns_.emplace(id, std::move(txn));
   ready_queue_.push_back(id);
   TryActivate();
 }
@@ -779,7 +785,7 @@ void ClosedSystem::Complete(TxnId id) {
 
   int terminal = txn.terminal;
   Deactivate();
-  txns_.erase(id);
+  txns_.Erase(id);
 
   if (config_.source_mode == SourceMode::kClosed) {
     SimTime think = workload_.NextExternalThink();
@@ -812,7 +818,7 @@ void ClosedSystem::Restart(TxnId id, RestartCause cause) {
     // only if this transaction eventually commits in the window, mirroring
     // ph_wasted exactly.
     txn.blame_wasted_charges.emplace_back(txn.blame_opponent, wasted);
-    waits_for_obs_.erase(id);
+    waits_for_obs_.Erase(id);
     switch (cause) {
       case RestartCause::kWound: ctr_restarts_wound_->Inc(); break;
       case RestartCause::kDecision: ctr_restarts_decision_->Inc(); break;
@@ -878,7 +884,7 @@ void ClosedSystem::OnGranted(TxnId id) {
       t.ph_cc_block += blocked;
       t.blame_block_charges.emplace_back(t.blame_block_opponent, blocked);
       t.blame_block_opponent = kInvalidTxn;
-      waits_for_obs_.erase(id);
+      waits_for_obs_.Erase(id);
     }
     Trace(t, TxnEvent::kResumed);
     AuditTransition();
@@ -930,7 +936,7 @@ void ClosedSystem::AuditTransition() {
   auditor_->OnEventTime(sim_->Now());
   TxnCensus census;
   census.total = static_cast<int64_t>(txns_.size());
-  for (const auto& [id, txn] : txns_) {
+  txns_.ForEach([&](TxnId id, const Txn& txn) {
     (void)id;
     switch (txn.state) {
       case TxnState::kReady: ++census.ready; break;
@@ -939,7 +945,7 @@ void ClosedSystem::AuditTransition() {
       case TxnState::kIntThink: ++census.thinking; break;
       case TxnState::kRestartDelay: ++census.restart_delay; break;
     }
-  }
+  });
   census.ready_queue = static_cast<int64_t>(ready_queue_.size());
   census.active = active_count_;
   auditor_->CheckConservation(census);
@@ -948,12 +954,12 @@ void ClosedSystem::AuditTransition() {
     // Lost-wakeup check: every blocked transaction must still be tracked as
     // a waiter by the algorithm — unless it is doomed (its abort event is
     // pending) or its grant's zero-delay resume event is in flight.
-    for (const auto& [id, txn] : txns_) {
+    txns_.ForEach([&](TxnId id, const Txn& txn) {
       if (txn.state == TxnState::kBlocked && !txn.doomed &&
           !txn.grant_inflight) {
         auditor_->CheckBlockedTracked(id, cc_->AuditTracksWaiter(id));
       }
-    }
+    });
   }
 }
 
@@ -976,9 +982,9 @@ void ClosedSystem::AuditFinal() {
   // blocked transaction again — each one is permanently stuck.
   if (sim_->pending_events() == 0) {
     std::vector<TxnId> stuck;
-    for (const auto& [id, txn] : txns_) {
+    txns_.ForEach([&](TxnId id, const Txn& txn) {
       if (txn.state == TxnState::kBlocked) stuck.push_back(id);
-    }
+    });
     std::sort(stuck.begin(), stuck.end());
     for (TxnId id : stuck) {
       auditor_->Report(AuditInvariant::kPermanentBlock, id,
@@ -988,9 +994,9 @@ void ClosedSystem::AuditFinal() {
 }
 
 ClosedSystem::Txn& ClosedSystem::GetTxn(TxnId id) {
-  auto it = txns_.find(id);
-  CCSIM_CHECK(it != txns_.end()) << "unknown txn " << id;
-  return it->second;
+  Txn* txn = txns_.Find(id);
+  CCSIM_CHECK(txn != nullptr) << "unknown txn " << id;
+  return *txn;
 }
 
 
@@ -1034,7 +1040,7 @@ void ClosedSystem::RecordBlockedEdge(TxnId id, SimTime now) {
   Txn& txn = GetTxn(id);
   const TxnId opponent = txn.blame_block_opponent;
   if (opponent != kInvalidTxn && opponent != id) {
-    waits_for_obs_[id] = opponent;
+    waits_for_obs_.Upsert(id) = opponent;
     if (perfetto_ != nullptr) perfetto_->OnBlockedBy(id, opponent, now);
   }
   // Chain depth = waits-for edges reachable from this transaction through
@@ -1043,10 +1049,10 @@ void ClosedSystem::RecordBlockedEdge(TxnId id, SimTime now) {
   int depth = 0;
   TxnId cursor = id;
   for (int hops = 0; hops < kMaxChainWalk; ++hops) {
-    auto it = waits_for_obs_.find(cursor);
-    if (it == waits_for_obs_.end()) break;
+    const TxnId* next = waits_for_obs_.Find(cursor);
+    if (next == nullptr) break;
     ++depth;
-    cursor = it->second;
+    cursor = *next;
     if (cursor == id) break;  // Cycle: a deadlock awaiting victim selection.
   }
   if (depth == 0) depth = 1;
@@ -1075,8 +1081,8 @@ void ClosedSystem::FinishObsArtifacts() {
 }
 
 bool ClosedSystem::IsCurrent(TxnId id, int incarnation) const {
-  auto it = txns_.find(id);
-  return it != txns_.end() && it->second.incarnation == incarnation;
+  const Txn* txn = txns_.Find(id);
+  return txn != nullptr && txn->incarnation == incarnation;
 }
 
 void ClosedSystem::SetMpl(int new_mpl) {
@@ -1228,7 +1234,8 @@ MetricsReport ClosedSystem::RunExperiment(int batches, SimTime batch_length,
 
 std::string ClosedSystem::DescribeCensus() const {
   int64_t ready = 0, running = 0, blocked = 0, thinking = 0, delayed = 0;
-  for (const auto& [id, txn] : txns_) {
+  txns_.ForEach([&](TxnId id, const Txn& txn) {
+    (void)id;
     switch (txn.state) {
       case TxnState::kReady: ++ready; break;
       case TxnState::kRunning: ++running; break;
@@ -1236,7 +1243,7 @@ std::string ClosedSystem::DescribeCensus() const {
       case TxnState::kIntThink: ++thinking; break;
       case TxnState::kRestartDelay: ++delayed; break;
     }
-  }
+  });
   return StringPrintf(
       "census: %lld running, %lld blocked, %lld in internal think, "
       "%lld in restart delay, %lld ready (active=%d, lifetime commits=%lld, "

@@ -19,8 +19,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "audit/audit.h"
@@ -43,6 +41,7 @@
 #include "stats/histogram.h"
 #include "stats/time_weighted.h"
 #include "stats/welford.h"
+#include "util/dense_table.h"
 #include "util/random.h"
 #include "wl/workload.h"
 
@@ -225,8 +224,8 @@ class ClosedSystem {
     bool grant_inflight = false;
     /// Granules already covered by a granted cc request this incarnation
     /// (only maintained when lock_granule_size > 1).
-    std::unordered_set<ObjectId> read_granules;
-    std::unordered_set<ObjectId> write_granules;
+    SmallIdSet read_granules;
+    SmallIdSet write_granules;
     /// Resources consumed by the current incarnation (for useful-work
     /// accounting: credited only if this incarnation commits).
     SimTime cpu_used = 0;
@@ -261,6 +260,45 @@ class ClosedSystem {
     /// (aborter, µs) per restarted incarnation; whole-transaction, folded at
     /// Complete — exactly the lifecycle of ph_wasted.
     std::vector<std::pair<TxnId, SimTime>> blame_wasted_charges;
+
+    /// Slot-reuse reset (TxnSlotMap recycling): restores the
+    /// default-constructed state while keeping every buffer's capacity, so a
+    /// terminal's next transaction reuses the previous one's storage.
+    void Recycle() {
+      id = kInvalidTxn;
+      terminal = -1;
+      spec = TxnSpec{};
+      write_set.clear();
+      first_submit = 0;
+      incarnation_start = 0;
+      incarnation = 0;
+      state = TxnState::kReady;
+      read_index = 0;
+      write_index = 0;
+      update_index = 0;
+      think_done = false;
+      doomed = false;
+      grant_inflight = false;
+      read_granules.clear();
+      write_granules.clear();
+      cpu_used = 0;
+      disk_used = 0;
+      pending_event = kInvalidEventId;
+      ready_since = 0;
+      blocked_since = 0;
+      ph_ready = 0;
+      ph_restart_delay = 0;
+      ph_wasted = 0;
+      ph_cc_block = 0;
+      ph_cpu = 0;
+      ph_disk = 0;
+      ph_res_wait = 0;
+      ph_think = 0;
+      blame_opponent = kInvalidTxn;
+      blame_block_opponent = kInvalidTxn;
+      blame_block_charges.clear();
+      blame_wasted_charges.clear();
+    }
   };
 
   /// Why an incarnation restarted (observability: restarts by cause).
@@ -360,7 +398,10 @@ class ClosedSystem {
 
   bool primed_ = false;
   TxnId next_txn_id_ = 1;
-  std::unordered_map<TxnId, Txn> txns_;
+  /// Live transactions: ids grow without bound, but at most one per terminal
+  /// (kClosed) is alive, so the slot map recycles a bounded set of slots —
+  /// and each Txn's buffers with them.
+  TxnSlotMap<Txn> txns_;
   std::deque<TxnId> ready_queue_;
   int active_count_ = 0;
   TimeWeightedValue active_mpl_;
@@ -437,7 +478,7 @@ class ClosedSystem {
   std::unique_ptr<ContentionProfiler> contention_;
   /// Observability-only waits-for edges (victim -> opponent) for chain-depth
   /// sampling; never consulted by any scheduling or cc decision.
-  std::unordered_map<TxnId, TxnId> waits_for_obs_;
+  TxnSlotMap<TxnId> waits_for_obs_;
   Histogram* chain_depth_hist_ = nullptr;
   Histogram* genealogy_hist_ = nullptr;
   ProgressCell* progress_ = nullptr;

@@ -1,7 +1,6 @@
 #include "util/random.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace ccsim {
 
@@ -12,16 +11,27 @@ std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t population,
   // Floyd's algorithm: for j in [population-count, population), pick t uniform
   // in [0, j]; insert t unless already chosen, else insert j. Produces a
   // uniform random subset of size `count`.
-  std::unordered_set<int64_t> chosen;
-  chosen.reserve(static_cast<size_t>(count) * 2);
+  //
+  // Membership is tracked in a sorted small vector: transaction-sized samples
+  // (a handful of objects) fit in one or two cache lines, where the shifted
+  // insert beats a heap-allocated hash set. The draw sequence is exactly the
+  // hash-set version's — only membership answers feed back into the draws.
+  std::vector<int64_t> chosen;
+  chosen.reserve(static_cast<size_t>(count));
+  auto insert_chosen = [&chosen](int64_t v) {
+    auto it = std::lower_bound(chosen.begin(), chosen.end(), v);
+    if (it != chosen.end() && *it == v) return false;
+    chosen.insert(it, v);
+    return true;
+  };
   std::vector<int64_t> result;
   result.reserve(static_cast<size_t>(count));
   for (int64_t j = population - count; j < population; ++j) {
     int64_t t = UniformInt(0, j);
-    if (chosen.insert(t).second) {
+    if (insert_chosen(t)) {
       result.push_back(t);
     } else {
-      chosen.insert(j);
+      insert_chosen(j);
       result.push_back(j);
     }
   }

@@ -1,7 +1,6 @@
 // Unit tests for waits-for cycle detection and victim selection.
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 
 #include <gtest/gtest.h>
 
@@ -98,7 +97,7 @@ TEST(DeadlockTest, DoomedTxnsAreInvisible) {
 
   DeadlockDetector detector(&lm, VictimPolicy::kYoungest);
   // If T1 is already doomed, the cycle is considered broken.
-  std::unordered_set<TxnId> doomed = {kT1};
+  SmallIdSet doomed = {kT1};
   EXPECT_TRUE(detector.FindCycle(kT2, doomed).empty());
   auto resolution =
       detector.Resolve(kT2, doomed, MakeContext(lm, {{kT1, 1}, {kT2, 2}}));

@@ -126,7 +126,7 @@ TEST(DeadlockFuzzTest, ResolutionAlwaysClearsRequesterCycles) {
     const int txns = 8, objects = 5;
     for (TxnId t = 1; t <= txns; ++t) starts[t] = t;
 
-    std::unordered_set<TxnId> doomed;
+    SmallIdSet doomed;
     for (int step = 0; step < 80; ++step) {
       TxnId txn = rng.UniformInt(1, txns);
       if (lm.IsWaiting(txn) || doomed.count(txn) > 0) continue;

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include "cc/factory.h"
 #include "core/closed_system.h"
 #include "core/experiment.h"
 #include "core/report.h"
@@ -99,6 +100,47 @@ TEST(StatsRegistryTest, CountersGaugesHistogramsSampleInOrder) {
   EXPECT_EQ(registry.ValueOf("commits"), 5.0);
   gauge_value = -1.0;
   EXPECT_EQ(registry.ValueOf("queue"), -1.0);
+}
+
+TEST(StatsRegistryTest, LockTableGaugeDropsToZeroAfterLastRelease) {
+  // The lock_table_objects gauge reads dense-table occupancy (an occupied
+  // slot, not a map entry), so it must fall back to exactly 0 once the last
+  // holder releases — for both the lock-manager-backed and the
+  // static-locking table.
+  for (const char* algorithm : {"blocking", "static_locking"}) {
+    SCOPED_TRACE(algorithm);
+    std::unique_ptr<ConcurrencyControl> cc = MakeConcurrencyControl(algorithm);
+    cc->ReserveCapacity(/*num_objects=*/16, /*num_txns=*/4);
+    CCCallbacks callbacks;
+    callbacks.on_granted = [](TxnId) {};
+    callbacks.on_wound = [](TxnId) {};
+    callbacks.now = [] { return static_cast<SimTime>(0); };
+    cc->SetCallbacks(std::move(callbacks));
+    StatsRegistry registry;
+    cc->RegisterStats(&registry);
+    EXPECT_EQ(registry.ValueOf("lock_table_objects"), 0.0);
+
+    cc->OnBegin(1, 1, 1);
+    cc->OnBegin(2, 2, 2);
+    if (cc->needs_predeclaration()) {
+      EXPECT_EQ(cc->Predeclare(1, {0, 1}, {1}), CCDecision::kGranted);
+      EXPECT_EQ(cc->Predeclare(2, {0}, {}), CCDecision::kGranted);
+    } else {
+      EXPECT_EQ(cc->ReadRequest(1, 0), CCDecision::kGranted);
+      EXPECT_EQ(cc->ReadRequest(1, 1), CCDecision::kGranted);
+      EXPECT_EQ(cc->WriteRequest(1, 1), CCDecision::kGranted);
+      EXPECT_EQ(cc->ReadRequest(2, 0), CCDecision::kGranted);  // Shared.
+    }
+    EXPECT_EQ(registry.ValueOf("lock_table_objects"), 2.0);
+
+    EXPECT_TRUE(cc->Validate(1));
+    cc->Commit(1);  // Object 1 freed; object 0 still read-held by txn 2.
+    EXPECT_EQ(registry.ValueOf("lock_table_objects"), 1.0);
+
+    EXPECT_TRUE(cc->Validate(2));
+    cc->Commit(2);  // ReleaseAll of the last holder.
+    EXPECT_EQ(registry.ValueOf("lock_table_objects"), 0.0);
+  }
 }
 
 TEST(StatsRegistryTest, DuplicateNameIsHardError) {

@@ -8,13 +8,22 @@
 // This binary must stay single-purpose: the counting operator new is
 // process-global, so it lives in its own test executable rather than in
 // sim_test.
+// The same pin covers the concurrency-control decision path: post-warmup,
+// a blocking-CC request/block/grant/commit cycle must not allocate either
+// (the dense tables, pooled waiter nodes, and recycled per-transaction
+// buffers of docs/PERFORMANCE.md "Dense CC state").
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "cc/concurrency_control.h"
+#include "cc/factory.h"
 #include "sim/simulator.h"
 
 namespace {
@@ -83,6 +92,55 @@ TEST(SimAllocTest, SteadyStateChurnIsAllocationFree) {
   while (sim.Step()) {
   }
   EXPECT_EQ(sink, 10000u * 2u * 21u);
+}
+
+TEST(SimAllocTest, BlockingDecisionPathIsAllocationFree) {
+  // One full contention cycle of the blocking algorithm: transaction `a`
+  // acquires six read locks and upgrades two, `b` blocks behind the upgrade
+  // (running the deadlock detector), a's commit grants b, b re-issues and
+  // finishes. Fresh ids every cycle, like the real engine (commit -> new
+  // transaction), so this also pins the TxnSlotMap recycle path.
+  std::unique_ptr<ConcurrencyControl> cc = MakeConcurrencyControl("blocking");
+  cc->ReserveCapacity(/*num_objects=*/64, /*num_txns=*/8);
+  std::vector<TxnId> granted;
+  granted.reserve(16);
+  SimTime clock = 0;
+  CCCallbacks callbacks;
+  callbacks.on_granted = [&granted](TxnId id) { granted.push_back(id); };
+  callbacks.on_wound = [](TxnId) {};
+  callbacks.now = [&clock] { return clock; };
+  cc->SetCallbacks(std::move(callbacks));
+
+  auto cycle = [&](TxnId a) {
+    const TxnId b = a + 1;
+    ++clock;
+    cc->OnBegin(a, clock, clock);
+    ++clock;
+    cc->OnBegin(b, clock, clock);
+    for (ObjectId obj = 0; obj < 6; ++obj) {
+      ASSERT_EQ(cc->ReadRequest(a, obj), CCDecision::kGranted);
+    }
+    ASSERT_EQ(cc->WriteRequest(a, 0), CCDecision::kGranted);
+    ASSERT_EQ(cc->WriteRequest(a, 1), CCDecision::kGranted);
+    ASSERT_EQ(cc->ReadRequest(b, 0), CCDecision::kBlocked);
+    ASSERT_TRUE(cc->Validate(a));
+    cc->Commit(a);  // Grants b.
+    ASSERT_EQ(granted.size(), 1u);
+    granted.clear();
+    ASSERT_EQ(cc->ReadRequest(b, 0), CCDecision::kGranted);  // Re-issue.
+    ASSERT_TRUE(cc->Validate(b));
+    cc->Commit(b);
+  };
+
+  // Warmup: grow the lock table, waiter pool, detector scratch, and the
+  // transaction slot index to working size.
+  for (TxnId id = 1; id < 2000; id += 2) cycle(id);
+
+  const std::size_t before = g_news;
+  for (TxnId id = 2001; id < 4000; id += 2) cycle(id);
+  EXPECT_EQ(g_news - before, 0u)
+      << "steady-state cc decisions allocated; a dense table, waiter pool, "
+         "or per-transaction buffer is growing instead of recycling";
 }
 
 TEST(SimAllocTest, OversizedCaptureFallsBackToHeapBox) {

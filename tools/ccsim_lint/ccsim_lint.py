@@ -40,6 +40,16 @@ Rules (docs/VERIFICATION.md):
                    nobody can interpret. (Dynamically composed names —
                    "<pool>_busy" etc. — are documented as families in the
                    same catalog but cannot be checked mechanically.)
+  R8 dense-state   No std::unordered_map / std::unordered_set (use or
+                   include) in the cc hot path (src/cc, src/core): per-granule
+                   and per-transaction state lives in the dense containers of
+                   util/dense_table.h, which are both faster (direct indexing,
+                   slot reuse) and deterministic to iterate
+                   (docs/PERFORMANCE.md "Dense CC state"). Allowlisted:
+                   core/history.{h,cc} — the offline serialization-graph
+                   checker runs between batches, not per decision. (Offline
+                   checkers in audit/ and verify/ and the observability layer
+                   are outside the rule's directories.)
 
 Usage: ccsim_lint.py [--root REPO] [--self-test]
 Exit status: 0 clean, 1 violations found, 2 usage error.
@@ -99,6 +109,13 @@ R6_ALLOWLIST = {
     "src/core/experiment.cc": 1,  # throw PointTimeout (caught in-function).
     "src/verify/explorer.cc": 1,  # throw PrunedRunError (backtrack signal).
 }
+
+R8_HOT_DIRS = ("src/cc", "src/core")
+R8_TOKEN = re.compile(
+    r"\bstd::unordered_(?:map|set)\b|#include\s*<unordered_(?:map|set)>"
+)
+# Offline checkers that run between batches, never per cc decision.
+R8_EXEMPT_FILES = {"src/core/history.h", "src/core/history.cc"}
 
 
 def strip_comments_and_strings(text):
@@ -359,6 +376,26 @@ class Linter:
                     "(as `name`) so the column is interpretable",
                 )
 
+    # --- R8 -----------------------------------------------------------------
+
+    def check_dense_state(self):
+        for path in self.cpp_files(*R8_HOT_DIRS):
+            rel = self.rel(path)
+            if rel in R8_EXEMPT_FILES:
+                continue
+            text = path.read_text(encoding="utf-8")
+            code = strip_comments_and_strings(text)
+            for match in R8_TOKEN.finditer(code):
+                self.report(
+                    rel,
+                    line_of(code, match.start()),
+                    "R8",
+                    "unordered_map/unordered_set in the cc hot path; use the "
+                    "dense containers of util/dense_table.h (GranuleTable, "
+                    "TxnSlotMap, SmallIdSet) — faster and deterministic to "
+                    'iterate (docs/PERFORMANCE.md "Dense CC state")',
+                )
+
     def run(self):
         self.check_determinism()
         self.check_env_knobs()
@@ -367,6 +404,7 @@ class Linter:
         self.check_hot_path_callables()
         self.check_status_errors()
         self.check_obs_catalog()
+        self.check_dense_state()
         return self.violations
 
 
@@ -400,6 +438,12 @@ SELF_TEST_SNIPPETS = {
         'registry->AddCounter("undocumented_counter");\n'  # Fires.
     ),
     "R7_catalog": "| `documented_gauge` | gauge | test | a documented one |\n",
+    "R8": (
+        "#include <unordered_map>\n"
+        "std::unordered_set<int64_t> doomed_;\n"
+        "// std::unordered_map in a comment must not fire\n"
+    ),
+    "R8_exempt": "#include <unordered_set>\nstd::unordered_map<int, int> m_;\n",
 }
 
 
@@ -450,6 +494,12 @@ def self_test(tmp_root):
         (root / "docs/OBSERVABILITY.md").write_text(
             SELF_TEST_SNIPPETS["R7_catalog"]
         )
+        # R8: an include and a usage in the hot path fire; the comment and
+        # the allowlisted offline checker stay silent.
+        (root / "src/cc/bad_hash_map.h").write_text(SELF_TEST_SNIPPETS["R8"])
+        (root / "src/core/history.cc").write_text(
+            SELF_TEST_SNIPPETS["R8_exempt"]
+        )
         violations = Linter(root).run()
 
         def expect(substring, count):
@@ -476,6 +526,8 @@ def self_test(tmp_root):
         expect("[R7]", 3)  # undocumented_counter + both "dup" sites.
         expect("undocumented_counter", 1)
         expect("documented_gauge", 0)  # Catalogued: silent.
+        expect("[R8]", 2)  # The include + the usage; not the comment.
+        expect("history.cc", 0)  # Offline checker: allowlisted.
     if failures:
         for f in failures:
             print(f"ccsim-lint self-test FAIL: {f}", file=sys.stderr)

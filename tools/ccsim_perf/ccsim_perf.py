@@ -26,6 +26,11 @@ that trajectories are only comparable on the same machine class):
   event_churn.events_per_sec
   lock_grant_release.requests_per_sec
   end_to_end_fig03.commits_per_wall_sec
+  cc_decision.<algorithm>.decisions_per_sec   (one per cc algorithm)
+
+Histories are per metric: an entry recorded before a metric existed simply
+lacks that key, and the metric is gated only once its own history reaches
+MIN_HISTORY entries. A fresh bench run must carry every gated metric.
 
 Usage:
   ccsim_perf.py --bench BENCH_sim.json --trajectory FILE [--append]
@@ -46,12 +51,19 @@ import sys
 BENCH_SCHEMA = "ccsim-bench-v1"
 TRAJECTORY_SCHEMA = "ccsim-perf-v1"
 
-#: (section, field) pairs gated out of BENCH_sim.json; all higher-is-better.
+#: The nine cc algorithms benched by micro_kernel's cc_decision section, in
+#: factory order (src/cc/factory.cc AllAlgorithms()).
+CC_ALGORITHMS = [
+    "blocking", "immediate_restart", "optimistic", "optimistic_forward",
+    "wound_wait", "wait_die", "basic_to", "mvto", "static_locking",
+]
+
+#: Key paths gated out of BENCH_sim.json; all higher-is-better.
 GATED_METRICS = [
     ("event_churn", "events_per_sec"),
     ("lock_grant_release", "requests_per_sec"),
     ("end_to_end_fig03", "commits_per_wall_sec"),
-]
+] + [("cc_decision", algo, "decisions_per_sec") for algo in CC_ALGORITHMS]
 
 #: Below this many history entries the gate only records, never fails.
 MIN_HISTORY = 3
@@ -76,8 +88,18 @@ def t99(df):
     return T99[df - 1] if df <= len(T99) else T99_NORMAL
 
 
-def metric_key(section, field):
-    return f"{section}.{field}"
+def metric_key(path):
+    return ".".join(path)
+
+
+def lookup(doc, path):
+    """Walks a nested-dict key path; returns None on any missing level."""
+    node = doc
+    for part in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    return node
 
 
 def extract_metrics(bench_doc):
@@ -90,14 +112,14 @@ def extract_metrics(bench_doc):
             f"bench schema {bench_doc.get('schema')!r} != {BENCH_SCHEMA!r}"
         )
     metrics = {}
-    for section, field in GATED_METRICS:
-        value = bench_doc.get(section, {}).get(field)
+    for path in GATED_METRICS:
+        value = lookup(bench_doc, path)
         if not isinstance(value, (int, float)) or value <= 0:
             raise ValueError(
-                f"bench metric {metric_key(section, field)} missing or "
+                f"bench metric {metric_key(path)} missing or "
                 f"non-positive: {value!r}"
             )
-        metrics[metric_key(section, field)] = float(value)
+        metrics[metric_key(path)] = float(value)
     return metrics
 
 
@@ -121,14 +143,22 @@ def load_trajectory(path):
         metrics = doc.get("metrics")
         if not isinstance(metrics, dict):
             raise ValueError(f"{path}:{lineno}: missing metrics object")
-        for section, field in GATED_METRICS:
-            key = metric_key(section, field)
-            value = metrics.get(key)
+        # Histories are per metric: entries may predate a gated metric and
+        # simply lack its key, but any value present must be positive, and
+        # an entry carrying no gated metric at all is junk.
+        present = 0
+        for mpath in GATED_METRICS:
+            key = metric_key(mpath)
+            if key not in metrics:
+                continue
+            present += 1
+            value = metrics[key]
             if not isinstance(value, (int, float)) or value <= 0:
                 raise ValueError(
-                    f"{path}:{lineno}: metric {key} missing or non-positive: "
-                    f"{value!r}"
+                    f"{path}:{lineno}: metric {key} non-positive: {value!r}"
                 )
+        if present == 0:
+            raise ValueError(f"{path}:{lineno}: no gated metric present")
         entries.append({k: float(v) for k, v in metrics.items()})
     return entries
 
@@ -174,9 +204,11 @@ def check(bench_path, trajectory_path, append):
         return 1
 
     regressions = 0
-    for section, field in GATED_METRICS:
-        key = metric_key(section, field)
-        history = [e[key] for e in entries]
+    for mpath in GATED_METRICS:
+        key = metric_key(mpath)
+        # Per-metric history: entries recorded before this metric existed
+        # lack the key and contribute nothing to its noise estimate.
+        history = [e[key] for e in entries if key in e]
         verdict, detail = judge(history, metrics[key])
         print(f"ccsim-perf: {key}: {verdict} ({detail})")
         if verdict == "REGRESSION":
@@ -221,18 +253,22 @@ SELF_TEST_JITTER = [0.000, 0.012, -0.009, 0.005, -0.014, 0.008, -0.003, 0.010]
 
 def self_test():
     """Builds a synthetic trajectory with deterministic jitter, then asserts
-    (a) a re-run at the base rate passes, and (b) a planted 20% slowdown in
-    events_per_sec is caught."""
+    (a) a re-run at the base rate passes, (b) a planted 20% slowdown in
+    events_per_sec is caught, (c) a planted slowdown in a cc_decision metric
+    is caught, and (d) legacy entries lacking cc_decision keys validate and
+    leave those metrics ungated."""
     import tempfile
 
     base = {
-        metric_key("event_churn", "events_per_sec"): 40_000_000.0,
-        metric_key("lock_grant_release", "requests_per_sec"): 8_000_000.0,
-        metric_key("end_to_end_fig03", "commits_per_wall_sec"): 50_000.0,
+        "event_churn.events_per_sec": 40_000_000.0,
+        "lock_grant_release.requests_per_sec": 8_000_000.0,
+        "end_to_end_fig03.commits_per_wall_sec": 50_000.0,
     }
+    for algo in CC_ALGORITHMS:
+        base[f"cc_decision.{algo}.decisions_per_sec"] = 10_000_000.0
 
-    def bench_doc(scale_events):
-        return {
+    def bench_doc(scale_events, scale_cc_blocking=1.0):
+        doc = {
             "schema": BENCH_SCHEMA,
             "event_churn": {
                 "events_per_sec":
@@ -246,7 +282,14 @@ def self_test():
                 "commits_per_wall_sec":
                     base["end_to_end_fig03.commits_per_wall_sec"],
             },
+            "cc_decision": {},
         }
+        for algo in CC_ALGORITHMS:
+            rate = base[f"cc_decision.{algo}.decisions_per_sec"]
+            if algo == "blocking":
+                rate *= scale_cc_blocking
+            doc["cc_decision"][algo] = {"decisions_per_sec": rate}
+        return doc
 
     failures = []
     with tempfile.TemporaryDirectory() as tmp:
@@ -272,6 +315,33 @@ def self_test():
         slow.write_text(json.dumps(bench_doc(0.8)))
         if check(slow, trajectory, append=False) != 1:
             failures.append("planted 20% events_per_sec slowdown NOT caught")
+
+        slow_cc = root / "bench_slow_cc.json"
+        slow_cc.write_text(json.dumps(bench_doc(1.0, scale_cc_blocking=0.8)))
+        if check(slow_cc, trajectory, append=False) != 1:
+            failures.append(
+                "planted 20% cc_decision.blocking slowdown NOT caught")
+
+        # Legacy trajectory entries predate cc_decision: they must validate,
+        # and the cc metrics must be recorded-not-gated against them (so even
+        # a slow cc value passes while events_per_sec is still gated).
+        legacy = root / "legacy.jsonl"
+        legacy_keys = [k for k in base if not k.startswith("cc_decision.")]
+        with open(legacy, "w", encoding="utf-8") as f:
+            for jitter in SELF_TEST_JITTER:
+                entry = {
+                    "schema": TRAJECTORY_SCHEMA,
+                    "metrics": {k: base[k] * (1.0 + jitter)
+                                for k in legacy_keys},
+                }
+                f.write(json.dumps(entry, sort_keys=True) + "\n")
+        if validate(legacy) != 0:
+            failures.append("legacy trajectory (no cc_decision) rejected")
+        if check(slow_cc, legacy, append=False) != 0:
+            failures.append("cc_decision gated despite no cc history")
+        if check(slow, legacy, append=False) != 1:
+            failures.append(
+                "events_per_sec slowdown NOT caught on legacy trajectory")
 
         # Short-history behavior: two entries must record, never gate.
         short = root / "short.jsonl"
